@@ -1,0 +1,144 @@
+// Ablations of the design choices the paper calls out:
+//   1. Thread-block specialization share (§4.1.2): the proportional formula
+//      versus a fixed single boundary TB versus an equal three-way split, on
+//      a small unbalanced 3D domain (where the paper says proportional
+//      splitting matters).
+//   2. Communication scope (§3.1.4): block-cooperative puts
+//      (nvshmemx_*_block) versus thread-scoped puts.
+//   3. Nonblocking (nbi) vs blocking puts in compiler-generated persistent
+//      kernels (§5.3.2).
+//   4. Relaxed vs conservative grid-barrier placement in the persistent
+//      fusion (§5.1).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dacelite/exec.hpp"
+#include "dacelite/frontend.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using stencil::StencilConfig;
+using stencil::TbPolicy;
+using stencil::Variant;
+
+double run3d(TbPolicy policy, vshmem::Scope scope, int gpus) {
+  stencil::Jacobi3D p;
+  p.nx = 512;
+  p.ny = 256;
+  p.nz = 16 * static_cast<std::size_t>(gpus);  // thin, unbalanced slabs
+  StencilConfig cfg;
+  cfg.iterations = 50;
+  cfg.functional = false;
+  cfg.tb_policy = policy;
+  cfg.comm_scope = scope;
+  const auto out = stencil::run_jacobi3d(
+      Variant::kCpuFree, vgpu::MachineSpec::hgx_a100(gpus), p, cfg);
+  return out.result.metrics.per_iteration_us();
+}
+
+double run_dace2d(bool blocking, bool conservative, int gpus) {
+  auto prog = dacelite::make_jacobi2d(2048, gpus, 50);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(gpus));
+  vshmem::World w(m);
+  dacelite::ProgramData data(w, prog.sdfg, false);
+  dacelite::ExecOptions opt;
+  opt.functional = false;
+  opt.blocking_puts = blocking;
+  opt.conservative_barriers = conservative;
+  const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+  return sim::to_usec(r.metrics.per_iteration);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "design choices called out in the paper");
+  bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  const std::vector<int> gpus = {2, 4, 8};
+
+  {
+    std::vector<bench::Row> rows;
+    rows.push_back({"proportional (paper)", {}});
+    rows.push_back({"single boundary TB", {}});
+    rows.push_back({"equal three-way split", {}});
+    for (int g : gpus) {
+      rows[0].values.push_back(
+          run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, g));
+      rows[1].values.push_back(
+          run3d(TbPolicy::kSingleBlock, vshmem::Scope::kBlock, g));
+      rows[2].values.push_back(
+          run3d(TbPolicy::kEqualSplit, vshmem::Scope::kBlock, g));
+    }
+    bench::print_table(
+        "1. TB specialization policy, unbalanced 3D domain (CPU-Free)", gpus,
+        rows, "us/iter");
+  }
+
+  {
+    std::vector<bench::Row> rows;
+    rows.push_back({"block-scoped puts (paper)", {}});
+    rows.push_back({"thread-scoped puts", {}});
+    for (int g : gpus) {
+      rows[0].values.push_back(
+          run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, g));
+      rows[1].values.push_back(
+          run3d(TbPolicy::kProportional, vshmem::Scope::kThread, g));
+    }
+    bench::print_table("2. halo put scope (CPU-Free 3D)", gpus, rows,
+                       "us/iter");
+  }
+
+  {
+    std::vector<bench::Row> rows;
+    rows.push_back({"nbi puts (default)", {}});
+    rows.push_back({"blocking puts", {}});
+    for (int g : gpus) {
+      rows[0].values.push_back(run_dace2d(false, false, g));
+      rows[1].values.push_back(run_dace2d(true, false, g));
+    }
+    bench::print_table("3. nonblocking vs blocking puts (dacelite jacobi2d)",
+                       gpus, rows, "us/iter");
+  }
+
+  {
+    std::vector<bench::Row> rows;
+    rows.push_back({"single kernel + TB specialization", {}});
+    rows.push_back({"two co-resident kernels", {}});
+    for (int g : gpus) {
+      stencil::Jacobi2D p2;
+      p2.nx = 2048;
+      p2.ny = 2048;
+      StencilConfig cfg;
+      cfg.iterations = 50;
+      cfg.functional = false;
+      rows[0].values.push_back(
+          stencil::run_jacobi2d(Variant::kCpuFree,
+                                vgpu::MachineSpec::hgx_a100(g), p2, cfg)
+              .result.metrics.per_iteration_us());
+      rows[1].values.push_back(
+          stencil::run_jacobi2d(Variant::kCpuFreeTwoKernels,
+                                vgpu::MachineSpec::hgx_a100(g), p2, cfg)
+              .result.metrics.per_iteration_us());
+    }
+    bench::print_table(
+        "5. single persistent kernel vs two co-resident kernels (2D)", gpus,
+        rows, "us/iter");
+  }
+
+  {
+    std::vector<bench::Row> rows;
+    rows.push_back({"relaxed barriers (this work)", {}});
+    rows.push_back({"barrier after every state", {}});
+    for (int g : gpus) {
+      rows[0].values.push_back(run_dace2d(false, false, g));
+      rows[1].values.push_back(run_dace2d(false, true, g));
+    }
+    bench::print_table("4. persistent-fusion barrier placement (dacelite)",
+                       gpus, rows, "us/iter");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared reporting helpers for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure from the paper's evaluation
+// chapter: it sweeps the same parameters, runs the same code variants on the
+// simulated HGX node, and prints the series the figure plots. The simulator
+// is deterministic, so the paper's "minimum of 5 consecutive runs" protocol
+// is satisfied by a single run (all 5 would be identical); each harness
+// still exposes --repeats to demonstrate that.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace bench {
+
+inline void print_header(std::string_view figure, std::string_view title) {
+  std::printf("==============================================================\n");
+  std::printf("%.*s — %.*s\n", static_cast<int>(figure.size()), figure.data(),
+              static_cast<int>(title.size()), title.data());
+  std::printf("==============================================================\n");
+}
+
+inline void print_calibration(const vgpu::MachineSpec& spec) {
+  std::printf(
+      "machine: %d x A100 (%d SMs, %.0f GB/s HBM @ %.0f%% eff), NVLink "
+      "%.0f GB/s/dir\n",
+      spec.num_devices, spec.device.sm_count, spec.device.dram_bw_gbps,
+      spec.device.dram_efficiency * 100.0, spec.link.bw_gbps);
+  std::printf(
+      "host costs (us): launch %.1f  stream_sync %.1f  memcpy_issue %.1f  "
+      "barrier %.1f  mpi_issue %.1f\n",
+      sim::to_usec(spec.host.kernel_launch), sim::to_usec(spec.host.stream_sync),
+      sim::to_usec(spec.host.memcpy_issue), sim::to_usec(spec.host.host_barrier),
+      sim::to_usec(spec.host.mpi_issue));
+  std::printf(
+      "device costs (us): grid_sync %.1f  put_issue %.1f  link lat %.1f "
+      "(dev) / %.1f (host)\n\n",
+      sim::to_usec(spec.device.grid_sync),
+      sim::to_usec(spec.link.device_put_issue),
+      sim::to_usec(spec.link.device_initiated_latency),
+      sim::to_usec(spec.link.host_initiated_latency));
+}
+
+/// One table row: label + one value per GPU count.
+struct Row {
+  std::string label;
+  std::vector<double> values;
+};
+
+inline void print_table(std::string_view caption,
+                        const std::vector<int>& gpu_counts,
+                        const std::vector<Row>& rows,
+                        std::string_view unit) {
+  std::printf("%.*s [%.*s]\n", static_cast<int>(caption.size()), caption.data(),
+              static_cast<int>(unit.size()), unit.data());
+  std::printf("  %-24s", "variant");
+  for (int g : gpu_counts) std::printf("  %8d GPU%s", g, g == 1 ? " " : "s");
+  std::printf("\n");
+  for (const Row& r : rows) {
+    std::printf("  %-24s", r.label.c_str());
+    for (double v : r.values) std::printf("  %12.2f", v);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Speedup% table against a baseline row (the paper's formula).
+inline void print_speedups(std::string_view caption,
+                           const std::vector<int>& gpu_counts,
+                           const Row& baseline, const Row& ours) {
+  std::printf("%.*s\n", static_cast<int>(caption.size()), caption.data());
+  for (std::size_t i = 0; i < gpu_counts.size(); ++i) {
+    std::printf("  %d GPUs: %+6.1f%%\n", gpu_counts[i],
+                sim::speedup_percent(baseline.values[i], ours.values[i]));
+  }
+  std::printf("\n");
+}
+
+/// Parses "--repeats N" / "--trace" style flags trivially.
+struct Args {
+  int repeats = 1;
+  bool trace_dump = false;
+  std::string trace_path = "trace.json";
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view s = argv[i];
+      if (s == "--repeats" && i + 1 < argc) {
+        a.repeats = std::atoi(argv[++i]);
+      } else if (s == "--trace") {
+        a.trace_dump = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') a.trace_path = argv[++i];
+      }
+    }
+    if (a.repeats < 1) a.repeats = 1;
+    return a;
+  }
+};
+
+}  // namespace bench

@@ -1,0 +1,134 @@
+// Figure 2.2 — (a) pure communication + synchronization overheads with no
+// computation; (b) communication overlap ratio % and total execution time.
+//
+// Small 2D domain (256^2 base, weak-scaled), CPU-controlled baseline versus
+// CPU-Free. The paper's headline observations to reproduce in shape:
+//   * with no computation, the baseline's per-iteration overhead is several
+//     times the CPU-Free one (host API latencies dominate);
+//   * with computation, the baseline overlaps only a small fraction of its
+//     communication while CPU-Free hides almost all of it, and communication
+//     takes the vast majority of the baseline's execution time.
+//
+// Also dumps a Chrome-trace timeline (--trace [path]) — the stand-in for the
+// paper's Nsight screenshots (Fig. 2.1b).
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+#include "stencil/slab.hpp"
+#include "stencil/variants.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using stencil::Jacobi2D;
+using stencil::StencilConfig;
+using stencil::Variant;
+
+Jacobi2D weak_scaled(std::size_t base, int gpus) {
+  // Double alternating axes as devices double (§6.1.2).
+  Jacobi2D p;
+  p.nx = base;
+  p.ny = base;
+  int g = gpus;
+  bool axis = false;  // start by growing ny (the partitioned axis)
+  while (g > 1) {
+    if (axis) {
+      p.nx *= 2;
+    } else {
+      p.ny *= 2;
+    }
+    axis = !axis;
+    g /= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_header("Figure 2.2",
+                      "communication overheads and overlap, small 2D domain");
+  bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+
+  const std::vector<int> gpus = {2, 4, 8};
+  constexpr int kIters = 200;
+
+  // (a) No-compute: per-iteration communication+synchronization time.
+  {
+    std::vector<bench::Row> rows;
+    for (Variant v : {Variant::kBaselineCopy, Variant::kBaselineOverlap,
+                      Variant::kBaselineP2P, Variant::kBaselineNvshmem,
+                      Variant::kCpuFree}) {
+      bench::Row r{std::string(stencil::variant_name(v)), {}};
+      for (int g : gpus) {
+        StencilConfig cfg;
+        cfg.iterations = kIters;
+        cfg.functional = false;
+        cfg.compute_enabled = false;
+        sim::RunStats stats;
+        for (int rep = 0; rep < args.repeats; ++rep) {
+          const auto out = stencil::run_jacobi2d(
+              v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(256, g), cfg);
+          stats.add(out.result.metrics.per_iteration_us());
+        }
+        r.values.push_back(stats.min());
+      }
+      rows.push_back(std::move(r));
+    }
+    bench::print_table(
+        "(a) pure communication overhead per iteration (no compute)", gpus,
+        rows, "us/iter");
+  }
+
+  // (b) With compute: total time and overlap ratio. A 1024^2 base keeps the
+  // domain small (latency-sensitive) while leaving computation to hide
+  // communication under.
+  {
+    std::vector<bench::Row> total_rows;
+    std::vector<bench::Row> overlap_rows;
+    std::vector<bench::Row> commfrac_rows;
+    for (Variant v : {Variant::kBaselineCopy, Variant::kBaselineOverlap,
+                      Variant::kCpuFree}) {
+      bench::Row rt{std::string(stencil::variant_name(v)), {}};
+      bench::Row ro = rt;
+      bench::Row rc = rt;
+      for (int g : gpus) {
+        StencilConfig cfg;
+        cfg.iterations = kIters;
+        cfg.functional = false;
+        const auto out = stencil::run_jacobi2d(
+            v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(1024, g), cfg);
+        rt.values.push_back(out.result.metrics.total_ms());
+        ro.values.push_back(out.result.metrics.hidden_comm_ratio * 100.0);
+        rc.values.push_back(out.result.metrics.noncompute_fraction * 100.0);
+      }
+      total_rows.push_back(std::move(rt));
+      overlap_rows.push_back(std::move(ro));
+      commfrac_rows.push_back(std::move(rc));
+    }
+    bench::print_table("(b) total execution time", gpus, total_rows, "ms");
+    bench::print_table("(b) communication overlapped with computation", gpus,
+                       overlap_rows, "%");
+    bench::print_table("(b) non-compute (communication) share of runtime",
+                       gpus, commfrac_rows, "%");
+  }
+
+  if (args.trace_dump) {
+    StencilConfig cfg;
+    cfg.iterations = 5;
+    cfg.functional = false;
+    vgpu::Machine machine(vgpu::MachineSpec::hgx_a100(4));
+    vshmem::World world(machine);
+    stencil::SlabStencil<Jacobi2D> s(world, weak_scaled(256, 4), cfg);
+    stencil::run_variant(s, Variant::kBaselineOverlap);
+    std::ofstream f(args.trace_path);
+    f << machine.trace().to_chrome_json();
+    std::printf("timeline written to %s (open in chrome://tracing)\n",
+                args.trace_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 6.2 — 3D Jacobi (7-point, z-partitioned): weak scaling, no-compute
+// communication latency at the largest domain, and strong scaling.
+//
+// Shape targets from the paper:
+//   * weak scaling: CPU-Free ahead of the baselines but by less than in 2D
+//     (the large 3D domain is compute-bound);
+//   * no-compute at the largest domain: ~59% communication-latency
+//     improvement over the CPU-controlled baseline at 8 GPUs;
+//   * strong scaling on a fixed large domain: CPU-Free stays largely flat
+//     while the baselines degrade as communication dominates.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+
+namespace {
+
+using stencil::Jacobi3D;
+using stencil::StencilConfig;
+using stencil::Variant;
+
+Jacobi3D weak_scaled(std::size_t base, int gpus) {
+  Jacobi3D p;
+  p.nx = base;
+  p.ny = base;
+  p.nz = base;
+  int g = gpus;
+  int axis = 0;  // grow z (the partitioned axis) first, then y, then x
+  while (g > 1) {
+    if (axis == 0) {
+      p.nz *= 2;
+    } else if (axis == 1) {
+      p.ny *= 2;
+    } else {
+      p.nx *= 2;
+    }
+    axis = (axis + 1) % 3;
+    g /= 2;
+  }
+  return p;
+}
+
+const Variant kVariants[] = {Variant::kBaselineCopy, Variant::kBaselineOverlap,
+                             Variant::kBaselineP2P, Variant::kBaselineNvshmem,
+                             Variant::kCpuFree};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  static_cast<void>(args);
+  bench::print_header("Figure 6.2", "3D Jacobi weak/strong scaling");
+  bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+
+  const std::vector<int> gpus = {1, 2, 4, 8};
+
+  // (left) Weak scaling, 256^3 base.
+  {
+    std::vector<bench::Row> rows;
+    for (Variant v : kVariants) {
+      bench::Row r{std::string(stencil::variant_name(v)), {}};
+      for (int g : gpus) {
+        StencilConfig cfg;
+        cfg.iterations = 20;
+        cfg.functional = false;
+        const auto out = stencil::run_jacobi3d(
+            v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(256, g), cfg);
+        r.values.push_back(out.result.metrics.per_iteration_us());
+      }
+      rows.push_back(std::move(r));
+    }
+    bench::print_table("weak scaling (256^3 base), per-iteration time", gpus,
+                       rows, "us/iter");
+  }
+
+  // (middle) No-compute communication latency at the largest weak-scaled
+  // domain (paper: 58.8% improvement at 8 GPUs).
+  {
+    std::vector<bench::Row> rows;
+    double best_baseline = 1e300;
+    double cpufree = 0;
+    for (Variant v : kVariants) {
+      bench::Row r{std::string(stencil::variant_name(v)), {}};
+      for (int g : gpus) {
+        StencilConfig cfg;
+        cfg.iterations = 50;
+        cfg.functional = false;
+        cfg.compute_enabled = false;
+        const auto out = stencil::run_jacobi3d(
+            v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(256, g), cfg);
+        r.values.push_back(out.result.metrics.per_iteration_us());
+      }
+      if (v == Variant::kCpuFree) {
+        cpufree = r.values.back();
+      } else {
+        best_baseline = std::min(best_baseline, r.values.back());
+      }
+      rows.push_back(std::move(r));
+    }
+    bench::print_table("no-compute communication latency per iteration", gpus,
+                       rows, "us/iter");
+    std::printf(
+        "  at 8 GPUs: CPU-Free communication latency vs best baseline: "
+        "%+6.1f%%\n\n",
+        sim::speedup_percent(best_baseline, cpufree));
+  }
+
+  // (right) Strong scaling on a fixed large domain.
+  {
+    Jacobi3D fixed;
+    fixed.nx = 512;
+    fixed.ny = 512;
+    fixed.nz = 256;
+    std::vector<bench::Row> rows;
+    for (Variant v : kVariants) {
+      bench::Row r{std::string(stencil::variant_name(v)), {}};
+      for (int g : gpus) {
+        StencilConfig cfg;
+        cfg.iterations = 20;
+        cfg.functional = false;
+        const auto out = stencil::run_jacobi3d(
+            v, vgpu::MachineSpec::hgx_a100(g), fixed, cfg);
+        r.values.push_back(out.result.metrics.per_iteration_us());
+      }
+      rows.push_back(std::move(r));
+    }
+    bench::print_table("strong scaling (512x512x256 fixed), per-iteration time",
+                       gpus, rows, "us/iter");
+
+    // And the no-compute strong-scaling companion.
+    std::vector<bench::Row> nc_rows;
+    for (Variant v : kVariants) {
+      bench::Row r{std::string(stencil::variant_name(v)), {}};
+      for (int g : gpus) {
+        StencilConfig cfg;
+        cfg.iterations = 50;
+        cfg.functional = false;
+        cfg.compute_enabled = false;
+        const auto out = stencil::run_jacobi3d(
+            v, vgpu::MachineSpec::hgx_a100(g), fixed, cfg);
+        r.values.push_back(out.result.metrics.per_iteration_us());
+      }
+      nc_rows.push_back(std::move(r));
+    }
+    bench::print_table("strong scaling (no compute)", gpus, nc_rows, "us/iter");
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Figure 6.3 — compiler-generated code: discrete distributed DaCe (MPI)
+// versus CPU-Free (persistent + NVSHMEM) on Jacobi 1D and 2D, weak scaling
+// on 1-8 A100s.
+//
+// Shape targets from the paper (at 8 GPUs):
+//   * Jacobi 1D: ~45% total-time and ~27% communication-latency improvement
+//     (two single-element transfers per step; gains are synchronization);
+//   * Jacobi 2D: ~97% improvement; the baseline is >99% communication; the
+//     baseline bumps at 2 and 8 GPUs (rectangular process grid); CPU-Free
+//     weak-scaling efficiency ~80%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dacelite/exec.hpp"
+#include "dacelite/frontend.hpp"
+#include "dacelite/transforms.hpp"
+#include "hostmpi/comm.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+struct Point {
+  double total_ms;
+  double comm_us;
+  double noncompute_pct;
+};
+
+Point run_1d_baseline(std::size_t n, int ranks, int iters) {
+  auto prog = dacelite::make_jacobi1d(n, ranks, iters);
+  dacelite::apply_gpu_transform(prog.sdfg);
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+  vshmem::World w(m);
+  hostmpi::Comm comm(m);
+  dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
+  dacelite::ExecOptions opt;
+  opt.functional = false;
+  const auto r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
+          r.metrics.noncompute_fraction * 100.0};
+}
+
+Point run_1d_cpufree(std::size_t n, int ranks, int iters) {
+  auto prog = dacelite::make_jacobi1d(n, ranks, iters);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+  vshmem::World w(m);
+  dacelite::ProgramData data(w, prog.sdfg, false);
+  dacelite::ExecOptions opt;
+  opt.functional = false;
+  const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
+          r.metrics.noncompute_fraction * 100.0};
+}
+
+Point run_2d_baseline(std::size_t gx, std::size_t gy, int ranks, int iters) {
+  auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
+  dacelite::apply_gpu_transform(prog.sdfg);
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+  vshmem::World w(m);
+  hostmpi::Comm comm(m);
+  dacelite::ProgramData data(w, prog.sdfg, false);
+  dacelite::ExecOptions opt;
+  opt.functional = false;
+  const auto r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
+          r.metrics.noncompute_fraction * 100.0};
+}
+
+Point run_2d_cpufree(std::size_t gx, std::size_t gy, int ranks, int iters) {
+  auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+  vshmem::World w(m);
+  dacelite::ProgramData data(w, prog.sdfg, false);
+  dacelite::ExecOptions opt;
+  opt.functional = false;
+  const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
+          r.metrics.noncompute_fraction * 100.0};
+}
+
+/// Weak scaling: grow the domain with the rank count.
+std::size_t weak_1d(std::size_t base, int ranks) {
+  return base * static_cast<std::size_t>(ranks);
+}
+/// Weak 2D scaling: double alternating axes per device doubling so the
+/// per-rank block stays constant.
+std::pair<std::size_t, std::size_t> weak_2d(std::size_t base, int ranks) {
+  std::size_t gx = base, gy = base;
+  int r = ranks;
+  bool axis = false;
+  while (r > 1) {
+    if (axis) {
+      gx *= 2;
+    } else {
+      gy *= 2;
+    }
+    axis = !axis;
+    r /= 2;
+  }
+  return {gx, gy};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  static_cast<void>(args);
+  bench::print_header("Figure 6.3",
+                      "DaCe-generated: discrete MPI vs CPU-Free (NVSHMEM)");
+  bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+
+  const std::vector<int> gpus = {1, 2, 4, 8};
+  constexpr int kIters = 100;
+
+  // (a) Jacobi 1D.
+  {
+    bench::Row base{"baseline (MPI)", {}};
+    bench::Row free_r{"cpu-free (NVSHMEM)", {}};
+    bench::Row base_comm{"baseline comm", {}};
+    bench::Row free_comm{"cpu-free comm", {}};
+    for (int g : gpus) {
+      const std::size_t n = weak_1d(1u << 20, g);  // 1M points per rank
+      const Point b = run_1d_baseline(n, g, kIters);
+      const Point f = run_1d_cpufree(n, g, kIters);
+      base.values.push_back(b.total_ms);
+      free_r.values.push_back(f.total_ms);
+      base_comm.values.push_back(b.comm_us);
+      free_comm.values.push_back(f.comm_us);
+    }
+    bench::print_table("(a) Jacobi 1D total time", gpus, {base, free_r}, "ms");
+    bench::print_table("(a) Jacobi 1D communication latency", gpus,
+                       {base_comm, free_comm}, "us");
+    const std::size_t at8 = gpus.size() - 1;
+    std::printf("  at 8 GPUs: total %+6.1f%%   comm latency %+6.1f%%\n\n",
+                sim::speedup_percent(base.values[at8], free_r.values[at8]),
+                sim::speedup_percent(base_comm.values[at8],
+                                     free_comm.values[at8]));
+  }
+
+  // (b) Jacobi 2D.
+  {
+    bench::Row base{"baseline (MPI)", {}};
+    bench::Row free_r{"cpu-free (NVSHMEM)", {}};
+    bench::Row base_nc{"baseline non-compute %", {}};
+    for (int g : gpus) {
+      const auto [gx, gy] = weak_2d(2048, g);
+      const Point b = run_2d_baseline(gx, gy, g, kIters);
+      const Point f = run_2d_cpufree(gx, gy, g, kIters);
+      base.values.push_back(b.total_ms);
+      free_r.values.push_back(f.total_ms);
+      base_nc.values.push_back(b.noncompute_pct);
+    }
+    bench::print_table("(b) Jacobi 2D total time", gpus, {base, free_r}, "ms");
+    bench::print_table("(b) baseline communication share", gpus, {base_nc},
+                       "%");
+    const std::size_t at8 = gpus.size() - 1;
+    std::printf("  at 8 GPUs: total improvement %+6.1f%%\n",
+                sim::speedup_percent(base.values[at8], free_r.values[at8]));
+    std::printf("  CPU-Free weak-scaling efficiency 1->8 GPUs: %.1f%%\n\n",
+                free_r.values[0] / free_r.values[at8] * 100.0);
+  }
+  return 0;
+}

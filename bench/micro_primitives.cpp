@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// engine event throughput, synchronization primitives, stream ops, transfer
+// accounting and a full small stencil run. These measure the SIMULATOR's
+// wall-clock performance (how fast experiments run), not simulated time.
+#include <benchmark/benchmark.h>
+
+#include "sim/combinators.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+#include "vgpu/host.hpp"
+#include "vgpu/machine.hpp"
+
+namespace {
+
+sim::Task delay_loop(sim::Engine& eng, int n) {
+  for (int i = 0; i < n; ++i) co_await eng.delay(10);
+}
+
+void BM_EngineDelayEvents(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(delay_loop(eng, n));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineDelayEvents)->Arg(1024)->Arg(16384);
+
+sim::Task ping(sim::Engine& eng, sim::Flag& a, sim::Flag& b, int n) {
+  for (int i = 1; i <= n; ++i) {
+    a.set(i);
+    co_await b.wait_geq(i);
+  }
+  static_cast<void>(eng);
+}
+
+sim::Task pong(sim::Engine& eng, sim::Flag& a, sim::Flag& b, int n) {
+  for (int i = 1; i <= n; ++i) {
+    co_await a.wait_geq(i);
+    b.set(i);
+  }
+  static_cast<void>(eng);
+}
+
+void BM_FlagPingPong(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Flag a(eng, 0), b(eng, 0);
+    eng.spawn(ping(eng, a, b, n));
+    eng.spawn(pong(eng, a, b, n));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_FlagPingPong)->Arg(4096);
+
+void BM_StreamOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(1);
+    vgpu::Machine m(spec);
+    vgpu::Stream& s = m.device(0).create_stream();
+    for (int i = 0; i < n; ++i) {
+      s.enqueue([&m]() -> sim::Task { co_await m.engine().delay(100); });
+    }
+    m.engine().run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamOps)->Arg(4096);
+
+void BM_TransferAccounting(benchmark::State& state) {
+  for (auto _ : state) {
+    vgpu::Machine m(vgpu::MachineSpec::hgx_a100(2));
+    m.enable_all_peer_access();
+    m.engine().spawn([](vgpu::Machine& mm) -> sim::Task {
+      for (int i = 0; i < 1000; ++i) {
+        co_await mm.transfer(0, 1, 4096, vgpu::TransferKind::kDeviceInitiated,
+                             0, "t");
+      }
+    }(m));
+    m.engine().run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TransferAccounting);
+
+void BM_FullStencilRun(benchmark::State& state) {
+  for (auto _ : state) {
+    stencil::Jacobi2D p;
+    p.nx = 256;
+    p.ny = 256;
+    stencil::StencilConfig cfg;
+    cfg.iterations = 50;
+    cfg.functional = false;
+    const auto out = stencil::run_jacobi2d(
+        stencil::Variant::kCpuFree, vgpu::MachineSpec::hgx_a100(4), p, cfg);
+    benchmark::DoNotOptimize(out.result.metrics.total);
+  }
+}
+BENCHMARK(BM_FullStencilRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Calibration-sensitivity sweep: are the reproduced findings artifacts of
+// the chosen cost-model constants? Each key constant is halved and doubled
+// around the default calibration, and two headline claims are re-checked at
+// every point:
+//   (1) small-domain 2D at 8 GPUs: CPU-Free beats the best CPU-controlled
+//       baseline (Fig. 6.1 left);
+//   (2) large-domain 2D at 8 GPUs: plain CPU-Free loses to the best baseline
+//       while CPU-Free PERKS wins (the Fig. 6.1 right crossover).
+// A claim that only holds at the exact calibration point would be suspect;
+// the table shows both hold across the whole perturbation grid.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+
+namespace {
+
+using stencil::StencilConfig;
+using stencil::Variant;
+
+struct Claims {
+  double small_speedup;   // CPU-Free vs best baseline, small domain
+  bool small_wins;
+  bool large_cpufree_loses;
+  bool large_perks_wins;
+};
+
+double run_small(Variant v, const vgpu::MachineSpec& spec) {
+  stencil::Jacobi2D p;
+  p.nx = 512;
+  p.ny = 1024;  // 256^2 base weak-scaled to 8 GPUs
+  StencilConfig cfg;
+  cfg.iterations = 100;
+  cfg.functional = false;
+  return stencil::run_jacobi2d(v, spec, p, cfg).result.metrics.per_iteration_us();
+}
+
+double run_large(Variant v, const vgpu::MachineSpec& spec) {
+  stencil::Jacobi2D p;
+  p.nx = 16384;
+  p.ny = 32768;  // 8192^2 base weak-scaled to 8 GPUs
+  StencilConfig cfg;
+  cfg.iterations = 5;
+  cfg.functional = false;
+  return stencil::run_jacobi2d(v, spec, p, cfg).result.metrics.per_iteration_us();
+}
+
+Claims evaluate(const vgpu::MachineSpec& spec) {
+  const Variant baselines[] = {Variant::kBaselineCopy, Variant::kBaselineOverlap,
+                               Variant::kBaselineP2P, Variant::kBaselineNvshmem};
+  double best_small = 1e300;
+  double best_large = 1e300;
+  for (Variant v : baselines) {
+    best_small = std::min(best_small, run_small(v, spec));
+    best_large = std::min(best_large, run_large(v, spec));
+  }
+  const double free_small = run_small(Variant::kCpuFree, spec);
+  const double free_large = run_large(Variant::kCpuFree, spec);
+  const double perks_large = run_large(Variant::kCpuFreePerks, spec);
+  Claims c;
+  c.small_speedup = sim::speedup_percent(best_small, free_small);
+  c.small_wins = free_small < best_small;
+  c.large_cpufree_loses = free_large > best_large;
+  c.large_perks_wins = perks_large < best_large;
+  return c;
+}
+
+struct Knob {
+  const char* name;
+  std::function<void(vgpu::MachineSpec&, double)> scale;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Sensitivity",
+                      "headline claims under cost-model perturbation");
+  bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+
+  const std::vector<Knob> knobs = {
+      {"kernel_launch", [](vgpu::MachineSpec& s, double f) {
+         s.host.kernel_launch =
+             static_cast<sim::Nanos>(static_cast<double>(s.host.kernel_launch) * f);
+       }},
+      {"stream_sync", [](vgpu::MachineSpec& s, double f) {
+         s.host.stream_sync =
+             static_cast<sim::Nanos>(static_cast<double>(s.host.stream_sync) * f);
+       }},
+      {"host_barrier", [](vgpu::MachineSpec& s, double f) {
+         s.host.host_barrier =
+             static_cast<sim::Nanos>(static_cast<double>(s.host.host_barrier) * f);
+       }},
+      {"grid_sync", [](vgpu::MachineSpec& s, double f) {
+         s.device.grid_sync =
+             static_cast<sim::Nanos>(static_cast<double>(s.device.grid_sync) * f);
+       }},
+      {"link_latency", [](vgpu::MachineSpec& s, double f) {
+         s.link.device_initiated_latency = static_cast<sim::Nanos>(
+             static_cast<double>(s.link.device_initiated_latency) * f);
+         s.link.host_initiated_latency = static_cast<sim::Nanos>(
+             static_cast<double>(s.link.host_initiated_latency) * f);
+       }},
+      {"dram_bw", [](vgpu::MachineSpec& s, double f) {
+         s.device.dram_bw_gbps *= f;
+       }},
+      {"link_bw", [](vgpu::MachineSpec& s, double f) { s.link.bw_gbps *= f; }},
+  };
+
+  std::printf("%-14s %6s | %18s | %10s | %14s | %12s\n", "knob", "scale",
+              "small speedup %", "small wins", "large CF loses",
+              "PERKS wins");
+  int violations = 0;
+  for (const Knob& k : knobs) {
+    for (double f : {0.5, 1.0, 2.0}) {
+      vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(8);
+      k.scale(spec, f);
+      const Claims c = evaluate(spec);
+      std::printf("%-14s %6.1f | %18.1f | %10s | %14s | %12s\n", k.name, f,
+                  c.small_speedup, c.small_wins ? "yes" : "NO",
+                  c.large_cpufree_loses ? "yes" : "NO",
+                  c.large_perks_wins ? "yes" : "NO");
+      if (!c.small_wins || !c.large_cpufree_loses || !c.large_perks_wins) {
+        ++violations;
+      }
+    }
+  }
+  std::printf("\n%s: %d perturbation points violated a headline claim\n",
+              violations == 0 ? "ROBUST" : "SENSITIVE", violations);
+  return 0;
+}

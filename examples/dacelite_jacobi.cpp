@@ -1,0 +1,97 @@
+// Compiler walkthrough: build a distributed Jacobi SDFG the way a DaCe user
+// would, inspect it, apply the CPU-Free porting recipe (GPUTransform ->
+// MPI->NVSHMEM -> NVSHMEMArray -> GPUPersistentKernel), execute BOTH the
+// discrete MPI baseline and the generated CPU-Free program, verify each
+// against the serial reference, and compare.
+//
+//   $ ./dacelite_jacobi [grid ranks iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <variant>
+
+#include "dacelite/exec.hpp"
+#include "sim/stats.hpp"
+#include "dacelite/frontend.hpp"
+#include "dacelite/transforms.hpp"
+#include "hostmpi/comm.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+void describe(const dacelite::Sdfg& sdfg) {
+  std::printf("SDFG '%s': %zu loop states, %zu arrays%s%s\n",
+              sdfg.name.c_str(), sdfg.body.size(), sdfg.arrays.size(),
+              sdfg.gpu ? ", GPU" : "", sdfg.persistent ? ", persistent" : "");
+  for (const auto& [name, desc] : sdfg.arrays) {
+    std::printf("  array %-4s  %8zu elems  storage=%s\n", name.c_str(),
+                desc.size, dacelite::storage_name(desc.storage));
+  }
+  for (std::size_t i = 0; i < sdfg.body.size(); ++i) {
+    const auto& st = sdfg.body[i];
+    int maps = 0, lib = 0;
+    for (const auto& n : st.nodes) {
+      if (std::holds_alternative<dacelite::MapNode>(n)) ++maps;
+      if (std::holds_alternative<dacelite::LibraryNode>(n)) ++lib;
+    }
+    std::printf("  state %zu '%s': %d map(s), %d library node(s)%s\n", i,
+                st.name.c_str(), maps, lib,
+                sdfg.persistent && sdfg.barrier_after[i] ? " + grid barrier"
+                                                         : "");
+  }
+}
+
+bool matches(const std::vector<double>& a, const std::vector<double>& b) {
+  return a == b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t grid = 128;
+  int ranks = 4;
+  int iters = 20;
+  if (argc > 1) grid = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) ranks = std::atoi(argv[2]);
+  if (argc > 3) iters = std::atoi(argv[3]);
+
+  std::printf("=== 1. Frontend: distributed 2D Jacobi with MPI nodes ===\n");
+  auto baseline = dacelite::make_jacobi2d(grid, ranks, iters);
+  dacelite::apply_gpu_transform(baseline.sdfg);
+  describe(baseline.sdfg);
+
+  std::printf("\n=== 2. Execute the discrete (CPU-controlled) baseline ===\n");
+  double baseline_ms = 0.0;
+  {
+    vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+    vshmem::World w(m);
+    hostmpi::Comm comm(m);
+    dacelite::ProgramData data(w, baseline.sdfg, /*functional=*/true);
+    const auto r = dacelite::execute_discrete(m, comm, data, baseline.sdfg,
+                                              dacelite::ExecOptions{});
+    baseline_ms = r.metrics.total_ms();
+    const bool ok = matches(baseline.gather(data), baseline.reference(iters));
+    std::printf("total %.3f ms, non-compute %.0f%%, verified: %s\n",
+                baseline_ms, r.metrics.noncompute_fraction * 100.0,
+                ok ? "bitwise" : "FAILED");
+  }
+
+  std::printf("\n=== 3. Port to CPU-Free (the paper's 6.2.1 recipe) ===\n");
+  auto ported = dacelite::make_jacobi2d(grid, ranks, iters);
+  dacelite::to_cpu_free(ported.sdfg);
+  describe(ported.sdfg);
+
+  std::printf("\n=== 4. Execute the generated persistent CPU-Free program ===\n");
+  {
+    vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+    vshmem::World w(m);
+    dacelite::ProgramData data(w, ported.sdfg, true);
+    const auto r = dacelite::execute_persistent(m, w, data, ported.sdfg,
+                                                dacelite::ExecOptions{});
+    const bool ok = matches(ported.gather(data), ported.reference(iters));
+    std::printf("total %.3f ms, verified: %s\n", r.metrics.total_ms(),
+                ok ? "bitwise" : "FAILED");
+    std::printf("\nimprovement over the MPI baseline: %.1f%%\n",
+                sim::speedup_percent(baseline_ms, r.metrics.total_ms()));
+  }
+  return 0;
+}

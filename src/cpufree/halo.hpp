@@ -1,0 +1,96 @@
+// Halo-exchange plan and iteration-flag protocol (paper §4.1.1, Fig. 4.1).
+//
+// A 1D domain decomposition assigns each PE up to two neighbours (top and
+// bottom; non-periodic at the ends). Each PE owns four symmetric signal
+// variables — a (ready-to-read, consumed) pair per neighbour direction —
+// and synchronizes with the iteration-number semaphore protocol: the sender
+// sets the receiver's flag to the iteration it just produced; the receiver
+// waits until the flag reaches the current iteration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "vgpu/kernel.hpp"
+#include "vshmem/world.hpp"
+
+namespace cpufree {
+
+/// Signal slots per PE (indices into a SignalSet of size 4).
+enum HaloFlag : std::size_t {
+  kTopHaloReady = 0,     // top neighbour produced my top halo for iter t
+  kBottomHaloReady = 1,  // bottom neighbour produced my bottom halo
+  kTopAck = 2,           // top neighbour consumed the values I sent (flow control)
+  kBottomAck = 3,
+};
+
+/// Neighbour topology of a 1D (slab) decomposition.
+struct HaloPlan1D {
+  int pe = 0;
+  int n_pes = 1;
+
+  [[nodiscard]] std::optional<int> top() const {
+    return pe > 0 ? std::optional<int>(pe - 1) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<int> bottom() const {
+    return pe + 1 < n_pes ? std::optional<int>(pe + 1) : std::nullopt;
+  }
+  [[nodiscard]] int neighbor_count() const {
+    return (top() ? 1 : 0) + (bottom() ? 1 : 0);
+  }
+  /// The flag on the NEIGHBOUR that I set when I deliver its halo: my top
+  /// neighbour receives into its bottom side and vice versa.
+  [[nodiscard]] static HaloFlag ready_flag_at_neighbor(bool to_top) {
+    return to_top ? kBottomHaloReady : kTopHaloReady;
+  }
+  /// The flag on MY PE that the neighbour sets when my halo arrived.
+  [[nodiscard]] static HaloFlag my_ready_flag(bool from_top) {
+    return from_top ? kTopHaloReady : kBottomHaloReady;
+  }
+};
+
+/// The iteration-number semaphore protocol over a SignalSet: flags count
+/// iterations; waiting compares against the current iteration (§4.1.1).
+class IterationProtocol {
+ public:
+  IterationProtocol(vshmem::World& world, vshmem::SignalSet& signals)
+      : world_(&world), signals_(&signals) {}
+
+  /// Sender side: deliver `count` elements of `arr` into `dst_pe` and mark
+  /// them as iteration `iter` on the destination's `flag`.
+  template <typename T>
+  sim::Task put_and_signal(vgpu::KernelCtx& ctx, vshmem::Sym<T>& arr,
+                           std::size_t src_off, std::size_t dst_off,
+                           std::size_t count, HaloFlag flag, std::int64_t iter,
+                           int dst_pe) {
+    co_await world_->putmem_signal_nbi(ctx, arr, src_off, dst_off, count,
+                                       *signals_, flag, iter,
+                                       vshmem::SignalOp::kSet, dst_pe);
+  }
+
+  /// Receiver side: wait until `flag` on my PE reaches iteration `iter`.
+  sim::Task wait_iteration(vgpu::KernelCtx& ctx, HaloFlag flag,
+                           std::int64_t iter) {
+    co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
+                                       iter);
+  }
+
+  /// Pure signal without payload (ack / flow-control edges).
+  sim::Task signal_only(vgpu::KernelCtx& ctx, HaloFlag flag, std::int64_t iter,
+                        int dst_pe) {
+    co_await world_->signal_op(ctx, *signals_, flag, iter,
+                               vshmem::SignalOp::kSet, dst_pe);
+  }
+
+  [[nodiscard]] std::int64_t flag_value(int pe, HaloFlag flag) const {
+    return signals_->at(pe, flag).value();
+  }
+
+ private:
+  vshmem::World* world_;
+  vshmem::SignalSet* signals_;
+};
+
+}  // namespace cpufree

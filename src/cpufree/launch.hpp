@@ -1,0 +1,64 @@
+// Multi-GPU persistent cooperative launch (paper §3.1.1).
+//
+// In the CPU-Free model the host's entire job is one cooperative kernel
+// launch per device; everything else (time loop, synchronization,
+// communication) happens on the devices. launch_persistent_all() models
+// exactly that: each per-device host thread pays one launch cost, the
+// persistent kernels run to completion, and the host only returns at the
+// end. Cooperative co-residency limits are enforced per device.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/combinators.hpp"
+#include "sim/task.hpp"
+#include "vgpu/host.hpp"
+#include "vgpu/kernel.hpp"
+#include "vgpu/machine.hpp"
+
+namespace cpufree {
+
+struct PersistentConfig {
+  int threads_per_block = 1024;
+  std::string_view name = "persistent";
+};
+
+/// Block groups for one device's persistent kernel.
+using DeviceGroups = std::vector<vgpu::BlockGroup>;
+
+/// Launches one persistent cooperative kernel per device (device i runs
+/// groups[i]) and runs the machine until every kernel finished. This is the
+/// whole host-side control flow of a CPU-Free application.
+inline void launch_persistent_all(vgpu::Machine& machine,
+                                  std::vector<DeviceGroups> groups,
+                                  PersistentConfig config = {}) {
+  if (static_cast<int>(groups.size()) != machine.num_devices()) {
+    throw std::invalid_argument(
+        "launch_persistent_all: one group set per device required");
+  }
+  // Streams live for the duration of the run (created up front, as a real
+  // application would).
+  std::vector<vgpu::Stream*> streams;
+  streams.reserve(groups.size());
+  for (int d = 0; d < machine.num_devices(); ++d) {
+    streams.push_back(&machine.device(d).create_stream());
+  }
+  auto shared_groups =
+      std::make_shared<std::vector<DeviceGroups>>(std::move(groups));
+  machine.run_host_threads([&machine, &streams, shared_groups,
+                            config](int dev) -> sim::Task {
+    vgpu::HostCtx host(machine, dev);
+    vgpu::LaunchConfig lc;
+    lc.threads_per_block = config.threads_per_block;
+    lc.cooperative = true;
+    lc.name = config.name;
+    DeviceGroups dg = std::move((*shared_groups)[static_cast<std::size_t>(dev)]);
+    CO_AWAIT(host.launch(*streams[static_cast<std::size_t>(dev)], lc,
+                         std::move(dg)));
+    // The CPU is now free: it only synchronizes once at the very end.
+    CO_AWAIT(host.sync_stream(*streams[static_cast<std::size_t>(dev)]));
+  });
+}
+
+}  // namespace cpufree

@@ -1,0 +1,70 @@
+// Run metrics: the quantities the paper's figures report.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace cpufree {
+
+struct RunMetrics {
+  sim::Nanos total = 0;           // end-to-end execution time
+  sim::Nanos per_iteration = 0;   // total / iterations
+  sim::Nanos comm = 0;            // union of communication intervals
+  sim::Nanos compute = 0;         // union of computation intervals
+  sim::Nanos sync = 0;            // union of synchronization intervals
+  sim::Nanos host_api = 0;        // union of host API intervals
+  sim::Nanos comm_hidden = 0;     // comm overlapped by compute
+  double overlap_ratio = 0.0;     // comm_hidden / comm (Fig. 2.2b)
+  double comm_fraction = 0.0;     // comm / total
+  /// Fraction of the run NOT covered by computation — the paper's notion of
+  /// "communication takes X% of the execution time" (host overheads, wire
+  /// time and synchronization all count).
+  double noncompute_fraction = 0.0;
+  /// Fraction of all non-compute activity (comm + sync + host API) that is
+  /// covered by concurrently running computation — the paper's
+  /// "communication overlap ratio" (Fig. 2.2b): time that would not shrink
+  /// the run if removed.
+  double hidden_comm_ratio = 0.0;
+
+  [[nodiscard]] double total_ms() const { return sim::to_msec(total); }
+  [[nodiscard]] double per_iteration_us() const {
+    return sim::to_usec(per_iteration);
+  }
+};
+
+/// Derives metrics from a finished run's trace.
+[[nodiscard]] inline RunMetrics analyze_run(const sim::Trace& trace,
+                                            sim::Nanos total,
+                                            std::int64_t iterations) {
+  RunMetrics m;
+  m.total = total;
+  m.per_iteration = iterations > 0 ? total / iterations : total;
+  m.comm = trace.union_length(sim::Cat::kComm);
+  m.compute = trace.union_length(sim::Cat::kCompute);
+  m.sync = trace.union_length(sim::Cat::kSync);
+  m.host_api = trace.union_length(sim::Cat::kHostApi);
+  m.comm_hidden = trace.overlap_length(sim::Cat::kComm, sim::Cat::kCompute);
+  m.overlap_ratio = trace.overlap_ratio(sim::Cat::kComm, sim::Cat::kCompute);
+  m.comm_fraction =
+      total > 0 ? static_cast<double>(m.comm) / static_cast<double>(total) : 0.0;
+  m.noncompute_fraction =
+      total > 0
+          ? 1.0 - static_cast<double>(m.compute) / static_cast<double>(total)
+          : 0.0;
+  const sim::Nanos noncompute = trace.union_length_any(
+      {sim::Cat::kComm, sim::Cat::kSync, sim::Cat::kHostApi});
+  if (noncompute > 0 && total > 0) {
+    // Covered = compute + noncompute - total (both unions tile the run up to
+    // idle gaps), clamped to [0, noncompute].
+    sim::Nanos covered = m.compute + noncompute - total;
+    if (covered < 0) covered = 0;
+    if (covered > noncompute) covered = noncompute;
+    m.hidden_comm_ratio =
+        static_cast<double>(covered) / static_cast<double>(noncompute);
+  }
+  return m;
+}
+
+}  // namespace cpufree

@@ -1,0 +1,67 @@
+// Thread-block specialization work allocation (paper §4.1.2).
+//
+// A CPU-Free persistent kernel splits its co-resident thread blocks between
+// boundary/communication duty and inner-domain computation, proportionally to
+// the work in each region:
+//
+//   boundary_TB_num = TB_total * boundary_size / (inner_size + 2*boundary_size)
+//   inner_TB_num    = TB_total - 2 * boundary_TB_num
+//
+// Proportional splitting matters for small and unbalanced 3D domains, which
+// would otherwise be bound by boundary computation + communication time.
+#pragma once
+
+#include <stdexcept>
+
+namespace cpufree {
+
+struct TbPartition {
+  /// Blocks assigned to EACH boundary region.
+  int boundary_blocks = 1;
+  /// Blocks assigned to the inner domain.
+  int inner_blocks = 1;
+  /// Number of boundary regions (2 for a 1D decomposition interior rank).
+  int num_boundaries = 2;
+
+  [[nodiscard]] int total() const {
+    return inner_blocks + num_boundaries * boundary_blocks;
+  }
+};
+
+/// Applies the paper's allocation formula. `boundary_size` and `inner_size`
+/// are in work units (e.g. grid points). Every boundary region gets at least
+/// one block, and the inner region keeps at least one block.
+[[nodiscard]] inline TbPartition specialize_blocks(int tb_total,
+                                                   double boundary_size,
+                                                   double inner_size,
+                                                   int num_boundaries = 2) {
+  if (tb_total < num_boundaries + 1) {
+    throw std::invalid_argument(
+        "specialize_blocks: need at least one block per boundary plus one "
+        "inner block");
+  }
+  if (boundary_size < 0 || inner_size < 0 || num_boundaries < 1) {
+    throw std::invalid_argument("specialize_blocks: negative sizes");
+  }
+  const double denom =
+      inner_size + static_cast<double>(num_boundaries) * boundary_size;
+  // Round to nearest: truncation under-provisions boundary blocks on
+  // unbalanced 3D domains (thin z, huge planes), starving the boundary
+  // groups the formula is meant to balance.
+  int boundary = denom > 0.0
+                     ? static_cast<int>(static_cast<double>(tb_total) *
+                                            boundary_size / denom +
+                                        0.5)
+                     : 0;
+  if (boundary < 1) boundary = 1;
+  // Keep at least one inner block.
+  const int max_boundary = (tb_total - 1) / num_boundaries;
+  if (boundary > max_boundary) boundary = max_boundary;
+  TbPartition p;
+  p.boundary_blocks = boundary;
+  p.num_boundaries = num_boundaries;
+  p.inner_blocks = tb_total - num_boundaries * boundary;
+  return p;
+}
+
+}  // namespace cpufree

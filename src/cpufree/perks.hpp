@@ -1,0 +1,76 @@
+// PERKS-style caching and software-tiling model (paper §4.1.3, Fig. 6.1).
+//
+// PERKS (Zhang et al. 2022) keeps a portion of the domain resident in
+// registers and shared memory across the persistent kernel's iterations,
+// removing that portion's DRAM traffic. The paper layers its communication
+// scheme on top of the PERKS single-GPU kernel, treating it as a black box;
+// what the evaluation needs from it is captured here:
+//   * cached_fraction: how much of the per-device domain fits in on-chip
+//     storage -> that much DRAM read traffic disappears each iteration;
+//   * tiling efficiency: a plain cooperative kernel must software-tile large
+//     domains over its co-resident blocks (§4.1.4), losing efficiency that
+//     discrete kernels (hardware-scheduled oversubscription) and PERKS
+//     (optimized in-kernel tiling) retain.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "vgpu/costmodel.hpp"
+
+namespace cpufree {
+
+struct PerksModel {
+  /// Fraction of registers + shared memory actually usable for domain
+  /// caching (the rest holds the working set of the computation itself).
+  double cache_usable_fraction = 0.7;
+  /// Tiling efficiency of the PERKS in-kernel tiler on oversubscribed
+  /// domains (near-optimal by design).
+  double tiling_efficiency = 0.96;
+
+  /// Bytes of the per-device domain that stay on-chip across iterations.
+  [[nodiscard]] double cache_bytes(const vgpu::DeviceSpec& dev) const {
+    const double per_sm = static_cast<double>(dev.shared_mem_per_sm) +
+                          static_cast<double>(dev.register_bytes_per_sm);
+    return cache_usable_fraction * per_sm * dev.sm_count;
+  }
+
+  /// Fraction of `domain_bytes` served from on-chip storage.
+  [[nodiscard]] double cached_fraction(double domain_bytes,
+                                       const vgpu::DeviceSpec& dev) const {
+    if (domain_bytes <= 0.0) return 0.0;
+    return std::min(1.0, cache_bytes(dev) / domain_bytes);
+  }
+
+  /// Multiplier on per-iteration DRAM traffic: cached data skips the read
+  /// side (writes of updated values still stream out at half weight because
+  /// results also stay cached until eviction at kernel end).
+  [[nodiscard]] double traffic_factor(double domain_bytes,
+                                      const vgpu::DeviceSpec& dev) const {
+    const double c = cached_fraction(domain_bytes, dev);
+    return 1.0 - 0.9 * c;  // retain a small streaming residual (halo reads)
+  }
+};
+
+/// Efficiency of software tiling in a *plain* cooperative persistent kernel:
+/// when the domain needs more threads than can be co-resident, each thread
+/// loops over `tiles` points with explicit index arithmetic, costing
+/// throughput relative to hardware-scheduled discrete blocks. Matches the
+/// paper's observation that CPU-Free loses to baselines on the largest
+/// domains (Fig. 6.1 right) while being equal when the domain fits.
+[[nodiscard]] inline double software_tiling_efficiency(double domain_points,
+                                                       int resident_threads) {
+  if (resident_threads <= 0) return 1.0;
+  const double tiles = domain_points / static_cast<double>(resident_threads);
+  if (tiles <= 1.0) return 1.0;
+  // Mild logarithmic degradation, saturating around 0.72 for huge domains.
+  double eff = 1.0;
+  double t = tiles;
+  while (t > 1.0 && eff > 0.72) {
+    eff -= 0.045;
+    t /= 4.0;
+  }
+  return std::max(eff, 0.72);
+}
+
+}  // namespace cpufree

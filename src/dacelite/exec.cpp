@@ -1,0 +1,447 @@
+#include "dacelite/exec.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cpufree/launch.hpp"
+#include "cpufree/perks.hpp"
+#include "dacelite/transforms.hpp"
+#include "vgpu/host.hpp"
+#include "vgpu/kernel.hpp"
+
+namespace dacelite {
+
+namespace {
+
+/// Host (CPU-scheduled) map throughput, GB/s — a CPU core triad bandwidth.
+constexpr double kHostMapBwGbps = 25.0;
+
+int resolve_iterations(const Sdfg& sdfg, const ExecOptions& o) {
+  return o.iterations > 0 ? o.iterations : sdfg.default_iterations;
+}
+
+}  // namespace
+
+ProgramData::ProgramData(vshmem::World& world, const Sdfg& sdfg,
+                         bool functional)
+    : functional_(functional) {
+  world.set_functional(functional);
+  for (const auto& [name, desc] : sdfg.arrays) {
+    const std::size_t n = functional ? desc.size : 1;
+    vshmem::Sym<double> arr = world.alloc<double>(n, name);
+    if (functional && desc.init) {
+      for (int pe = 0; pe < world.n_pes(); ++pe) {
+        auto s = arr.on(pe);
+        for (std::size_t i = 0; i < s.size(); ++i) s[i] = desc.init(pe, i);
+      }
+    }
+    arrays_.emplace(name, std::move(arr));
+  }
+  signals_ = world.alloc_signals(
+      static_cast<std::size_t>(max_signal_index(sdfg)) + 1);
+}
+
+ExecCtx ProgramData::ctx(int rank, int size, int t) {
+  ExecCtx c;
+  c.rank = rank;
+  c.size = size;
+  c.t = t;
+  c.local = [this, rank](const std::string& a) { return local(a, rank); };
+  return c;
+}
+
+int max_signal_index(const Sdfg& sdfg) {
+  int mx = 0;
+  auto do_state = [&mx](const State& st) {
+    for (const Node& n : st.nodes) {
+      if (const auto* lib = std::get_if<LibraryNode>(&n)) {
+        mx = std::max({mx, lib->flag, lib->ack_flag});
+      }
+    }
+  };
+  for (const State& st : sdfg.setup) do_state(st);
+  for (const State& st : sdfg.body) do_state(st);
+  return mx;
+}
+
+// --- Discrete (CPU-controlled, MPI) backend ----------------------------------
+
+namespace {
+
+/// Runs one state on one rank's host thread: discrete kernels for GPU maps,
+/// MPI library nodes with the stream syncs and staging copies the DaCe
+/// baseline generates around them (Fig. 5.1).
+sim::Task run_state_discrete(vgpu::Machine& m, hostmpi::Comm& comm,
+                             ProgramData& data, const State& state,
+                             vgpu::Stream& stream, int rank, int t,
+                             const ExecOptions& opt,
+                             std::vector<hostmpi::Request>& reqs) {
+  vgpu::HostCtx h(m, rank);
+  const int size = m.num_devices();
+  for (const Node& node : state.nodes) {
+    if (const auto* map = std::get_if<MapNode>(&node)) {
+      const double bytes = map->points * map->bytes_per_point;
+      if (map->schedule == Schedule::kGpuDevice) {
+        const int blocks = std::max(
+            1, static_cast<int>(map->points /
+                                static_cast<double>(opt.threads_per_block)) +
+                   1);
+        std::function<void()> fnl;
+        if (data.functional() && map->body) {
+          fnl = [&data, map, rank, size, t] {
+            ExecCtx c = data.ctx(rank, size, t);
+            map->body(c);
+          };
+        }
+        vgpu::LaunchConfig lc;
+        lc.threads_per_block = opt.threads_per_block;
+        lc.name = "map";
+        std::function<sim::Task(vgpu::KernelCtx&)> body =
+            [bytes, fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+          std::function<void()> f = fnl;
+          co_await k.compute(bytes, 1.0, "map", std::move(f));
+        };
+        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body)));
+      } else {
+        // CPU-scheduled map: runs on the host thread.
+        if (data.functional() && map->body) {
+          ExecCtx c = data.ctx(rank, size, t);
+          map->body(c);
+        }
+        co_await h.pay(static_cast<sim::Nanos>(bytes / kHostMapBwGbps),
+                       "cpu_map");
+      }
+    } else if (const auto* tl = std::get_if<Tasklet>(&node)) {
+      if (data.functional() && tl->body) {
+        ExecCtx c = data.ctx(rank, size, t);
+        tl->body(c);
+      }
+      co_await h.api("tasklet");
+    } else if (const auto* lib = std::get_if<LibraryNode>(&node)) {
+      switch (lib->kind) {
+        case LibKind::kMpiIsend: {
+          if (!lib->active(rank, size)) break;
+          const int peer = lib->peer_of(rank, size);
+          // The generated baseline synchronizes the stream and stages data
+          // through a CPU-initiated memcpy before every MPI call (§5.2).
+          CO_AWAIT(h.sync_stream(stream));
+          co_await h.pay(h.costs().memcpy_issue, "staging_memcpy");
+          const hostmpi::Datatype dt =
+              lib->src.contiguous()
+                  ? hostmpi::Datatype::contiguous(8)
+                  : hostmpi::Datatype::vector(lib->src.count, 1,
+                                              lib->src.stride, 8);
+          std::function<void()> deliver;
+          if (data.functional()) {
+            // Eager MPI semantics: snapshot the source NOW (the staging
+            // memcpy above); commit into the receiver at match time.
+            auto staged = std::make_shared<std::vector<double>>(lib->src.count);
+            auto src_span = data.local(lib->array, rank);
+            for (std::size_t i = 0; i < lib->src.count; ++i) {
+              (*staged)[i] = src_span[lib->src.index(i)];
+            }
+            ProgramData* dp = &data;
+            const LibraryNode* libp = lib;
+            deliver = [dp, libp, peer, staged] {
+              auto dst_span = dp->local(libp->array, peer);
+              for (std::size_t i = 0; i < libp->src.count; ++i) {
+                dst_span[libp->dst.index(i)] = (*staged)[i];
+              }
+            };
+          }
+          hostmpi::Request r;
+          const std::size_t send_count = lib->src.contiguous() ? lib->src.count : 1;
+          CO_AWAIT(comm.isend(h, peer, lib->flag, send_count, dt,
+                              std::move(deliver), r));
+          reqs.push_back(r);
+          break;
+        }
+        case LibKind::kMpiIrecv: {
+          if (!lib->active(rank, size)) break;
+          const int peer = lib->peer_of(rank, size);
+          hostmpi::Request r;
+          co_await comm.irecv(h, peer, lib->flag, r);
+          reqs.push_back(r);
+          break;
+        }
+        case LibKind::kMpiWaitall: {
+          std::vector<hostmpi::Request> pending = std::move(reqs);
+          reqs.clear();
+          CO_AWAIT(comm.waitall(h, std::move(pending)));
+          break;
+        }
+        case LibKind::kMpiBarrier: {
+          co_await comm.barrier(h);
+          break;
+        }
+        default:
+          throw ValidationError(
+              "NVSHMEM library node in the discrete (MPI) backend; "
+              "run execute_persistent instead");
+      }
+    }
+    // AccessNodes carry no execution.
+  }
+  // DaCe-generated code synchronizes at state boundaries: host-side control
+  // flow (interstate edges, tasklets, MPI of the next state) must observe
+  // completed GPU work.
+  CO_AWAIT(h.sync_stream(stream));
+}
+
+}  // namespace
+
+ExecResult execute_discrete(vgpu::Machine& machine, hostmpi::Comm& comm,
+                            ProgramData& data, const Sdfg& sdfg,
+                            ExecOptions options) {
+  sdfg.validate();
+  machine.trace().set_enabled(options.trace);
+  const int iters = resolve_iterations(sdfg, options);
+  std::vector<vgpu::Stream*> streams;
+  for (int d = 0; d < machine.num_devices(); ++d) {
+    streams.push_back(&machine.device(d).create_stream());
+  }
+  machine.run_host_threads([&machine, &comm, &data, &sdfg, &streams, &options,
+                            iters](int rank) -> sim::Task {
+    vgpu::HostCtx h(machine, rank);
+    std::vector<hostmpi::Request> reqs;
+    vgpu::Stream& stream = *streams[static_cast<std::size_t>(rank)];
+    for (const State& st : sdfg.setup) {
+      CO_AWAIT(run_state_discrete(machine, comm, data, st, stream, rank, 0,
+                                  options, reqs));
+    }
+    for (int t = 1; t <= iters; ++t) {
+      for (const State& st : sdfg.body) {
+        CO_AWAIT(run_state_discrete(machine, comm, data, st, stream, rank, t,
+                                    options, reqs));
+      }
+    }
+    CO_AWAIT(h.sync_stream(stream));
+  });
+  ExecResult r;
+  r.iterations = iters;
+  r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
+                                   iters);
+  return r;
+}
+
+// --- Persistent (CPU-Free, NVSHMEM) backend ----------------------------------
+
+namespace {
+
+/// Expands one NVSHMEM library node in-kernel per the §5.3.1 selection.
+sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
+                                   const LibraryNode& lib, vgpu::KernelCtx& k,
+                                   int rank, int size, int t,
+                                   const ExecOptions& opt) {
+  if (!lib.active(rank, size)) co_return;
+  switch (lib.kind) {
+    case LibKind::kNvshmemPutmemSignal: {
+      const int peer = lib.peer_of(rank, size);
+      if (lib.ack_flag >= 0) {
+        // Flow control: wait until the receiver consumed the previous
+        // iteration's halo (it publishes "ready for t" at the top of its
+        // exchange state).
+        co_await w.signal_wait_until(k, data.signals(),
+                                     static_cast<std::size_t>(lib.ack_flag),
+                                     sim::Cmp::kGe, t);
+      }
+      const PutExpansion exp = select_expansion(lib.src, lib.dst);
+      vshmem::Sym<double>& arr = data.sym(lib.array);
+      const auto flag = static_cast<std::size_t>(lib.flag);
+      switch (exp) {
+        case PutExpansion::kContiguousSignal:
+          if (opt.mapped_p_expansion) {
+            // Mapped single-element expansion: many threads each issue one
+            // nvshmem_<T>_p; word-granularity stores move at the strided
+            // efficiency of the link. Functionally identical to one put.
+            co_await w.iput(k, arr, lib.src.offset, 1, lib.dst.offset, 1,
+                            lib.src.count, peer);
+            co_await w.quiet(k);
+            co_await w.signal_op(k, data.signals(), flag, t,
+                                 vshmem::SignalOp::kSet, peer);
+          } else if (opt.blocking_puts) {
+            // Ablation: blocking put + separate signal (serializes the
+            // issuing thread on the wire time).
+            co_await w.putmem(k, arr, lib.src.offset, lib.dst.offset,
+                              lib.src.count, peer, vshmem::Scope::kThread);
+            co_await w.signal_op(k, data.signals(), flag, t,
+                                 vshmem::SignalOp::kSet, peer);
+          } else {
+            // Single-thread scheduled nonblocking signaled put (§5.3.2).
+            co_await w.putmem_signal_nbi(k, arr, lib.src.offset,
+                                         lib.dst.offset, lib.src.count,
+                                         data.signals(), flag, t,
+                                         vshmem::SignalOp::kSet, peer,
+                                         vshmem::Scope::kThread);
+          }
+          break;
+        case PutExpansion::kStridedIputSignal:
+          // iput has no combined signal variant: generate the manual
+          // signal_op + quiet pair (§5.3.1).
+          co_await w.iput(k, arr, lib.src.offset, lib.src.stride,
+                          lib.dst.offset, lib.dst.stride, lib.src.count, peer);
+          co_await w.quiet(k);
+          co_await w.signal_op(k, data.signals(), flag, t,
+                               vshmem::SignalOp::kSet, peer);
+          break;
+        case PutExpansion::kSingleElementP: {
+          const double value =
+              data.functional() ? data.local(lib.array, rank)[lib.src.offset]
+                                : 0.0;
+          co_await w.p(k, arr, lib.dst.offset, value, peer);
+          co_await w.quiet(k);
+          co_await w.signal_op(k, data.signals(), flag, t,
+                               vshmem::SignalOp::kSet, peer);
+          break;
+        }
+      }
+      break;
+    }
+    case LibKind::kNvshmemSignalWait:
+      // (The consumption ACK for this stream was published in the state's
+      // pre-pass — see run_device_persistent — so senders are never gated on
+      // OUR sends, which would deadlock.)
+      co_await w.signal_wait_until(k, data.signals(),
+                                   static_cast<std::size_t>(lib.flag),
+                                   sim::Cmp::kGe, t);
+      break;
+    case LibKind::kNvshmemSignalOp:
+      co_await w.signal_op(k, data.signals(),
+                           static_cast<std::size_t>(lib.flag), t,
+                           vshmem::SignalOp::kSet, lib.peer_of(rank, size));
+      break;
+    case LibKind::kNvshmemIput: {
+      vshmem::Sym<double>& arr = data.sym(lib.array);
+      co_await w.iput(k, arr, lib.src.offset, lib.src.stride, lib.dst.offset,
+                      lib.dst.stride, lib.src.count, lib.peer_of(rank, size));
+      break;
+    }
+    case LibKind::kNvshmemP: {
+      vshmem::Sym<double>& arr = data.sym(lib.array);
+      const double value = data.functional()
+                               ? data.local(lib.array, rank)[lib.src.offset]
+                               : 0.0;
+      co_await w.p(k, arr, lib.dst.offset, value, lib.peer_of(rank, size));
+      break;
+    }
+    case LibKind::kNvshmemQuiet:
+      co_await w.quiet(k);
+      break;
+    default:
+      throw ValidationError(
+          "MPI library node in the persistent (CPU-Free) backend; apply "
+          "apply_mpi_to_nvshmem first");
+  }
+}
+
+sim::Task run_device_persistent(vshmem::World& w, ProgramData& data,
+                                const Sdfg& sdfg, vgpu::KernelCtx& k, int rank,
+                                int iters, ExecOptions opt) {
+  const int size = w.n_pes();
+  const int resident_threads = opt.persistent_blocks * opt.threads_per_block;
+  for (int t = 1; t <= iters; ++t) {
+    for (std::size_t si = 0; si < sdfg.body.size(); ++si) {
+      const State& st = sdfg.body[si];
+      // Pre-pass: publish consumption ACKs ("ready for iteration t" — every
+      // read of iteration t-1's halos finished before this state started)
+      // for all receive streams, BEFORE any send can block on a peer's ACK.
+      for (const Node& node : st.nodes) {
+        if (const auto* lib = std::get_if<LibraryNode>(&node)) {
+          if (lib->kind == LibKind::kNvshmemSignalWait && lib->ack_flag >= 0 &&
+              lib->active(rank, size)) {
+            co_await w.signal_op(k, data.signals(),
+                                 static_cast<std::size_t>(lib->ack_flag), t,
+                                 vshmem::SignalOp::kSet,
+                                 lib->peer_of(rank, size));
+          }
+        }
+      }
+      for (const Node& node : st.nodes) {
+        if (const auto* map = std::get_if<MapNode>(&node)) {
+          const double tiling = cpufree::software_tiling_efficiency(
+              map->points, resident_threads);
+          const double bytes = map->points * map->bytes_per_point / tiling;
+          std::function<void()> fnl;
+          if (data.functional() && map->body) {
+            ProgramData* dp = &data;
+            const MapNode* mp = map;
+            fnl = [dp, mp, rank, size, t] {
+              ExecCtx c = dp->ctx(rank, size, t);
+              mp->body(c);
+            };
+          }
+          co_await k.compute(bytes, 1.0, "map", std::move(fnl));
+        } else if (const auto* tl = std::get_if<Tasklet>(&node)) {
+          if (data.functional() && tl->body) {
+            ExecCtx c = data.ctx(rank, size, t);
+            tl->body(c);
+          }
+          co_await k.busy(100, sim::Cat::kCompute, "tasklet");
+        } else if (const auto* lib = std::get_if<LibraryNode>(&node)) {
+          CO_AWAIT(run_comm_node_persistent(w, data, *lib, k, rank, size, t,
+                                            opt));
+        }
+      }
+      // Relaxed barrier placement (§5.1): a grid barrier only on state edges
+      // with a data dependency (or after every state in conservative mode).
+      if (opt.conservative_barriers || sdfg.barrier_after.at(si)) {
+        co_await k.grid_sync();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
+                              ProgramData& data, const Sdfg& sdfg,
+                              ExecOptions options) {
+  sdfg.validate();
+  if (!sdfg.persistent) {
+    throw ValidationError(
+        "execute_persistent requires apply_persistent (GPUPersistentKernel)");
+  }
+  machine.trace().set_enabled(options.trace);
+  const int iters = resolve_iterations(sdfg, options);
+
+  // Setup states run once; they carry initialization only, executed
+  // functionally before the launch.
+  for (const State& st : sdfg.setup) {
+    for (const Node& node : st.nodes) {
+      if (const auto* map = std::get_if<MapNode>(&node)) {
+        if (data.functional() && map->body) {
+          for (int rank = 0; rank < machine.num_devices(); ++rank) {
+            ExecCtx c = data.ctx(rank, machine.num_devices(), 0);
+            map->body(c);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<cpufree::DeviceGroups> groups(
+      static_cast<std::size_t>(machine.num_devices()));
+  for (int rank = 0; rank < machine.num_devices(); ++rank) {
+    vshmem::World* wp = &world;
+    ProgramData* dp = &data;
+    const Sdfg* sp = &sdfg;
+    auto body = [wp, dp, sp, rank, iters,
+                 options](vgpu::KernelCtx& k) -> sim::Task {
+      CO_AWAIT(run_device_persistent(*wp, *dp, *sp, k, rank, iters, options));
+    };
+    groups[static_cast<std::size_t>(rank)].push_back(
+        vgpu::BlockGroup{"sdfg", options.persistent_blocks, std::move(body)});
+  }
+  cpufree::PersistentConfig pc;
+  pc.threads_per_block = options.threads_per_block;
+  pc.name = "dacelite_persistent";
+  cpufree::launch_persistent_all(machine, std::move(groups), pc);
+
+  ExecResult r;
+  r.iterations = iters;
+  r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
+                                   iters);
+  return r;
+}
+
+}  // namespace dacelite

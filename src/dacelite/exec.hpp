@@ -1,0 +1,93 @@
+// SDFG code generation / execution on the virtual multi-GPU node.
+//
+// Two backends mirror the paper's §6.2.2 variants:
+//  * execute_discrete  — the existing DaCe distributed workflow: per
+//    iteration, per state, the host launches discrete kernels for GPU maps
+//    and drives MPI library nodes with stream synchronizations and staging
+//    copies in between (Fig. 5.1).
+//  * execute_persistent — the CPU-Free workflow this work adds: one
+//    cooperative persistent kernel per device; NVSHMEM library nodes expand
+//    in-kernel with the §5.3.1 shape-based specialization, conservatively
+//    scheduled in a single thread followed by a grid barrier (§5.3.2), with
+//    the relaxed state-edge barrier placement computed by apply_persistent.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cpufree/metrics.hpp"
+#include "dacelite/ir.hpp"
+#include "hostmpi/comm.hpp"
+#include "vgpu/machine.hpp"
+#include "vshmem/world.hpp"
+
+namespace dacelite {
+
+struct ExecOptions {
+  int iterations = -1;  // -1: use sdfg.default_iterations
+  bool functional = true;
+  bool trace = true;
+  int threads_per_block = 1024;
+  /// Co-resident blocks per device for the persistent backend.
+  int persistent_blocks = 108;
+  /// Ablation: emit a grid barrier after EVERY state (the conservative
+  /// pre-relaxation behaviour of DaCe's persistent fusion, §5.1) instead of
+  /// only on dependent state edges.
+  bool conservative_barriers = false;
+  /// Ablation: use blocking puts instead of the default nonblocking (nbi)
+  /// expansion (§5.3.2).
+  bool blocking_puts = false;
+  /// Ablation: the "Mapped" specialization of §5.3.2 — contiguous transfers
+  /// expand to single-element nvshmem_<T>_p calls issued by many GPU threads
+  /// inside a Map (word-granularity remote stores, so they cannot saturate
+  /// the link), followed by the manual signal_op + quiet pair.
+  bool mapped_p_expansion = false;
+};
+
+struct ExecResult {
+  cpufree::RunMetrics metrics;
+  int iterations = 0;
+};
+
+/// Per-rank array instances bound to the symmetric heap, plus the signal
+/// variables used by NVSHMEM nodes. In timing-only mode instances are
+/// placeholders and payload copies are skipped (World::set_functional).
+class ProgramData {
+ public:
+  ProgramData(vshmem::World& world, const Sdfg& sdfg, bool functional);
+
+  [[nodiscard]] std::span<double> local(const std::string& array, int rank) {
+    return arrays_.at(array).on(rank);
+  }
+  [[nodiscard]] vshmem::Sym<double>& sym(const std::string& array) {
+    return arrays_.at(array);
+  }
+  [[nodiscard]] vshmem::SignalSet& signals() { return *signals_; }
+  [[nodiscard]] bool functional() const { return functional_; }
+
+  /// ExecCtx for functional node bodies on `rank` at iteration `t`.
+  [[nodiscard]] ExecCtx ctx(int rank, int size, int t);
+
+ private:
+  std::map<std::string, vshmem::Sym<double>> arrays_;
+  std::unique_ptr<vshmem::SignalSet> signals_;
+  bool functional_;
+};
+
+/// Largest signal index used by NVSHMEM nodes (for SignalSet sizing).
+[[nodiscard]] int max_signal_index(const Sdfg& sdfg);
+
+/// Runs the SDFG with the CPU-controlled discrete backend (MPI nodes).
+ExecResult execute_discrete(vgpu::Machine& machine, hostmpi::Comm& comm,
+                            ProgramData& data, const Sdfg& sdfg,
+                            ExecOptions options);
+
+/// Runs the SDFG with the CPU-Free persistent backend (NVSHMEM nodes).
+/// The SDFG must have been GPU-transformed and persistent-transformed.
+ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
+                              ProgramData& data, const Sdfg& sdfg,
+                              ExecOptions options);
+
+}  // namespace dacelite

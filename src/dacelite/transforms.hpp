@@ -1,0 +1,46 @@
+// Pattern-matched SDFG transformations (paper §5.1, §5.3, §6.2.1).
+#pragma once
+
+#include "dacelite/ir.hpp"
+
+namespace dacelite {
+
+/// GPUTransform: schedules every map on the GPU and moves host arrays to
+/// GPU global storage (the port of the CPU benchmarks to CUDA, §6.2.1).
+/// Returns the number of nodes/arrays changed.
+int apply_gpu_transform(Sdfg& sdfg);
+
+/// MapFusion: fuses map pairs A -> (access) -> B within one state when B is
+/// the sole consumer of A's output, both maps have the same domain size and
+/// schedule. Returns the number of fusions performed.
+int apply_map_fusion(State& state);
+int apply_map_fusion(Sdfg& sdfg);
+
+/// GPUPersistentKernel: fuses the time loop into one persistent cooperative
+/// kernel. Requires a GPU-transformed SDFG. Barrier placement uses the
+/// relaxed subgraph-edge rule (§5.1): a grid barrier is emitted between
+/// consecutive loop-body states only when the earlier state writes an array
+/// the later one accesses (wrapping to the next iteration).
+void apply_persistent(Sdfg& sdfg);
+
+/// NVSHMEMArray: sets every array referenced by an NVSHMEM library node to
+/// the GPU_NVSHMEM symmetric storage (§5.3.3). Returns arrays changed.
+int apply_nvshmem_arrays(Sdfg& sdfg);
+
+/// The §6.2.1 porting step as a transformation: Isend -> PutmemSignal
+/// (flag = MPI tag, signal value = loop iteration), Irecv -> SignalWait,
+/// Waitall dropped in favour of the granular flag-based synchronization.
+/// Returns the number of nodes rewritten/removed.
+int apply_mpi_to_nvshmem(Sdfg& sdfg);
+
+/// The compile-time expansion choice for signaled puts (§5.3.1), dispatched
+/// on the memlet subset shapes.
+enum class PutExpansion : std::uint8_t {
+  kContiguousSignal,   // nvshmemx_putmem_signal_nbi(_block)
+  kStridedIputSignal,  // nvshmem_<T>_iput + nvshmem_signal_op + quiet
+  kSingleElementP,     // nvshmem_<T>_p + nvshmem_signal_op + quiet
+};
+
+[[nodiscard]] PutExpansion select_expansion(const Subset& src, const Subset& dst);
+
+}  // namespace dacelite

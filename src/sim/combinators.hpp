@@ -1,0 +1,31 @@
+// Task combinators.
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sim {
+
+namespace detail {
+inline Task run_and_count(Task t, Flag& done) {
+  co_await std::move(t);
+  done.add(1);
+}
+}  // namespace detail
+
+/// Runs all tasks concurrently and resumes once every one has completed.
+/// Exceptions escaping a child surface through Engine::run() (children are
+/// detached as root tasks).
+inline Task when_all(Engine& engine, std::vector<Task> tasks) {
+  Flag done(engine, 0);
+  const auto n = static_cast<std::int64_t>(tasks.size());
+  for (Task& t : tasks) {
+    engine.spawn(detail::run_and_count(std::move(t), done));
+  }
+  co_await done.wait_geq(n);
+}
+
+}  // namespace sim

@@ -1,0 +1,75 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace sim {
+
+std::coroutine_handle<> Task::FinalAwaiter::await_suspend(Handle h) noexcept {
+  auto& p = h.promise();
+  if (p.continuation) {
+    // Awaited subtask: transfer control straight back to the awaiter. The
+    // awaiting coroutine owns the Task object and will destroy the frame.
+    return p.continuation;
+  }
+  if (p.owner != nullptr) {
+    p.owner->on_root_done(h);
+  }
+  return std::noop_coroutine();
+}
+
+Engine::~Engine() {
+  // Destroy still-suspended root frames (e.g. after an exception unwound
+  // run()). Finished frames first, then live ones.
+  reap_finished();
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::schedule(std::coroutine_handle<> h, Nanos delay) {
+  queue_.push(Event{now_ + delay, next_seq_++, h});
+}
+
+void Engine::spawn(Task t) {
+  Task::Handle h = t.release();
+  if (!h) return;
+  h.promise().owner = this;
+  roots_.push_back(h);
+  ++live_roots_;
+  schedule(h, 0);
+}
+
+void Engine::on_root_done(Task::Handle h) {
+  finished_.push_back(h);
+  --live_roots_;
+  if (!error_ && h.promise().exception) {
+    error_ = h.promise().exception;
+  }
+}
+
+void Engine::reap_finished() {
+  for (auto h : finished_) {
+    std::erase(roots_, h);
+    h.destroy();
+  }
+  finished_.clear();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.handle.resume();
+    reap_finished();
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+  if (live_roots_ != 0) {
+    throw DeadlockError(live_roots_);
+  }
+}
+
+}  // namespace sim

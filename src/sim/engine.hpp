@@ -1,0 +1,99 @@
+// Deterministic single-threaded discrete-event engine.
+//
+// The engine owns a priority queue of (time, sequence) ordered resumptions.
+// Sequence numbers break timestamp ties in FIFO order, so simulations are
+// exactly reproducible run-to-run. All simulated concurrency (GPU streams,
+// persistent kernels, host threads, MPI ranks) is expressed as coroutines
+// resumed by this engine.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace sim {
+
+/// Thrown by Engine::run() when the event queue drains while spawned root
+/// tasks are still suspended (e.g. waiting on a flag nobody will ever set).
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::size_t stuck)
+      : std::runtime_error("simulation deadlock: " + std::to_string(stuck) +
+                           " task(s) blocked with an empty event queue"),
+        stuck_tasks(stuck) {}
+  std::size_t stuck_tasks;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+
+  /// Schedules a raw coroutine resumption `delay` ns from now.
+  void schedule(std::coroutine_handle<> h, Nanos delay = 0);
+
+  /// Detaches `t` as a root process; it starts at the current simulated time
+  /// (after already-queued events with the same timestamp).
+  void spawn(Task t);
+
+  /// Awaitable that suspends the caller for `d` simulated nanoseconds.
+  struct DelayAwaiter {
+    Engine& engine;
+    Nanos duration;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { engine.schedule(h, duration); }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] DelayAwaiter delay(Nanos d) { return DelayAwaiter{*this, d}; }
+
+  /// Reschedules the caller at the current time, behind pending same-time
+  /// events. Useful to model "check again after everyone else acted".
+  [[nodiscard]] DelayAwaiter yield() { return delay(0); }
+
+  /// Runs until the event queue is empty. Rethrows the first exception that
+  /// escaped a root task; throws DeadlockError if root tasks remain blocked.
+  void run();
+
+  /// Number of spawned root tasks that have not yet completed.
+  [[nodiscard]] std::size_t live_tasks() const noexcept { return live_roots_; }
+
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  friend struct Task::FinalAwaiter;
+  void on_root_done(Task::Handle h);
+
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Task::Handle> roots_;
+  std::vector<Task::Handle> finished_;
+  std::exception_ptr error_;
+  Trace trace_;
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_roots_ = 0;
+
+  void reap_finished();
+};
+
+}  // namespace sim

@@ -1,0 +1,41 @@
+// Simulated-time representation for the discrete-event engine.
+//
+// All simulated timestamps and durations are integer nanoseconds. Integer
+// time keeps the engine exactly deterministic: two runs of the same program
+// produce identical event orderings, which the test suite relies on.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+/// Nanoseconds; used for both timestamps and durations.
+using Nanos = std::int64_t;
+
+/// Converts microseconds to Nanos, rounding to the nearest nanosecond.
+[[nodiscard]] constexpr Nanos usec(double us) {
+  return static_cast<Nanos>(us * 1e3 + (us >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts milliseconds to Nanos.
+[[nodiscard]] constexpr Nanos msec(double ms) { return usec(ms * 1e3); }
+
+/// Converts seconds to Nanos.
+[[nodiscard]] constexpr Nanos sec(double s) { return usec(s * 1e6); }
+
+/// Converts Nanos to floating-point microseconds (for reporting).
+[[nodiscard]] constexpr double to_usec(Nanos ns) {
+  return static_cast<double>(ns) / 1e3;
+}
+
+/// Converts Nanos to floating-point milliseconds (for reporting).
+[[nodiscard]] constexpr double to_msec(Nanos ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+/// Converts Nanos to floating-point seconds (for reporting).
+[[nodiscard]] constexpr double to_sec(Nanos ns) {
+  return static_cast<double>(ns) / 1e9;
+}
+
+}  // namespace sim

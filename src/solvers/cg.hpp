@@ -1,0 +1,63 @@
+// Multi-GPU Conjugate Gradient on the CPU-Free model.
+//
+// CG is the second iterative application PERKS (Zhang et al. 2022)
+// demonstrates, and a harder test of the execution model than the stencil:
+// besides halo exchanges it needs two GLOBAL dot-product reductions per
+// iteration, and the loop has a data-dependent termination test.
+//
+//  * CPU-Free variant: one persistent kernel per device; halo exchange with
+//    signaled puts (iteration-flag protocol); dot products with a
+//    device-side all-to-all allreduce over symmetric slots; the convergence
+//    decision is taken ON THE DEVICES — the host never sees a residual.
+//  * Baseline variant: the classic CPU-orchestrated CG — one kernel launch
+//    per phase (SpMV, dots, AXPYs), a stream synchronization after every dot
+//    (the host needs the scalar), MPI all-to-all for the reductions, and a
+//    host-side convergence test.
+//
+// The operator is the matrix-free 2D 5-point Laplacian (SPD) with Dirichlet
+// boundaries, decomposed in row slabs like the stencil. Distributed runs are
+// verified bit-for-bit against a serial reference that reproduces the same
+// partial-sum reduction order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpufree/metrics.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace solvers {
+
+struct CgConfig {
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  int max_iterations = 100;
+  /// Stop when rr (squared residual norm) falls below this.
+  double tolerance = 1e-10;
+  bool functional = true;  // false: timing-only (no numerics, no verify)
+  bool trace = true;
+  int threads_per_block = 1024;
+  int persistent_blocks = 108;
+};
+
+struct CgResult {
+  cpufree::RunMetrics metrics;
+  int iterations_run = 0;
+  double final_rr = 0.0;
+  /// rr after every iteration (functional runs only).
+  std::vector<double> rr_history;
+};
+
+/// Serial reference with the same partition-shaped reduction order as a
+/// `ranks`-device distributed run (so distributed results match bitwise).
+[[nodiscard]] CgResult cg_reference(const CgConfig& config, int ranks);
+
+/// CPU-Free persistent-kernel CG.
+[[nodiscard]] CgResult run_cg_cpufree(const vgpu::MachineSpec& spec,
+                                      const CgConfig& config);
+
+/// CPU-controlled baseline CG (discrete kernels, host reductions/sync).
+[[nodiscard]] CgResult run_cg_baseline(const vgpu::MachineSpec& spec,
+                                       const CgConfig& config);
+
+}  // namespace solvers

@@ -1,0 +1,46 @@
+#include "stencil/runner.hpp"
+
+#include <cmath>
+
+#include "stencil/slab.hpp"
+#include "stencil/variants.hpp"
+#include "vshmem/world.hpp"
+
+namespace stencil {
+
+namespace {
+
+template <class P>
+RunOutput run_any(Variant v, const vgpu::MachineSpec& spec, P problem,
+                  StencilConfig config) {
+  vgpu::Machine machine(spec);
+  vshmem::World world(machine);
+  SlabStencil<P> stencil(world, problem, config);
+  RunOutput out;
+  out.result = run_variant(stencil, v);
+  if (config.functional && config.compute_enabled) {
+    const std::vector<double> got = stencil.gather(out.result.final_parity);
+    const std::vector<double> ref = stencil.reference(config.iterations);
+    double err = 0.0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      err = std::max(err, std::abs(got[i] - ref[i]));
+    }
+    out.max_abs_err = err;
+    out.verified = err == 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunOutput run_jacobi2d(Variant v, const vgpu::MachineSpec& spec,
+                       Jacobi2D problem, StencilConfig config) {
+  return run_any(v, spec, problem, config);
+}
+
+RunOutput run_jacobi3d(Variant v, const vgpu::MachineSpec& spec,
+                       Jacobi3D problem, StencilConfig config) {
+  return run_any(v, spec, problem, config);
+}
+
+}  // namespace stencil

@@ -1,0 +1,25 @@
+// Concrete entry points: construct the virtual machine, run one variant of
+// the 2D/3D Jacobi stencil, and (in functional mode) verify the distributed
+// result against the serial reference.
+#pragma once
+
+#include "stencil/config.hpp"
+#include "stencil/problems.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace stencil {
+
+struct RunOutput {
+  StencilResult result;
+  /// Set in functional mode: max |distributed - serial reference|.
+  double max_abs_err = 0.0;
+  bool verified = false;  // functional run matched the reference exactly
+};
+
+[[nodiscard]] RunOutput run_jacobi2d(Variant v, const vgpu::MachineSpec& spec,
+                                     Jacobi2D problem, StencilConfig config);
+
+[[nodiscard]] RunOutput run_jacobi3d(Variant v, const vgpu::MachineSpec& spec,
+                                     Jacobi3D problem, StencilConfig config);
+
+}  // namespace stencil

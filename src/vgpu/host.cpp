@@ -1,0 +1,115 @@
+#include "vgpu/host.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace vgpu {
+
+namespace {
+
+/// Records a kHostApi interval on the host timeline (device -1), lane = the
+/// issuing host thread's device id. `prefix`/`suffix` are concatenated here
+/// so callers never build string temporaries at the co_await site (see the
+/// CO_AWAIT note in sim/task.hpp).
+sim::Task host_busy(Machine& m, int host_lane, sim::Nanos cost,
+                    std::string_view prefix, std::string_view suffix = {}) {
+  const sim::Nanos t0 = m.engine().now();
+  co_await m.engine().delay(cost);
+  std::string label(prefix);
+  label += suffix;
+  m.trace().record(sim::Cat::kHostApi, -1, host_lane, t0, m.engine().now(),
+                   std::move(label));
+}
+
+}  // namespace
+
+sim::Task HostCtx::api(std::string_view name) {
+  return host_busy(*machine_, device_, costs().api_call, name);
+}
+
+sim::Task HostCtx::pay(sim::Nanos cost, std::string_view name) {
+  return host_busy(*machine_, device_, cost, name);
+}
+
+sim::Task HostCtx::launch(Stream& stream, LaunchConfig config,
+                          std::vector<BlockGroup> groups) {
+  co_await host_busy(*machine_, device_, costs().kernel_launch,
+                     "launch:", config.name);
+  auto shared_groups =
+      std::make_shared<std::vector<BlockGroup>>(std::move(groups));
+  Machine* m = machine_;
+  Device* dev = &stream.device();
+  const sim::Nanos start_latency = costs().launch_to_start;
+  const int lane = stream.lane();
+  stream.enqueue([m, dev, lane, start_latency, config, shared_groups]() -> sim::Task {
+    co_await m->engine().delay(start_latency);
+    // shared_groups (and the lambda object itself) live in the stream op's
+    // frame for the duration of this await; the vector is passed as a copy.
+    CO_AWAIT(run_kernel(*m, *dev, lane, config, *shared_groups));
+  });
+}
+
+sim::Task HostCtx::launch_single(Stream& stream, LaunchConfig config, int blocks,
+                                 std::function<sim::Task(KernelCtx&)> fn) {
+  std::vector<BlockGroup> groups;
+  groups.push_back(BlockGroup{config.name, blocks, std::move(fn)});
+  CO_AWAIT(launch(stream, config, std::move(groups)));
+}
+
+sim::Task HostCtx::memcpy_peer_async(Stream& stream, int dst_device,
+                                     int src_device, double bytes,
+                                     std::string_view name,
+                                     std::function<void()> deliver) {
+  co_await host_busy(*machine_, device_, costs().memcpy_issue,
+                     "memcpy_issue:", name);
+  Machine* m = machine_;
+  const int lane = stream.lane();
+  auto shared_deliver = std::make_shared<std::function<void()>>(std::move(deliver));
+  stream.enqueue([m, dst_device, src_device, bytes, lane, name,
+                  shared_deliver]() -> sim::Task {
+    co_await m->transfer(src_device, dst_device, bytes,
+                         TransferKind::kHostInitiated, lane, name,
+                         *shared_deliver);
+  });
+}
+
+sim::Task HostCtx::record_event(Stream& stream, Event& event) {
+  co_await host_busy(*machine_, device_, costs().event_record, "event_record");
+  const std::int64_t ticket = event.issue_record();
+  Event* ev = &event;
+  stream.enqueue([ev, ticket]() -> sim::Task {
+    ev->publish(ticket);
+    co_return;
+  });
+}
+
+sim::Task HostCtx::stream_wait_event(Stream& stream, Event& event) {
+  co_await host_busy(*machine_, device_, costs().stream_wait_event,
+                     "stream_wait_event");
+  const std::int64_t target = event.records();
+  Event* ev = &event;
+  stream.enqueue([ev, target]() -> sim::Task {
+    co_await ev->published().wait_geq(target);
+  });
+}
+
+sim::Task HostCtx::sync_stream(Stream& stream) {
+  const std::int64_t target = stream.enqueued();
+  const sim::Nanos t0 = engine().now();
+  co_await stream.completed().wait_geq(target);
+  co_await engine().delay(costs().stream_sync);
+  machine_->trace().record(sim::Cat::kHostApi, -1, device_, t0, engine().now(),
+                           "stream_sync");
+}
+
+sim::Task HostCtx::sync_event(Event& event) {
+  const std::int64_t target = event.records();
+  const sim::Nanos t0 = engine().now();
+  co_await event.published().wait_geq(target);
+  co_await engine().delay(costs().event_sync);
+  machine_->trace().record(sim::Cat::kHostApi, -1, device_, t0, engine().now(),
+                           "event_sync");
+}
+
+}  // namespace vgpu

@@ -1,0 +1,96 @@
+#include "vgpu/kernel.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/combinators.hpp"
+
+namespace vgpu {
+
+int total_blocks(const std::vector<BlockGroup>& groups) {
+  int n = 0;
+  for (const auto& g : groups) n += g.blocks;
+  return n;
+}
+
+sim::Task KernelCtx::busy(sim::Nanos d, sim::Cat cat, std::string_view name) {
+  const sim::Nanos t0 = now();
+  co_await engine().delay(d);
+  machine_->trace().record(cat, device_id(), lane_ * 16 + group_index_, t0, now(),
+                           std::string(name));
+}
+
+sim::Task KernelCtx::compute(double dram_bytes, double bw_fraction,
+                             std::string_view name, std::function<void()> body) {
+  if (body) body();
+  co_await busy(device_->spec().dram_time(dram_bytes, bw_fraction),
+                sim::Cat::kCompute, name);
+}
+
+sim::Task KernelCtx::grid_sync() {
+  if (grid_barrier_ == nullptr) {
+    throw std::logic_error("grid_sync() in a non-cooperative kernel");
+  }
+  const sim::Nanos t0 = now();
+  co_await grid_barrier_->arrive_and_wait();
+  co_await engine().delay(device_->spec().grid_sync);
+  machine_->trace().record(sim::Cat::kSync, device_id(),
+                           lane_ * 16 + group_index_, t0, now(), "grid_sync");
+}
+
+sim::Task KernelCtx::peer_put(int dst_device, double bytes, std::string_view name,
+                              std::function<void()> deliver) {
+  // `deliver` is a named lvalue here, so the nested co_await carries no
+  // non-trivial prvalue (see CO_AWAIT note in sim/task.hpp).
+  co_await machine_->transfer(device_id(), dst_device, bytes,
+                              TransferKind::kDeviceInitiated,
+                              lane_ * 16 + group_index_, name,
+                              std::move(deliver));
+}
+
+sim::Task KernelCtx::spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
+                               std::string_view name) {
+  const sim::Nanos t0 = now();
+  co_await flag.wait(cmp, rhs);
+  co_await engine().delay(device_->spec().spin_poll);
+  machine_->trace().record(sim::Cat::kSync, device_id(),
+                           lane_ * 16 + group_index_, t0, now(), std::string(name));
+}
+
+namespace {
+
+sim::Task run_group(std::shared_ptr<KernelCtx> ctx,
+                    std::function<sim::Task(KernelCtx&)> fn) {
+  co_await fn(*ctx);
+}
+
+}  // namespace
+
+sim::Task run_kernel(Machine& machine, Device& device, int lane,
+                     LaunchConfig config, std::vector<BlockGroup> groups) {
+  const int blocks = total_blocks(groups);
+  if (config.cooperative) {
+    const int limit = device.spec().max_cooperative_blocks(config.threads_per_block);
+    if (blocks > limit) {
+      throw CooperativeLaunchError(blocks, limit);
+    }
+  }
+  const sim::Nanos t0 = machine.engine().now();
+  auto grid_barrier =
+      config.cooperative
+          ? std::make_unique<sim::Barrier>(machine.engine(), groups.size())
+          : nullptr;
+  std::vector<sim::Task> tasks;
+  tasks.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    auto ctx = std::make_shared<KernelCtx>(machine, device, lane,
+                                           static_cast<int>(i), groups[i].blocks,
+                                           blocks, grid_barrier.get());
+    tasks.push_back(run_group(std::move(ctx), groups[i].fn));
+  }
+  co_await sim::when_all(machine.engine(), std::move(tasks));
+  machine.trace().record(sim::Cat::kKernel, device.id(), lane, t0,
+                         machine.engine().now(), std::string(config.name));
+}
+
+}  // namespace vgpu

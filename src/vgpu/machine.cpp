@@ -1,0 +1,107 @@
+#include "vgpu/machine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "vgpu/stream.hpp"
+
+namespace vgpu {
+
+Stream& Device::create_stream() {
+  const int lane = static_cast<int>(streams_.size());
+  streams_.push_back(std::make_unique<Stream>(*this, lane));
+  return *streams_.back();
+}
+
+Machine::Machine(MachineSpec spec) : spec_(spec) {
+  if (spec_.num_devices <= 0) {
+    throw std::invalid_argument("MachineSpec.num_devices must be positive");
+  }
+  devices_.reserve(static_cast<std::size_t>(spec_.num_devices));
+  for (int i = 0; i < spec_.num_devices; ++i) {
+    devices_.push_back(std::make_unique<Device>(*this, i, spec_.device_spec(i)));
+  }
+  peer_.assign(static_cast<std::size_t>(spec_.num_devices),
+               std::vector<bool>(static_cast<std::size_t>(spec_.num_devices), false));
+  host_barrier_ = std::make_unique<sim::Barrier>(
+      engine_, static_cast<std::size_t>(spec_.num_devices));
+}
+
+Machine::~Machine() = default;
+
+MemBlock& Machine::alloc_block(int device, std::size_t bytes, std::string name) {
+  if (device < 0 || device >= spec_.num_devices) {
+    throw std::out_of_range("alloc_block: bad device " + std::to_string(device));
+  }
+  blocks_.emplace_back(device, bytes, std::move(name));
+  return blocks_.back();
+}
+
+void Machine::enable_peer_access(int src, int dst) {
+  peer_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst)) = true;
+}
+
+void Machine::enable_all_peer_access() {
+  for (int i = 0; i < spec_.num_devices; ++i) {
+    for (int j = 0; j < spec_.num_devices; ++j) {
+      if (i != j) enable_peer_access(i, j);
+    }
+  }
+}
+
+bool Machine::peer_enabled(int src, int dst) const {
+  return peer_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst));
+}
+
+sim::Task Machine::transfer(int src, int dst, double bytes, TransferKind kind,
+                            int lane, std::string_view name,
+                            std::function<void()> deliver, sim::Cat cat) {
+  if (src == dst) {
+    // Local copy: charge DRAM time only (read + write).
+    const sim::Nanos dur = spec_.device.dram_time(2.0 * bytes);
+    const sim::Nanos t0 = engine_.now();
+    co_await engine_.delay(dur);
+    if (deliver) deliver();
+    trace().record(cat, src, lane, t0, engine_.now(), std::string(name));
+    co_return;
+  }
+  if (!peer_enabled(src, dst)) {
+    throw std::logic_error("transfer " + std::to_string(src) + "->" +
+                           std::to_string(dst) + " without peer access (" +
+                           std::string(name) + ")");
+  }
+  const sim::Nanos t0 = engine_.now();
+  const sim::Nanos latency = kind == TransferKind::kDeviceInitiated
+                                 ? spec_.link.device_initiated_latency
+                                 : spec_.link.host_initiated_latency;
+  const sim::Nanos issue = kind == TransferKind::kDeviceInitiated
+                               ? spec_.link.device_put_issue
+                               : 0;
+  // Serialize transfers sharing the directed link: the wire slot begins when
+  // the link is free, not when we asked.
+  sim::Nanos& busy_until = link_busy_until_[{src, dst}];
+  const sim::Nanos wire_start = std::max(t0 + issue, busy_until);
+  const sim::Nanos wire_time = spec_.link.wire_time(bytes);
+  busy_until = wire_start + wire_time;
+  const sim::Nanos done_at = wire_start + wire_time + latency;
+  co_await engine_.delay(done_at - t0);
+  if (deliver) deliver();
+  trace().record(cat, src, lane, t0, engine_.now(), std::string(name));
+}
+
+sim::Task Machine::host_barrier() {
+  const sim::Nanos t0 = engine_.now();
+  co_await host_barrier_->arrive_and_wait();
+  co_await engine_.delay(spec_.host.host_barrier);
+  trace().record(sim::Cat::kSync, -1, 0, t0, engine_.now(), "host_barrier");
+}
+
+void Machine::run_host_threads(
+    const std::function<sim::Task(int device)>& host_program) {
+  for (int d = 0; d < spec_.num_devices; ++d) {
+    engine_.spawn(host_program(d));
+  }
+  engine_.run();
+}
+
+}  // namespace vgpu

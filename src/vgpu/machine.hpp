@@ -1,0 +1,164 @@
+// Virtual multi-GPU node: devices, device memory, and the interconnect.
+//
+// A Machine owns the simulation Engine, a set of Devices, all device memory
+// blocks, and the peer-access matrix. Inter-device transfers are routed
+// through Machine::transfer(), which charges interconnect latency/bandwidth,
+// serializes transfers that share a directed link, and invokes the caller's
+// delivery callback at the simulated instant the payload lands (so functional
+// data movement is ordered exactly like the modeled hardware would order it).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "vgpu/costmodel.hpp"
+#include "vgpu/stream.hpp"
+
+namespace vgpu {
+
+class Machine;
+class Stream;
+
+/// A raw allocation on one device. Data lives in host memory (this is a
+/// simulator), but ownership and access rules follow device semantics.
+class MemBlock {
+ public:
+  MemBlock(int device, std::size_t bytes, std::string name)
+      : device_(device), name_(std::move(name)), data_(bytes) {}
+
+  [[nodiscard]] int device() const noexcept { return device_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return data_.size(); }
+
+  template <typename T>
+  [[nodiscard]] std::span<T> as() {
+    return {reinterpret_cast<T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> as() const {
+    return {reinterpret_cast<const T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+
+ private:
+  int device_;
+  std::string name_;
+  std::vector<std::byte> data_;
+};
+
+/// Typed handle over a MemBlock.
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  explicit DeviceArray(MemBlock* block) : block_(block) {}
+
+  [[nodiscard]] std::span<T> span() { return block_->as<T>(); }
+  [[nodiscard]] std::span<const T> span() const {
+    return const_cast<const MemBlock*>(block_)->as<T>();
+  }
+  [[nodiscard]] std::size_t size() const { return block_->size_bytes() / sizeof(T); }
+  [[nodiscard]] int device() const { return block_->device(); }
+  [[nodiscard]] MemBlock& block() { return *block_; }
+  [[nodiscard]] bool valid() const noexcept { return block_ != nullptr; }
+
+  T& operator[](std::size_t i) { return span()[i]; }
+  const T& operator[](std::size_t i) const { return span()[i]; }
+
+ private:
+  MemBlock* block_ = nullptr;
+};
+
+/// How a transfer is initiated; decides which latency applies.
+enum class TransferKind : std::uint8_t {
+  kHostInitiated,    // cudaMemcpy*Async issued by the host runtime
+  kDeviceInitiated,  // P2P load/store or NVSHMEM put from inside a kernel
+};
+
+class Device {
+ public:
+  Device(Machine& machine, int id, DeviceSpec spec)
+      : machine_(&machine), id_(id), spec_(spec) {}
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] Machine& machine() noexcept { return *machine_; }
+
+  /// Creates a new stream on this device (FIFO op queue, like a CUDA stream).
+  Stream& create_stream();
+
+  [[nodiscard]] std::size_t stream_count() const noexcept { return streams_.size(); }
+
+ private:
+  Machine* machine_;
+  int id_;
+  DeviceSpec spec_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineSpec spec);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const MachineSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int num_devices() const noexcept { return spec_.num_devices; }
+  [[nodiscard]] Device& device(int id) { return *devices_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] sim::Trace& trace() noexcept { return engine_.trace(); }
+
+  /// Allocates `bytes` of device memory on `device`.
+  MemBlock& alloc_block(int device, std::size_t bytes, std::string name);
+
+  template <typename T>
+  DeviceArray<T> alloc_array(int device, std::size_t count, std::string name) {
+    return DeviceArray<T>(&alloc_block(device, count * sizeof(T), std::move(name)));
+  }
+
+  /// Mirrors cudaDeviceEnablePeerAccess: allows direct transfers src -> dst.
+  void enable_peer_access(int src, int dst);
+  void enable_all_peer_access();
+  [[nodiscard]] bool peer_enabled(int src, int dst) const;
+
+  /// Moves `bytes` from `src` to `dst` over the interconnect. Charges the
+  /// initiation latency of `kind`, serializes against other transfers on the
+  /// same directed link, runs `deliver` (functional payload copy) at the
+  /// simulated arrival instant, and records a kComm trace interval on the
+  /// source device. Same-device "transfers" only run the payload and charge
+  /// DRAM time.
+  sim::Task transfer(int src, int dst, double bytes, TransferKind kind, int lane,
+                     std::string_view name, std::function<void()> deliver = {},
+                     sim::Cat cat = sim::Cat::kComm);
+
+  /// Host-side barrier across the per-device host threads (OpenMP/MPI style);
+  /// charges HostApiCosts::host_barrier after the rendezvous.
+  sim::Task host_barrier();
+
+  /// Spawns one host-thread coroutine per device (factory receives the
+  /// device id) and runs the simulation to completion.
+  void run_host_threads(
+      const std::function<sim::Task(int device)>& host_program);
+
+ private:
+  MachineSpec spec_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::deque<MemBlock> blocks_;
+  std::vector<std::vector<bool>> peer_;
+  std::map<std::pair<int, int>, sim::Nanos> link_busy_until_;
+  std::unique_ptr<sim::Barrier> host_barrier_;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,22 @@
+#include "vgpu/stream.hpp"
+
+#include "vgpu/machine.hpp"
+
+namespace vgpu {
+
+Stream::Stream(Device& device, int lane)
+    : device_(&device), lane_(lane), completed_(device.machine().engine(), 0) {}
+
+void Stream::enqueue(OpFn op) {
+  const std::int64_t ticket = enqueued_++;
+  device_->machine().engine().spawn(run_op(this, ticket, std::move(op)));
+}
+
+sim::Task Stream::run_op(Stream* s, std::int64_t ticket, OpFn op) {
+  // FIFO: wait for all previously enqueued ops to have completed.
+  co_await s->completed_.wait_geq(ticket);
+  co_await op();
+  s->completed_.add(1);
+}
+
+}  // namespace vgpu

@@ -1,0 +1,90 @@
+// CUDA-like streams and events on virtual devices.
+//
+// A Stream executes enqueued operations strictly in FIFO order, like a CUDA
+// stream: each op starts only after every previously enqueued op completed.
+// Ops are coroutines, so an op can itself wait on flags (events recorded in
+// other streams, kernel-internal signals) without blocking the engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vgpu {
+
+class Device;
+
+class Stream {
+ public:
+  using OpFn = std::function<sim::Task()>;
+
+  Stream(Device& device, int lane);
+
+  [[nodiscard]] Device& device() noexcept { return *device_; }
+  [[nodiscard]] int lane() const noexcept { return lane_; }
+
+  /// Enqueues `op`; it starts once all previously enqueued ops finished.
+  void enqueue(OpFn op);
+
+  /// Number of ops enqueued so far (monotonic ticket counter).
+  [[nodiscard]] std::int64_t enqueued() const noexcept { return enqueued_; }
+  /// Flag counting completed ops; waiting for `enqueued()` drains the stream.
+  [[nodiscard]] sim::Flag& completed() noexcept { return completed_; }
+
+  [[nodiscard]] bool idle() const noexcept { return completed_.value() == enqueued_; }
+
+ private:
+  static sim::Task run_op(Stream* s, std::int64_t ticket, OpFn op);
+
+  Device* device_;
+  int lane_;
+  std::int64_t enqueued_ = 0;
+  sim::Flag completed_;
+};
+
+/// CUDA-event analogue: a monotonic record counter. Host-side record bumps
+/// the issue count; the enqueued stream op publishes it on completion of all
+/// prior work in that stream. Waiters (host or other streams) wait for the
+/// published count to reach the count issued at wait time.
+class Event {
+ public:
+  explicit Event(sim::Engine& engine) : engine_(&engine), published_(engine, 0) {}
+
+  /// Called by the host when issuing a record; returns the record's ticket.
+  [[nodiscard]] std::int64_t issue_record() noexcept { return ++records_; }
+  /// Ticket of the most recently issued record (0 == never recorded).
+  [[nodiscard]] std::int64_t records() const noexcept { return records_; }
+  [[nodiscard]] sim::Flag& published() noexcept { return published_; }
+
+  /// Called by the stream op when the record completes on the device.
+  void publish(std::int64_t ticket) {
+    timestamp_ = engine_->now();
+    published_.set(ticket);
+  }
+  /// Device timestamp of the most recently published record.
+  [[nodiscard]] sim::Nanos timestamp() const noexcept { return timestamp_; }
+
+  /// cudaEventElapsedTime: milliseconds between two published events.
+  /// Throws if either event was never recorded.
+  [[nodiscard]] static double elapsed_ms(const Event& start, const Event& stop) {
+    if (start.published_.value() == 0 || stop.published_.value() == 0) {
+      throw std::logic_error("elapsed_ms: event not yet published");
+    }
+    return sim::to_msec(stop.timestamp_ - start.timestamp_);
+  }
+
+ private:
+  sim::Engine* engine_;
+  std::int64_t records_ = 0;
+  sim::Flag published_;
+  sim::Nanos timestamp_ = 0;
+};
+
+}  // namespace vgpu

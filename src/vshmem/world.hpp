@@ -1,0 +1,426 @@
+// GPU-initiated PGAS communication library (NVSHMEM-like).
+//
+// Provides the OpenSHMEM-style API family the paper builds on (§3.1.4,
+// §4.1.1, §5.3): symmetric-heap allocation, contiguous puts with attached
+// signals (nvshmemx_putmem_signal_nbi_block), strided element-wise puts
+// (nvshmem_<type>_iput), single-element puts (nvshmem_<type>_p), remote
+// signal updates (nvshmem_signal_op), point-to-point signal waits
+// (nvshmem_signal_wait_until), memory-ordering (quiet/fence) and device-side
+// collectives (barrier_all/sync_all).
+//
+// Semantics preserved from NVSHMEM:
+//  * put_signal delivers the payload to the destination PE's memory *before*
+//    the signal value becomes visible there;
+//  * `_nbi` ops return to the issuing thread after the issue cost only;
+//    completion is guaranteed by quiet();
+//  * block-scoped (`_block`) variants reach full link bandwidth, thread-
+//    scoped variants reach LinkSpec::thread_scoped_efficiency of it;
+//  * symmetric objects exist at the same logical address on every PE.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "vgpu/kernel.hpp"
+#include "vgpu/machine.hpp"
+
+namespace vshmem {
+
+/// How many threads cooperate on a data-movement call; decides the achieved
+/// fraction of link bandwidth.
+enum class Scope : std::uint8_t { kThread, kBlock };
+
+/// Remote signal update operation (NVSHMEM_SIGNAL_SET / NVSHMEM_SIGNAL_ADD).
+enum class SignalOp : std::uint8_t { kSet, kAdd };
+
+/// A symmetric array: one allocation per PE at the same logical offset
+/// (nvshmem_malloc). Index with the PE id to obtain that PE's instance.
+template <typename T>
+class Sym {
+ public:
+  Sym() = default;
+  Sym(std::vector<vgpu::DeviceArray<T>> instances)
+      : instances_(std::move(instances)) {}
+
+  [[nodiscard]] std::span<T> on(int pe) {
+    return instances_.at(static_cast<std::size_t>(pe)).span();
+  }
+  [[nodiscard]] std::span<const T> on(int pe) const {
+    return instances_.at(static_cast<std::size_t>(pe)).span();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return instances_.empty() ? 0 : instances_.front().size();
+  }
+  [[nodiscard]] int n_pes() const { return static_cast<int>(instances_.size()); }
+  [[nodiscard]] bool valid() const noexcept { return !instances_.empty(); }
+
+ private:
+  std::vector<vgpu::DeviceArray<T>> instances_;
+};
+
+/// A symmetric array of signal variables (uint64 semantics), waitable on the
+/// owning PE.
+class SignalSet {
+ public:
+  SignalSet(sim::Engine& engine, int n_pes, std::size_t count) {
+    flags_.resize(static_cast<std::size_t>(n_pes));
+    for (auto& per_pe : flags_) {
+      for (std::size_t i = 0; i < count; ++i) per_pe.emplace_back(engine, 0);
+    }
+  }
+  SignalSet(const SignalSet&) = delete;
+  SignalSet& operator=(const SignalSet&) = delete;
+
+  [[nodiscard]] sim::Flag& at(int pe, std::size_t idx) {
+    return flags_.at(static_cast<std::size_t>(pe)).at(idx);
+  }
+  [[nodiscard]] std::size_t count() const {
+    return flags_.empty() ? 0 : flags_.front().size();
+  }
+
+ private:
+  std::vector<std::deque<sim::Flag>> flags_;
+};
+
+/// The PGAS world: one PE per device (nvshmem_init on an 8-GPU node gives
+/// PEs 0..7). Owns the symmetric heap and the nbi-completion bookkeeping.
+class World {
+ public:
+  explicit World(vgpu::Machine& machine);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] vgpu::Machine& machine() noexcept { return *machine_; }
+  [[nodiscard]] int n_pes() const noexcept { return n_pes_; }
+
+  /// Timing-only switch: when false, data-movement ops charge full costs and
+  /// apply signals, but skip the functional payload copies (so benchmark
+  /// sweeps need not allocate or touch full-size domains). Default true.
+  void set_functional(bool on) noexcept { functional_ = on; }
+  [[nodiscard]] bool functional() const noexcept { return functional_; }
+
+  /// nvshmem_malloc: allocates `count` elements of T on every PE.
+  template <typename T>
+  [[nodiscard]] Sym<T> alloc(std::size_t count, std::string_view name) {
+    std::vector<vgpu::DeviceArray<T>> inst;
+    inst.reserve(static_cast<std::size_t>(n_pes_));
+    for (int pe = 0; pe < n_pes_; ++pe) {
+      inst.push_back(machine_->alloc_array<T>(
+          pe, count, std::string(name) + "@pe" + std::to_string(pe)));
+    }
+    return Sym<T>(std::move(inst));
+  }
+
+  /// Allocates `count` symmetric signal variables.
+  [[nodiscard]] std::unique_ptr<SignalSet> alloc_signals(std::size_t count) {
+    return std::make_unique<SignalSet>(machine_->engine(), n_pes_, count);
+  }
+
+  // --- Contiguous data movement -------------------------------------------
+
+  /// Blocking putmem: copies `count` elements from `src_pe`'s instance of
+  /// `arr` (starting at src_off) into `dst_pe`'s instance (at dst_off).
+  template <typename T>
+  sim::Task putmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                   std::size_t dst_off, std::size_t count, int dst_pe,
+                   Scope scope = Scope::kBlock);
+
+  /// Non-blocking putmem: returns after the issue cost; completion is
+  /// guaranteed only after quiet().
+  template <typename T>
+  sim::Task putmem_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                       std::size_t dst_off, std::size_t count, int dst_pe,
+                       Scope scope = Scope::kBlock);
+
+  /// nvshmemx_putmem_signal_nbi(_block): non-blocking put that updates
+  /// `sig[sig_idx]` at the destination PE *after* the payload is delivered.
+  template <typename T>
+  sim::Task putmem_signal_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
+                              std::size_t src_off, std::size_t dst_off,
+                              std::size_t count, SignalSet& sig,
+                              std::size_t sig_idx, std::int64_t sig_val,
+                              SignalOp op, int dst_pe,
+                              Scope scope = Scope::kBlock);
+
+  // --- Strided / single-element -------------------------------------------
+
+  /// nvshmem_<type>_iput: element-wise strided put (no combined signal
+  /// variant exists in NVSHMEM; pair with signal_op + quiet, §5.3.1).
+  template <typename T>
+  sim::Task iput(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                 std::ptrdiff_t src_stride, std::size_t dst_off,
+                 std::ptrdiff_t dst_stride, std::size_t count, int dst_pe);
+
+  /// nvshmem_<type>_p: single-element put.
+  template <typename T>
+  sim::Task p(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t dst_off, T value,
+              int dst_pe);
+
+  /// nvshmem_getmem: blocking contiguous GET from `src_pe`'s instance into
+  /// the caller's instance. Gets are round trips: request + payload return.
+  template <typename T>
+  sim::Task getmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                   std::size_t dst_off, std::size_t count, int src_pe,
+                   Scope scope = Scope::kBlock);
+
+  /// nvshmem_<type>_iget: strided element-wise GET.
+  template <typename T>
+  sim::Task iget(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                 std::ptrdiff_t src_stride, std::size_t dst_off,
+                 std::ptrdiff_t dst_stride, std::size_t count, int src_pe);
+
+  /// nvshmem_<type>_g: single-element GET; returns the fetched value via
+  /// `out` (0 in timing-only mode).
+  template <typename T>
+  sim::Task g(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+              int src_pe, T& out);
+
+  // --- Signaling ------------------------------------------------------------
+
+  /// nvshmem_signal_op: remote update of a signal variable (no payload).
+  sim::Task signal_op(vgpu::KernelCtx& ctx, SignalSet& sig, std::size_t sig_idx,
+                      std::int64_t value, SignalOp op, int dst_pe);
+
+  /// nvshmem_signal_wait_until on the calling PE's own signal.
+  sim::Task signal_wait_until(vgpu::KernelCtx& ctx, SignalSet& sig,
+                              std::size_t sig_idx, sim::Cmp cmp,
+                              std::int64_t value);
+
+  // --- Ordering and collectives ---------------------------------------------
+
+  /// nvshmem_quiet: waits until every nbi op issued by this PE completed.
+  sim::Task quiet(vgpu::KernelCtx& ctx);
+
+  /// nvshmem_fence: ordering between puts to the same PE. Our interconnect
+  /// delivers same-link transfers in order, so fence costs only issue time.
+  sim::Task fence(vgpu::KernelCtx& ctx);
+
+  /// nvshmem_barrier_all: device-side barrier across all PEs (implies quiet).
+  sim::Task barrier_all(vgpu::KernelCtx& ctx);
+
+  /// nvshmem_sync_all: barrier without completion guarantee for nbi ops.
+  sim::Task sync_all(vgpu::KernelCtx& ctx);
+
+  /// Outstanding (issued but incomplete) nbi ops for a PE; for tests.
+  [[nodiscard]] std::int64_t outstanding_nbi(int pe) const;
+
+ private:
+  struct PeState {
+    std::int64_t issued = 0;
+    std::unique_ptr<sim::Flag> completed;  // counts finished nbi ops
+  };
+
+  /// The wire movement common to all put flavours; completes at delivery.
+  sim::Task do_put(int src_pe, int dst_pe, double bytes, double bw_fraction,
+                   int lane, std::string_view label, std::function<void()> deliver,
+                   sim::Cat cat = sim::Cat::kComm);
+
+  /// Runs `t` detached and bumps the PE's completion counter when done.
+  static sim::Task run_nbi(sim::Task t, sim::Flag& completed);
+
+  void apply_signal(SignalSet& sig, std::size_t idx, std::int64_t value,
+                    SignalOp op, int dst_pe);
+
+  [[nodiscard]] double scope_fraction(Scope s) const {
+    return s == Scope::kBlock ? 1.0
+                              : machine_->spec().link.thread_scoped_efficiency;
+  }
+
+  vgpu::Machine* machine_;
+  int n_pes_;
+  bool functional_ = true;
+  std::vector<PeState> pe_;
+  std::unique_ptr<sim::Barrier> barrier_;  // lazily created for sync_all
+};
+
+// ---- template implementations ----------------------------------------------
+
+template <typename T>
+sim::Task World::putmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                        std::size_t dst_off, std::size_t count, int dst_pe,
+                        Scope scope) {
+  const int src_pe = ctx.device_id();
+  World* self = this;
+  std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
+                                   count]() {
+    if (!self->functional_) return;
+    auto src = arr.on(src_pe).subspan(src_off, count);
+    auto dst = arr.on(dst_pe).subspan(dst_off, count);
+    std::copy(src.begin(), src.end(), dst.begin());
+  };
+  co_await do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
+                  scope_fraction(scope), ctx.lane(), "putmem",
+                  std::move(deliver));
+}
+
+template <typename T>
+sim::Task World::putmem_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
+                            std::size_t src_off, std::size_t dst_off,
+                            std::size_t count, int dst_pe, Scope scope) {
+  const int src_pe = ctx.device_id();
+  World* self = this;
+  std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
+                                   count]() {
+    if (!self->functional_) return;
+    auto src = arr.on(src_pe).subspan(src_off, count);
+    auto dst = arr.on(dst_pe).subspan(dst_off, count);
+    std::copy(src.begin(), src.end(), dst.begin());
+  };
+  PeState& st = pe_.at(static_cast<std::size_t>(src_pe));
+  ++st.issued;
+  sim::Task move = do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
+                          scope_fraction(scope), ctx.lane(), "putmem_nbi",
+                          std::move(deliver));
+  machine_->engine().spawn(run_nbi(std::move(move), *st.completed));
+  // The issuing thread only pays the descriptor cost.
+  co_await machine_->engine().delay(machine_->spec().link.device_put_issue);
+}
+
+template <typename T>
+sim::Task World::putmem_signal_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
+                                   std::size_t src_off, std::size_t dst_off,
+                                   std::size_t count, SignalSet& sig,
+                                   std::size_t sig_idx, std::int64_t sig_val,
+                                   SignalOp op, int dst_pe, Scope scope) {
+  const int src_pe = ctx.device_id();
+  World* self = this;
+  SignalSet* sigp = &sig;
+  std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
+                                   count, sigp, sig_idx, sig_val, op]() {
+    if (self->functional_) {
+      auto src = arr.on(src_pe).subspan(src_off, count);
+      auto dst = arr.on(dst_pe).subspan(dst_off, count);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    // Signal becomes visible only after the payload landed.
+    self->apply_signal(*sigp, sig_idx, sig_val, op, dst_pe);
+  };
+  PeState& st = pe_.at(static_cast<std::size_t>(src_pe));
+  ++st.issued;
+  sim::Task move = do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
+                          scope_fraction(scope), ctx.lane(), "putmem_signal_nbi",
+                          std::move(deliver));
+  machine_->engine().spawn(run_nbi(std::move(move), *st.completed));
+  co_await machine_->engine().delay(machine_->spec().link.device_put_issue);
+}
+
+template <typename T>
+sim::Task World::iput(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                      std::ptrdiff_t src_stride, std::size_t dst_off,
+                      std::ptrdiff_t dst_stride, std::size_t count, int dst_pe) {
+  const int src_pe = ctx.device_id();
+  World* self = this;
+  std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
+                                   src_stride, dst_stride, count]() {
+    if (!self->functional_) return;
+    auto src = arr.on(src_pe);
+    auto dst = arr.on(dst_pe);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto si = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(src_off) +
+          static_cast<std::ptrdiff_t>(i) * src_stride);
+      const auto di = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(dst_off) +
+          static_cast<std::ptrdiff_t>(i) * dst_stride);
+      dst[di] = src[si];
+    }
+  };
+  // Element-wise remote stores: strided efficiency of the link, thread scope.
+  const double frac = machine_->spec().link.strided_efficiency;
+  co_await do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)), frac,
+                  ctx.lane(), "iput", std::move(deliver));
+}
+
+template <typename T>
+sim::Task World::p(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t dst_off,
+                   T value, int dst_pe) {
+  const int src_pe = ctx.device_id();
+  World* self = this;
+  std::function<void()> deliver = [self, &arr, dst_pe, dst_off, value]() {
+    if (!self->functional_) return;
+    arr.on(dst_pe)[dst_off] = value;
+  };
+  const sim::Nanos extra = machine_->spec().link.small_op_overhead;
+  co_await machine_->engine().delay(extra);
+  co_await do_put(src_pe, dst_pe, static_cast<double>(sizeof(T)), 1.0,
+                  ctx.lane(), "p", std::move(deliver));
+}
+
+template <typename T>
+sim::Task World::getmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                        std::size_t dst_off, std::size_t count, int src_pe,
+                        Scope scope) {
+  const int me = ctx.device_id();
+  // Request leg: a small message to the source PE...
+  co_await do_put(me, src_pe, 8.0, 1.0, ctx.lane(), "get_request", {},
+                  sim::Cat::kSync);
+  // ...then the payload travels back.
+  World* self = this;
+  std::function<void()> deliver = [self, &arr, me, src_pe, src_off, dst_off,
+                                   count]() {
+    if (!self->functional()) return;
+    auto src = arr.on(src_pe).subspan(src_off, count);
+    auto dst = arr.on(me).subspan(dst_off, count);
+    std::copy(src.begin(), src.end(), dst.begin());
+  };
+  co_await do_put(src_pe, me, static_cast<double>(count * sizeof(T)),
+                  scope_fraction(scope), ctx.lane(), "getmem",
+                  std::move(deliver));
+}
+
+template <typename T>
+sim::Task World::iget(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                      std::ptrdiff_t src_stride, std::size_t dst_off,
+                      std::ptrdiff_t dst_stride, std::size_t count, int src_pe) {
+  const int me = ctx.device_id();
+  co_await do_put(me, src_pe, 8.0, 1.0, ctx.lane(), "get_request", {},
+                  sim::Cat::kSync);
+  World* self = this;
+  std::function<void()> deliver = [self, &arr, me, src_pe, src_off, dst_off,
+                                   src_stride, dst_stride, count]() {
+    if (!self->functional()) return;
+    auto src = arr.on(src_pe);
+    auto dst = arr.on(me);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto si = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(src_off) +
+          static_cast<std::ptrdiff_t>(i) * src_stride);
+      const auto di = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(dst_off) +
+          static_cast<std::ptrdiff_t>(i) * dst_stride);
+      dst[di] = src[si];
+    }
+  };
+  const double frac = machine_->spec().link.strided_efficiency;
+  co_await do_put(src_pe, me, static_cast<double>(count * sizeof(T)), frac,
+                  ctx.lane(), "iget", std::move(deliver));
+}
+
+template <typename T>
+sim::Task World::g(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
+                   int src_pe, T& out) {
+  const int me = ctx.device_id();
+  const sim::Nanos extra = machine_->spec().link.small_op_overhead;
+  co_await machine_->engine().delay(extra);
+  co_await do_put(me, src_pe, 8.0, 1.0, ctx.lane(), "get_request", {},
+                  sim::Cat::kSync);
+  World* self = this;
+  T* outp = &out;
+  std::function<void()> deliver = [self, &arr, src_pe, src_off, outp]() {
+    *outp = self->functional() ? arr.on(src_pe)[src_off] : T{};
+  };
+  co_await do_put(src_pe, me, static_cast<double>(sizeof(T)), 1.0, ctx.lane(),
+                  "g", std::move(deliver));
+}
+
+}  // namespace vshmem

@@ -1,0 +1,129 @@
+// Tests for the multi-GPU Conjugate Gradient solver: convergence of the
+// serial reference, bitwise agreement of both distributed variants with the
+// partition-shaped reference, device-side convergence decisions, and the
+// CPU-Free performance advantage driven by per-iteration host syncs in the
+// baseline.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "solvers/cg.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace {
+
+using solvers::CgConfig;
+using solvers::CgResult;
+using vgpu::MachineSpec;
+
+CgConfig small_cfg() {
+  CgConfig cfg;
+  cfg.nx = 24;
+  cfg.ny = 24;
+  cfg.max_iterations = 40;
+  cfg.tolerance = 1e-10;
+  cfg.persistent_blocks = 12;
+  return cfg;
+}
+
+TEST(Reference, ResidualTrendsDown) {
+  // CG's residual 2-norm may oscillate locally (only the A-norm of the error
+  // is monotone); assert the overall trend: large decay end-to-end and no
+  // catastrophic regression between consecutive iterations.
+  const CgResult ref = solvers::cg_reference(small_cfg(), 1);
+  ASSERT_GT(ref.rr_history.size(), 3u);
+  EXPECT_LT(ref.rr_history.back(), 1e-6 * ref.rr_history.front());
+  for (std::size_t i = 1; i < ref.rr_history.size(); ++i) {
+    EXPECT_LT(ref.rr_history[i], 100.0 * ref.rr_history[i - 1])
+        << "iteration " << i;
+  }
+}
+
+TEST(Reference, ConvergesWithinBudget) {
+  CgConfig cfg = small_cfg();
+  cfg.max_iterations = 200;
+  cfg.tolerance = 1e-16;
+  const CgResult ref = solvers::cg_reference(cfg, 1);
+  EXPECT_LT(ref.final_rr, 1e-16);
+  EXPECT_LT(ref.iterations_run, 200);
+}
+
+TEST(Reference, PartitionShapeAffectsOnlyRoundoff) {
+  // Different rank counts reorder the reductions; the solutions agree to
+  // near machine precision (CG is stable here) but need not be bitwise.
+  const CgResult a = solvers::cg_reference(small_cfg(), 1);
+  const CgResult b = solvers::cg_reference(small_cfg(), 4);
+  ASSERT_FALSE(a.rr_history.empty());
+  ASSERT_FALSE(b.rr_history.empty());
+  EXPECT_NEAR(a.rr_history[0], b.rr_history[0], 1e-12 * a.rr_history[0]);
+}
+
+class CgVariantSweep : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(CgVariantSweep, MatchesPartitionedReferenceBitwise) {
+  const auto [devices, cpu_free] = GetParam();
+  const CgConfig cfg = small_cfg();
+  const CgResult ref = solvers::cg_reference(cfg, devices);
+  const CgResult got =
+      cpu_free ? solvers::run_cg_cpufree(MachineSpec::hgx_a100(devices), cfg)
+               : solvers::run_cg_baseline(MachineSpec::hgx_a100(devices), cfg);
+  EXPECT_EQ(got.iterations_run, ref.iterations_run);
+  ASSERT_EQ(got.rr_history.size(), ref.rr_history.size());
+  for (std::size_t i = 0; i < ref.rr_history.size(); ++i) {
+    EXPECT_EQ(got.rr_history[i], ref.rr_history[i]) << "iteration " << i + 1;
+  }
+  EXPECT_EQ(got.final_rr, ref.final_rr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, CgVariantSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(false, true)));
+
+TEST(CgConvergence, DeviceSideTerminationStopsEarly) {
+  CgConfig cfg = small_cfg();
+  cfg.max_iterations = 500;
+  cfg.tolerance = 1e-14;
+  const CgResult got = solvers::run_cg_cpufree(MachineSpec::hgx_a100(4), cfg);
+  EXPECT_LT(got.final_rr, 1e-14);
+  EXPECT_LT(got.iterations_run, 500);  // converged, did not run the budget
+}
+
+TEST(CgPerformance, CpuFreeBeatsBaseline) {
+  // Timing-only: the baseline pays 3 kernel launches, 2 stream syncs for the
+  // dot scalars, MPI reductions, and a host barrier per iteration; CPU-Free
+  // pays device-side reductions only.
+  CgConfig cfg;
+  cfg.nx = 512;
+  cfg.ny = 512;
+  cfg.max_iterations = 50;
+  cfg.functional = false;
+  const auto base = solvers::run_cg_baseline(MachineSpec::hgx_a100(8), cfg);
+  const auto free_r = solvers::run_cg_cpufree(MachineSpec::hgx_a100(8), cfg);
+  EXPECT_LT(free_r.metrics.total, base.metrics.total);
+}
+
+TEST(CgProtocol, CorrectUnderTimingSkew) {
+  // Device-side allreduce + halo protocol under heterogeneous devices.
+  const int ranks = 4;
+  vgpu::MachineSpec spec = MachineSpec::hgx_a100(ranks);
+  for (int d = 0; d < ranks; ++d) {
+    vgpu::DeviceSpec ds = spec.device;
+    ds.dram_bw_gbps = spec.device.dram_bw_gbps / (1.0 + d);
+    spec.device_overrides.push_back(ds);
+  }
+  const CgConfig cfg = small_cfg();
+  const CgResult ref = solvers::cg_reference(cfg, ranks);
+  const CgResult got = solvers::run_cg_cpufree(spec, cfg);
+  EXPECT_EQ(got.rr_history, ref.rr_history);
+}
+
+TEST(CgPerformance, DeterministicAcrossRuns) {
+  CgConfig cfg = small_cfg();
+  const auto a = solvers::run_cg_cpufree(MachineSpec::hgx_a100(4), cfg);
+  const auto b = solvers::run_cg_cpufree(MachineSpec::hgx_a100(4), cfg);
+  EXPECT_EQ(a.metrics.total, b.metrics.total);
+  EXPECT_EQ(a.final_rr, b.final_rr);
+}
+
+}  // namespace

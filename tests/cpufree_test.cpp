@@ -1,0 +1,287 @@
+// Unit tests for the CPU-Free core library: thread-block specialization
+// formula, PERKS cache/tiling model, halo plan topology, the iteration-flag
+// protocol, the persistent multi-GPU launcher, and run metrics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cpufree/halo.hpp"
+#include "cpufree/launch.hpp"
+#include "cpufree/metrics.hpp"
+#include "cpufree/partition.hpp"
+#include "cpufree/perks.hpp"
+#include "vgpu/machine.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using cpufree::HaloPlan1D;
+using cpufree::IterationProtocol;
+using cpufree::PerksModel;
+using cpufree::specialize_blocks;
+using cpufree::TbPartition;
+using sim::Nanos;
+using sim::Task;
+using vgpu::BlockGroup;
+using vgpu::KernelCtx;
+using vgpu::Machine;
+using vgpu::MachineSpec;
+
+MachineSpec spec(int devices) {
+  MachineSpec s;
+  s.num_devices = devices;
+  s.device.dram_bw_gbps = 2.0;
+  s.device.dram_efficiency = 1.0;
+  s.device.grid_sync = 5;
+  s.device.spin_poll = 1;
+  s.host = vgpu::HostApiCosts::zero();
+  s.link.bw_gbps = 1.0;
+  s.link.host_initiated_latency = 100;
+  s.link.device_initiated_latency = 50;
+  s.link.device_put_issue = 10;
+  s.link.small_op_overhead = 5;
+  return s;
+}
+
+TEST(TbSpecialization, MatchesPaperFormula) {
+  // TB_total=108, boundary=256 points, inner=63,488 points:
+  // boundary = 108*256/(63488+512) = 0.43 -> clamped to 1.
+  TbPartition p = specialize_blocks(108, 256, 63488);
+  EXPECT_EQ(p.boundary_blocks, 1);
+  EXPECT_EQ(p.inner_blocks, 106);
+  EXPECT_EQ(p.total(), 108);
+
+  // Balanced: boundary as large as a third of the domain.
+  p = specialize_blocks(108, 1000, 1000);
+  // 108*1000/3000 = 36 per boundary, inner 36.
+  EXPECT_EQ(p.boundary_blocks, 36);
+  EXPECT_EQ(p.inner_blocks, 36);
+}
+
+TEST(TbSpecialization, BoundaryNeverStarvesInner) {
+  // Huge boundary share: formula would give boundary > (total-1)/2; clamp.
+  TbPartition p = specialize_blocks(9, 1e9, 1.0);
+  EXPECT_EQ(p.boundary_blocks, 4);
+  EXPECT_EQ(p.inner_blocks, 1);
+  EXPECT_EQ(p.total(), 9);
+}
+
+TEST(TbSpecialization, AtLeastOneBlockPerBoundary) {
+  TbPartition p = specialize_blocks(108, 1.0, 1e9);
+  EXPECT_EQ(p.boundary_blocks, 1);
+}
+
+TEST(TbSpecialization, TooFewBlocksThrows) {
+  EXPECT_THROW(static_cast<void>(specialize_blocks(2, 1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(specialize_blocks(108, -1, 1)),
+               std::invalid_argument);
+}
+
+class TbSweep : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(TbSweep, PartitionInvariants) {
+  const auto [total, boundary, inner] = GetParam();
+  const TbPartition p = specialize_blocks(total, boundary, inner);
+  EXPECT_EQ(p.total(), total);
+  EXPECT_GE(p.boundary_blocks, 1);
+  EXPECT_GE(p.inner_blocks, 1);
+  // Proportionality: boundary share never exceeds formula value + 1 block.
+  const double ideal = total * boundary / (inner + 2 * boundary);
+  EXPECT_LE(p.boundary_blocks, std::max(1.0, ideal) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TbSweep,
+    ::testing::Values(std::tuple{108, 256.0, 65536.0},
+                      std::tuple{108, 8192.0, 67108864.0},
+                      std::tuple{216, 1024.0, 1024.0},
+                      std::tuple{4, 100.0, 100.0},
+                      std::tuple{108, 0.0, 1000.0}));
+
+TEST(Perks, CacheBytesAndFraction) {
+  PerksModel perks;
+  vgpu::DeviceSpec dev = vgpu::DeviceSpec::a100();
+  // (164 KiB + 256 KiB) * 108 SMs * 0.7 ~ 31.1 MB.
+  const double cache = perks.cache_bytes(dev);
+  EXPECT_NEAR(cache, 0.7 * (164.0 * 1024 + 256.0 * 1024) * 108, 1.0);
+  EXPECT_DOUBLE_EQ(perks.cached_fraction(cache / 2, dev), 1.0);
+  EXPECT_NEAR(perks.cached_fraction(cache * 4, dev), 0.25, 1e-12);
+}
+
+TEST(Perks, TrafficFactorShrinksWithCaching) {
+  PerksModel perks;
+  vgpu::DeviceSpec dev = vgpu::DeviceSpec::a100();
+  const double small_domain = perks.cache_bytes(dev);       // fully cached
+  const double big_domain = perks.cache_bytes(dev) * 100;   // barely cached
+  EXPECT_LT(perks.traffic_factor(small_domain, dev),
+            perks.traffic_factor(big_domain, dev));
+  EXPECT_NEAR(perks.traffic_factor(small_domain, dev), 0.1, 1e-12);
+  EXPECT_GT(perks.traffic_factor(big_domain, dev), 0.95);
+}
+
+TEST(Perks, SoftwareTilingEfficiencyDegradesThenSaturates) {
+  const int resident = 108 * 1024;
+  EXPECT_DOUBLE_EQ(cpufree::software_tiling_efficiency(1000, resident), 1.0);
+  const double small = cpufree::software_tiling_efficiency(4.0 * resident, resident);
+  const double large =
+      cpufree::software_tiling_efficiency(1024.0 * resident, resident);
+  EXPECT_LT(small, 1.0);
+  EXPECT_LT(large, small);
+  EXPECT_GE(large, 0.72);
+  // Saturation: even absurd domains never fall below the floor.
+  EXPECT_GE(cpufree::software_tiling_efficiency(1e15, resident), 0.72);
+}
+
+TEST(HaloPlan, TopologyEndsAndInterior) {
+  HaloPlan1D first{0, 4};
+  EXPECT_FALSE(first.top().has_value());
+  EXPECT_EQ(first.bottom(), 1);
+  EXPECT_EQ(first.neighbor_count(), 1);
+
+  HaloPlan1D mid{2, 4};
+  EXPECT_EQ(mid.top(), 1);
+  EXPECT_EQ(mid.bottom(), 3);
+  EXPECT_EQ(mid.neighbor_count(), 2);
+
+  HaloPlan1D last{3, 4};
+  EXPECT_EQ(last.top(), 2);
+  EXPECT_FALSE(last.bottom().has_value());
+
+  HaloPlan1D solo{0, 1};
+  EXPECT_EQ(solo.neighbor_count(), 0);
+}
+
+TEST(HaloPlan, FlagRouting) {
+  // Sending UP lands in the neighbour's BOTTOM slot and vice versa.
+  EXPECT_EQ(HaloPlan1D::ready_flag_at_neighbor(/*to_top=*/true),
+            cpufree::kBottomHaloReady);
+  EXPECT_EQ(HaloPlan1D::ready_flag_at_neighbor(false), cpufree::kTopHaloReady);
+  EXPECT_EQ(HaloPlan1D::my_ready_flag(/*from_top=*/true), cpufree::kTopHaloReady);
+  EXPECT_EQ(HaloPlan1D::my_ready_flag(false), cpufree::kBottomHaloReady);
+}
+
+TEST(IterationProtocol, PairwiseExchangeDeliversEveryIteration) {
+  Machine m(spec(2));
+  vshmem::World w(m);
+  auto sig = w.alloc_signals(4);
+  vshmem::Sym<double> halo = w.alloc<double>(8, "halo");
+  IterationProtocol proto(w, *sig);
+  constexpr int kIters = 5;
+  std::vector<double> received;
+
+  auto pe0 = [&](KernelCtx& k) -> Task {
+    for (int t = 1; t <= kIters; ++t) {
+      halo.on(0)[0] = 100.0 * t;  // produce boundary value of iteration t
+      co_await proto.put_and_signal(k, halo, 0, 4, 1, cpufree::kTopHaloReady,
+                                    t, 1);
+      // Flow control: wait for consumption ack before overwriting.
+      co_await proto.wait_iteration(k, cpufree::kBottomAck, t);
+    }
+  };
+  auto pe1 = [&](KernelCtx& k) -> Task {
+    for (int t = 1; t <= kIters; ++t) {
+      co_await proto.wait_iteration(k, cpufree::kTopHaloReady, t);
+      received.push_back(halo.on(1)[4]);
+      co_await proto.signal_only(k, cpufree::kBottomAck, t, 0);
+    }
+  };
+  std::vector<vgpu::BlockGroup> g0, g1;
+  g0.push_back(BlockGroup{"comm", 1, pe0});
+  g1.push_back(BlockGroup{"comm", 1, pe1});
+  m.engine().spawn(vgpu::run_kernel(m, m.device(0), 0, vgpu::LaunchConfig{},
+                                    std::move(g0)));
+  m.engine().spawn(vgpu::run_kernel(m, m.device(1), 0, vgpu::LaunchConfig{},
+                                    std::move(g1)));
+  m.engine().run();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kIters));
+  for (int t = 1; t <= kIters; ++t) {
+    EXPECT_EQ(received[static_cast<std::size_t>(t - 1)], 100.0 * t);
+  }
+}
+
+TEST(PersistentLaunch, RunsOneKernelPerDeviceWithSingleLaunchCost) {
+  MachineSpec s = spec(3);
+  s.host.kernel_launch = 20;
+  s.host.launch_to_start = 30;
+  s.host.stream_sync = 1;
+  Machine m(s);
+  std::vector<int> iterations_done(3, 0);
+  std::vector<cpufree::DeviceGroups> groups(3);
+  for (int d = 0; d < 3; ++d) {
+    auto body = [&iterations_done, d](KernelCtx& k) -> Task {
+      for (int t = 0; t < 10; ++t) {
+        co_await k.busy(100, sim::Cat::kCompute, "iter");
+        co_await k.grid_sync();
+        ++iterations_done[static_cast<std::size_t>(d)];
+      }
+    };
+    groups[static_cast<std::size_t>(d)].push_back(BlockGroup{"main", 2, body});
+    auto body2 = [](KernelCtx& k) -> Task {
+      for (int t = 0; t < 10; ++t) {
+        co_await k.grid_sync();
+      }
+    };
+    groups[static_cast<std::size_t>(d)].push_back(BlockGroup{"aux", 1, body2});
+  }
+  cpufree::launch_persistent_all(m, std::move(groups));
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(iterations_done[static_cast<std::size_t>(d)], 10);
+  }
+  // Exactly one kernel launch and one final stream_sync per device: the CPU
+  // issues nothing per iteration.
+  int launches = 0;
+  int syncs = 0;
+  for (const auto& iv : m.trace().intervals()) {
+    if (iv.cat != sim::Cat::kHostApi) continue;
+    if (iv.name.starts_with("launch:")) ++launches;
+    if (iv.name == "stream_sync") ++syncs;
+  }
+  EXPECT_EQ(launches, 3);
+  EXPECT_EQ(syncs, 3);
+}
+
+TEST(PersistentLaunch, EnforcesCoResidency) {
+  Machine m(spec(1));
+  const int limit = m.device(0).spec().max_cooperative_blocks(1024);
+  std::vector<cpufree::DeviceGroups> groups(1);
+  groups[0].push_back(BlockGroup{"too_big", limit + 1,
+                                 [](KernelCtx&) -> Task { co_return; }});
+  EXPECT_THROW(cpufree::launch_persistent_all(m, std::move(groups)),
+               vgpu::CooperativeLaunchError);
+}
+
+TEST(PersistentLaunch, WrongGroupCountThrows) {
+  Machine m(spec(2));
+  std::vector<cpufree::DeviceGroups> groups(1);
+  EXPECT_THROW(cpufree::launch_persistent_all(m, std::move(groups)),
+               std::invalid_argument);
+}
+
+TEST(Metrics, AnalyzeRunDerivesRatios) {
+  sim::Trace tr;
+  tr.record(sim::Cat::kComm, 0, 0, 0, 100);
+  tr.record(sim::Cat::kCompute, 0, 1, 50, 300);
+  tr.record(sim::Cat::kSync, 0, 0, 300, 320);
+  tr.record(sim::Cat::kHostApi, -1, 0, 0, 40);
+  const cpufree::RunMetrics m = cpufree::analyze_run(tr, 400, 4);
+  EXPECT_EQ(m.total, 400);
+  EXPECT_EQ(m.per_iteration, 100);
+  EXPECT_EQ(m.comm, 100);
+  EXPECT_EQ(m.sync, 20);
+  EXPECT_EQ(m.host_api, 40);
+  EXPECT_EQ(m.comm_hidden, 50);
+  EXPECT_DOUBLE_EQ(m.overlap_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(m.comm_fraction, 0.25);
+}
+
+TEST(Metrics, ZeroIterationGuard) {
+  sim::Trace tr;
+  const cpufree::RunMetrics m = cpufree::analyze_run(tr, 500, 0);
+  EXPECT_EQ(m.per_iteration, 500);
+  EXPECT_DOUBLE_EQ(m.comm_fraction, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,554 @@
+// Tests for the dacelite mini-compiler: IR validation, transformations
+// (GPUTransform, MapFusion, GPUPersistentKernel with relaxed barriers,
+// NVSHMEMArray storage inference, MPI->NVSHMEM port), expansion selection,
+// and end-to-end execution of the generated programs against serial
+// references in both backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dacelite/exec.hpp"
+#include "dacelite/frontend.hpp"
+#include "dacelite/ir.hpp"
+#include "dacelite/transforms.hpp"
+#include "hostmpi/comm.hpp"
+#include "vgpu/machine.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using dacelite::ArrayDesc;
+using dacelite::ExecOptions;
+using dacelite::LibKind;
+using dacelite::LibraryNode;
+using dacelite::MapNode;
+using dacelite::ProgramData;
+using dacelite::PutExpansion;
+using dacelite::Schedule;
+using dacelite::Sdfg;
+using dacelite::State;
+using dacelite::Storage;
+using dacelite::Subset;
+using dacelite::ValidationError;
+using vgpu::MachineSpec;
+
+MachineSpec hgx(int n) { return MachineSpec::hgx_a100(n); }
+
+// --- IR ----------------------------------------------------------------------
+
+TEST(Ir, ValidateRejectsUnknownArray) {
+  Sdfg s;
+  s.name = "bad";
+  State& st = s.add_body_state("st");
+  MapNode m;
+  m.name = "m";
+  m.reads = {"ghost"};
+  st.add(std::move(m));
+  EXPECT_THROW(s.validate(), ValidationError);
+}
+
+TEST(Ir, ValidateRejectsDuplicateArray) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"A", 8, Storage::kHost, {}});
+  EXPECT_THROW(s.add_array(ArrayDesc{"A", 8, Storage::kHost, {}}),
+               ValidationError);
+}
+
+TEST(Ir, ValidateRejectsMemletOutOfRange) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"A", 8, Storage::kHost, {}});
+  State& st = s.add_body_state("st");
+  st.add(dacelite::AccessNode{"A"});
+  st.connect(0, 5, "A");
+  EXPECT_THROW(s.validate(), ValidationError);
+}
+
+TEST(Ir, NvshmemNodeRequiresSymmetricStorage) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"A", 8, Storage::kGpuGlobal, {}});
+  State& st = s.add_body_state("st");
+  LibraryNode put;
+  put.kind = LibKind::kNvshmemPutmemSignal;
+  put.array = "A";
+  st.add(put);
+  EXPECT_THROW(s.validate(), ValidationError);
+  dacelite::apply_nvshmem_arrays(s);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.arrays.at("A").storage, Storage::kGpuNvshmem);
+}
+
+TEST(Ir, SubsetShapes) {
+  EXPECT_TRUE((Subset{0, 1, 1}).single_element());
+  EXPECT_TRUE((Subset{4, 10, 1}).contiguous());
+  EXPECT_FALSE((Subset{4, 10, 34}).contiguous());
+  EXPECT_TRUE((Subset{4, 1, 34}).contiguous());  // one element is contiguous
+  EXPECT_EQ((Subset{10, 4, 3}).index(2), 16u);
+}
+
+TEST(Ir, ReadWriteSetsIncludeLibraryNodes) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"A", 8, Storage::kHost, {}});
+  State& st = s.add_body_state("st");
+  LibraryNode send;
+  send.kind = LibKind::kMpiIsend;
+  send.array = "A";
+  st.add(send);
+  const auto reads = st.read_set();
+  const auto writes = st.write_set();
+  EXPECT_NE(std::find(reads.begin(), reads.end(), "A"), reads.end());
+  EXPECT_NE(std::find(writes.begin(), writes.end(), "A"), writes.end());
+}
+
+// --- Transformations ----------------------------------------------------------
+
+TEST(Transforms, GpuTransformSchedulesMapsAndMovesArrays) {
+  auto prog = dacelite::make_jacobi1d(64, 4, 3);
+  const int changed = dacelite::apply_gpu_transform(prog.sdfg);
+  EXPECT_GT(changed, 0);
+  EXPECT_TRUE(prog.sdfg.gpu);
+  EXPECT_EQ(prog.sdfg.arrays.at("A").storage, Storage::kGpuGlobal);
+  for (const State& st : prog.sdfg.body) {
+    for (const auto& n : st.nodes) {
+      if (const auto* m = std::get_if<MapNode>(&n)) {
+        EXPECT_EQ(m->schedule, Schedule::kGpuDevice);
+      }
+    }
+  }
+}
+
+TEST(Transforms, MapFusionFusesProducerConsumer) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"A", 8, Storage::kHost, {}});
+  s.add_array(ArrayDesc{"tmp", 8, Storage::kHost, {}});
+  s.add_array(ArrayDesc{"B", 8, Storage::kHost, {}});
+  State& st = s.add_body_state("st");
+  MapNode a;
+  a.name = "a";
+  a.points = 8;
+  a.reads = {"A"};
+  a.writes = {"tmp"};
+  MapNode b;
+  b.name = "b";
+  b.points = 8;
+  b.reads = {"tmp"};
+  b.writes = {"B"};
+  const std::size_t ia = st.add(std::move(a));
+  const std::size_t iacc = st.add(dacelite::AccessNode{"tmp"});
+  const std::size_t ib = st.add(std::move(b));
+  st.connect(ia, iacc, "tmp");
+  st.connect(iacc, ib, "tmp");
+  EXPECT_EQ(dacelite::apply_map_fusion(st), 1);
+  const auto* merged = std::get_if<MapNode>(&st.nodes[ia]);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->name, "a+b");
+  EXPECT_DOUBLE_EQ(merged->bytes_per_point, 32.0);
+  EXPECT_TRUE(st.memlets.empty());
+}
+
+TEST(Transforms, MapFusionRejectsMismatchedDomains) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"tmp", 8, Storage::kHost, {}});
+  State& st = s.add_body_state("st");
+  MapNode a;
+  a.points = 8;
+  a.writes = {"tmp"};
+  MapNode b;
+  b.points = 16;  // different domain
+  b.reads = {"tmp"};
+  const std::size_t ia = st.add(std::move(a));
+  const std::size_t iacc = st.add(dacelite::AccessNode{"tmp"});
+  const std::size_t ib = st.add(std::move(b));
+  st.connect(ia, iacc, "tmp");
+  st.connect(iacc, ib, "tmp");
+  EXPECT_EQ(dacelite::apply_map_fusion(st), 0);
+}
+
+TEST(Transforms, MapFusionRejectsSharedIntermediate) {
+  Sdfg s;
+  s.add_array(ArrayDesc{"tmp", 8, Storage::kHost, {}});
+  State& st = s.add_body_state("st");
+  MapNode a;
+  a.points = 8;
+  a.writes = {"tmp"};
+  MapNode b;
+  b.points = 8;
+  b.reads = {"tmp"};
+  MapNode c;
+  c.points = 8;
+  c.reads = {"tmp"};  // second consumer
+  const std::size_t ia = st.add(std::move(a));
+  const std::size_t iacc = st.add(dacelite::AccessNode{"tmp"});
+  const std::size_t ib = st.add(std::move(b));
+  const std::size_t ic = st.add(std::move(c));
+  st.connect(ia, iacc, "tmp");
+  st.connect(iacc, ib, "tmp");
+  st.connect(iacc, ic, "tmp");
+  EXPECT_EQ(dacelite::apply_map_fusion(st), 0);
+}
+
+TEST(Transforms, PersistentRequiresGpu) {
+  auto prog = dacelite::make_jacobi1d(64, 4, 3);
+  EXPECT_THROW(dacelite::apply_persistent(prog.sdfg), ValidationError);
+}
+
+TEST(Transforms, PersistentBarrierPlacementIsRelaxed) {
+  // Two independent states (disjoint arrays) need no barrier between them;
+  // a dependent edge does.
+  Sdfg s;
+  s.add_array(ArrayDesc{"A", 8, Storage::kHost, {}});
+  s.add_array(ArrayDesc{"B", 8, Storage::kHost, {}});
+  s.add_array(ArrayDesc{"C", 8, Storage::kHost, {}});
+  {
+    State& st = s.add_body_state("writes_A");
+    MapNode m;
+    m.points = 8;
+    m.schedule = Schedule::kGpuDevice;
+    m.writes = {"A"};
+    st.add(std::move(m));
+  }
+  {
+    State& st = s.add_body_state("independent_B");
+    MapNode m;
+    m.points = 8;
+    m.schedule = Schedule::kGpuDevice;
+    m.reads = {"B"};
+    m.writes = {"C"};
+    st.add(std::move(m));
+  }
+  {
+    State& st = s.add_body_state("reads_C");
+    MapNode m;
+    m.points = 8;
+    m.schedule = Schedule::kGpuDevice;
+    m.reads = {"C"};
+    m.writes = {"B"};
+    st.add(std::move(m));
+  }
+  s.gpu = true;
+  dacelite::apply_persistent(s);
+  ASSERT_EQ(s.barrier_after.size(), 3u);
+  // Dependencies: state1 -> state2 on C (needs a barrier after state1) and
+  // state2 -> next iteration's state1 on B (covered by a barrier after
+  // state0, since state0 does not touch B). The edge after state2 carries no
+  // dependency and stays barrier-free — the relaxation in action.
+  EXPECT_TRUE(s.barrier_after[0]);
+  EXPECT_TRUE(s.barrier_after[1]);
+  EXPECT_FALSE(s.barrier_after[2]);
+}
+
+TEST(Transforms, MpiToNvshmemRewritesNodes) {
+  auto prog = dacelite::make_jacobi1d(64, 4, 3);
+  int puts = 0, waits = 0, waitalls = 0;
+  const int changed = dacelite::apply_mpi_to_nvshmem(prog.sdfg);
+  for (const State& st : prog.sdfg.body) {
+    for (const auto& n : st.nodes) {
+      if (const auto* lib = std::get_if<LibraryNode>(&n)) {
+        if (lib->kind == LibKind::kNvshmemPutmemSignal) ++puts;
+        if (lib->kind == LibKind::kNvshmemSignalWait) ++waits;
+        if (lib->kind == LibKind::kMpiWaitall) ++waitalls;
+      }
+    }
+  }
+  EXPECT_EQ(puts, 2);      // Isend -> PutmemSignal
+  EXPECT_EQ(waits, 2);     // Irecv -> SignalWait
+  EXPECT_EQ(waitalls, 0);  // dropped
+  EXPECT_EQ(changed, 5);
+}
+
+TEST(Transforms, ExpansionSelection) {
+  using dacelite::select_expansion;
+  EXPECT_EQ(select_expansion(Subset{0, 1, 1}, Subset{9, 1, 1}),
+            PutExpansion::kSingleElementP);
+  EXPECT_EQ(select_expansion(Subset{0, 64, 1}, Subset{9, 64, 1}),
+            PutExpansion::kContiguousSignal);
+  EXPECT_EQ(select_expansion(Subset{0, 64, 34}, Subset{9, 64, 34}),
+            PutExpansion::kStridedIputSignal);
+  // Mixed: strided on either side forces the iput path.
+  EXPECT_EQ(select_expansion(Subset{0, 64, 1}, Subset{9, 64, 34}),
+            PutExpansion::kStridedIputSignal);
+}
+
+TEST(Transforms, ToCpuFreeRecipeProducesValidPersistentSdfg) {
+  auto prog = dacelite::make_jacobi2d(24, 4, 3);
+  dacelite::to_cpu_free(prog.sdfg);
+  EXPECT_TRUE(prog.sdfg.gpu);
+  EXPECT_TRUE(prog.sdfg.persistent);
+  EXPECT_EQ(prog.sdfg.arrays.at("A").storage, Storage::kGpuNvshmem);
+  EXPECT_NO_THROW(prog.sdfg.validate());
+}
+
+TEST(Frontend, GridDims) {
+  EXPECT_EQ(dacelite::grid_dims(1), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(dacelite::grid_dims(2), (std::pair<int, int>{1, 2}));  // rectangular
+  EXPECT_EQ(dacelite::grid_dims(4), (std::pair<int, int>{2, 2}));
+  EXPECT_EQ(dacelite::grid_dims(8), (std::pair<int, int>{2, 4}));  // rectangular
+  EXPECT_EQ(dacelite::grid_dims(6), (std::pair<int, int>{2, 3}));
+}
+
+// --- End-to-end: generated code matches serial references --------------------
+
+class Jacobi1dEndToEnd : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Jacobi1dEndToEnd, DiscreteMatchesReference) {
+  const auto [ranks, iters] = GetParam();
+  auto prog = dacelite::make_jacobi1d(48, ranks, iters);
+  dacelite::apply_gpu_transform(prog.sdfg);
+  vgpu::Machine m(hgx(ranks));
+  vshmem::World w(m);
+  hostmpi::Comm comm(m);
+  ProgramData data(w, prog.sdfg, /*functional=*/true);
+  dacelite::execute_discrete(m, comm, data, prog.sdfg, ExecOptions{});
+  EXPECT_EQ(prog.gather(data), prog.reference(iters));
+}
+
+TEST_P(Jacobi1dEndToEnd, PersistentCpuFreeMatchesReference) {
+  const auto [ranks, iters] = GetParam();
+  auto prog = dacelite::make_jacobi1d(48, ranks, iters);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(hgx(ranks));
+  vshmem::World w(m);
+  ProgramData data(w, prog.sdfg, /*functional=*/true);
+  dacelite::execute_persistent(m, w, data, prog.sdfg, ExecOptions{});
+  EXPECT_EQ(prog.gather(data), prog.reference(iters));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, Jacobi1dEndToEnd,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8), ::testing::Values(1, 5)));
+
+class Jacobi2dEndToEnd : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Jacobi2dEndToEnd, DiscreteMatchesReference) {
+  const auto [ranks, iters] = GetParam();
+  auto prog = dacelite::make_jacobi2d(24, ranks, iters);
+  dacelite::apply_gpu_transform(prog.sdfg);
+  vgpu::Machine m(hgx(ranks));
+  vshmem::World w(m);
+  hostmpi::Comm comm(m);
+  ProgramData data(w, prog.sdfg, true);
+  dacelite::execute_discrete(m, comm, data, prog.sdfg, ExecOptions{});
+  EXPECT_EQ(prog.gather(data), prog.reference(iters));
+}
+
+TEST_P(Jacobi2dEndToEnd, PersistentCpuFreeMatchesReference) {
+  const auto [ranks, iters] = GetParam();
+  auto prog = dacelite::make_jacobi2d(24, ranks, iters);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(hgx(ranks));
+  vshmem::World w(m);
+  ProgramData data(w, prog.sdfg, true);
+  dacelite::execute_persistent(m, w, data, prog.sdfg, ExecOptions{});
+  EXPECT_EQ(prog.gather(data), prog.reference(iters));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, Jacobi2dEndToEnd,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8), ::testing::Values(1, 4)));
+
+// Functional check of MapFusion: a two-stage pipeline (tmp = 2A; B = tmp+1)
+// computes the same result before and after fusion, and the fused program
+// launches half the kernels.
+TEST(Transforms, MapFusionPreservesSemanticsAndSavesLaunches) {
+  auto build = [] {
+    Sdfg s;
+    s.name = "pipeline";
+    s.default_iterations = 3;
+    auto init = [](int, std::size_t i) { return static_cast<double>(i); };
+    s.add_array(ArrayDesc{"A", 8, Storage::kHost, init});
+    s.add_array(ArrayDesc{"tmp", 8, Storage::kHost, {}});
+    s.add_array(ArrayDesc{"B", 8, Storage::kHost, {}});
+    State& st = s.add_body_state("stage");
+    MapNode a;
+    a.name = "double";
+    a.points = 8;
+    a.reads = {"A"};
+    a.writes = {"tmp"};
+    a.body = [](dacelite::ExecCtx& c) {
+      auto in = c.local("A");
+      auto out = c.local("tmp");
+      for (std::size_t i = 0; i < 8; ++i) out[i] = 2.0 * in[i];
+    };
+    MapNode b;
+    b.name = "inc";
+    b.points = 8;
+    b.reads = {"tmp"};
+    b.writes = {"B"};
+    b.body = [](dacelite::ExecCtx& c) {
+      auto in = c.local("tmp");
+      auto out = c.local("B");
+      for (std::size_t i = 0; i < 8; ++i) out[i] = in[i] + 1.0;
+    };
+    const std::size_t ia = st.add(std::move(a));
+    const std::size_t iacc = st.add(dacelite::AccessNode{"tmp"});
+    const std::size_t ib = st.add(std::move(b));
+    st.connect(ia, iacc, "tmp");
+    st.connect(iacc, ib, "tmp");
+    return s;
+  };
+
+  auto run = [](Sdfg& s) {
+    dacelite::apply_gpu_transform(s);
+    vgpu::Machine m(hgx(1));
+    vshmem::World w(m);
+    hostmpi::Comm comm(m);
+    ProgramData data(w, s, true);
+    dacelite::execute_discrete(m, comm, data, s, ExecOptions{});
+    std::vector<double> out(data.local("B", 0).begin(),
+                            data.local("B", 0).end());
+    int map_launches = 0;
+    for (const auto& iv : m.trace().intervals()) {
+      if (iv.cat == sim::Cat::kKernel) ++map_launches;
+    }
+    return std::pair<std::vector<double>, int>(out, map_launches);
+  };
+
+  Sdfg unfused = build();
+  Sdfg fused = build();
+  EXPECT_EQ(dacelite::apply_map_fusion(fused), 1);
+  const auto [out_a, launches_a] = run(unfused);
+  const auto [out_b, launches_b] = run(fused);
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_EQ(out_a[3], 7.0);  // 2*3 + 1
+  EXPECT_EQ(launches_b, launches_a / 2);
+}
+
+// Setup states run once before the loop; tasklets execute on the host path.
+TEST(Exec, SetupStateAndTaskletRunOnce) {
+  Sdfg s;
+  s.name = "with_setup";
+  s.default_iterations = 4;
+  s.add_array(ArrayDesc{"A", 4, Storage::kHost, {}});
+  int setup_runs = 0;
+  int tasklet_runs = 0;
+  {
+    State& st = s.add_setup_state("init");
+    MapNode m;
+    m.name = "fill";
+    m.points = 4;
+    m.writes = {"A"};
+    m.body = [&setup_runs](dacelite::ExecCtx& c) {
+      ++setup_runs;
+      auto a = c.local("A");
+      for (std::size_t i = 0; i < 4; ++i) a[i] = 5.0;
+    };
+    st.add(std::move(m));
+  }
+  {
+    State& st = s.add_body_state("step");
+    dacelite::Tasklet tl;
+    tl.name = "bump";
+    tl.reads = {"A"};
+    tl.writes = {"A"};
+    tl.body = [&tasklet_runs](dacelite::ExecCtx& c) {
+      ++tasklet_runs;
+      c.local("A")[0] += 1.0;
+    };
+    st.add(std::move(tl));
+  }
+  dacelite::apply_gpu_transform(s);
+  vgpu::Machine m(hgx(1));
+  vshmem::World w(m);
+  hostmpi::Comm comm(m);
+  ProgramData data(w, s, true);
+  dacelite::execute_discrete(m, comm, data, s, ExecOptions{});
+  EXPECT_EQ(setup_runs, 1);
+  EXPECT_EQ(tasklet_runs, 4);
+  EXPECT_EQ(data.local("A", 0)[0], 9.0);  // 5 + 4 increments
+}
+
+// --- Backend misuse guards ----------------------------------------------------
+
+TEST(Exec, PersistentBackendRejectsNonPersistentSdfg) {
+  auto prog = dacelite::make_jacobi1d(16, 2, 1);
+  dacelite::apply_gpu_transform(prog.sdfg);
+  vgpu::Machine m(hgx(2));
+  vshmem::World w(m);
+  ProgramData data(w, prog.sdfg, true);
+  EXPECT_THROW(
+      dacelite::execute_persistent(m, w, data, prog.sdfg, ExecOptions{}),
+      ValidationError);
+}
+
+TEST(Exec, DiscreteBackendRejectsNvshmemNodes) {
+  auto prog = dacelite::make_jacobi1d(16, 2, 1);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(hgx(2));
+  vshmem::World w(m);
+  hostmpi::Comm comm(m);
+  ProgramData data(w, prog.sdfg, true);
+  EXPECT_THROW(
+      dacelite::execute_discrete(m, comm, data, prog.sdfg, ExecOptions{}),
+      ValidationError);
+}
+
+// --- Performance shape (Fig. 6.3) ---------------------------------------------
+
+TEST(Shape, CpuFreeGeneratedCodeBeatsMpiBaseline) {
+  const int ranks = 8;
+  const int iters = 20;
+  ExecOptions opt;
+  opt.functional = false;
+
+  auto base = dacelite::make_jacobi2d(1024, ranks, iters);
+  dacelite::apply_gpu_transform(base.sdfg);
+  vgpu::Machine mb(hgx(ranks));
+  vshmem::World wb(mb);
+  hostmpi::Comm comm(mb);
+  ProgramData db(wb, base.sdfg, false);
+  const auto rb = dacelite::execute_discrete(mb, comm, db, base.sdfg, opt);
+
+  auto free_prog = dacelite::make_jacobi2d(1024, ranks, iters);
+  dacelite::to_cpu_free(free_prog.sdfg);
+  vgpu::Machine mf(hgx(ranks));
+  vshmem::World wf(mf);
+  ProgramData df(wf, free_prog.sdfg, false);
+  const auto rf =
+      dacelite::execute_persistent(mf, wf, df, free_prog.sdfg, opt);
+
+  EXPECT_LT(rf.metrics.total, rb.metrics.total);
+  // Fig. 6.3b: the baseline is dominated by communication — in the paper's
+  // accounting, everything that is not computation (host API calls, staging,
+  // MPI waits, wire time).
+  EXPECT_GT(rb.metrics.noncompute_fraction, 0.9);
+}
+
+// The generated persistent program's flag protocol must stay bitwise-correct
+// when devices run at wildly different speeds (up to ranks-x DRAM skew).
+class DaceSkewSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DaceSkewSweep, PersistentProtocolCorrectUnderTimingSkew) {
+  const int ranks = GetParam();
+  vgpu::MachineSpec spec = hgx(ranks);
+  for (int d = 0; d < ranks; ++d) {
+    vgpu::DeviceSpec ds = spec.device;
+    ds.dram_bw_gbps = spec.device.dram_bw_gbps / (1.0 + d);
+    ds.grid_sync = spec.device.grid_sync * (d + 1);
+    spec.device_overrides.push_back(ds);
+  }
+  auto prog = dacelite::make_jacobi2d(24, ranks, 6);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(spec);
+  vshmem::World w(m);
+  ProgramData data(w, prog.sdfg, true);
+  dacelite::execute_persistent(m, w, data, prog.sdfg, ExecOptions{});
+  EXPECT_EQ(prog.gather(data), prog.reference(6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Skew, DaceSkewSweep, ::testing::Values(2, 4, 8));
+
+TEST(Determinism, GeneratedProgramsAreReproducible) {
+  auto run_once = [] {
+    auto prog = dacelite::make_jacobi2d(24, 4, 3);
+    dacelite::to_cpu_free(prog.sdfg);
+    vgpu::Machine m(hgx(4));
+    vshmem::World w(m);
+    ProgramData data(w, prog.sdfg, true);
+    const auto r =
+        dacelite::execute_persistent(m, w, data, prog.sdfg, ExecOptions{});
+    return r.metrics.total;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Regression tests for the GCC 12 coroutine argument-temporary bug and the
+// CO_AWAIT workaround (see the note in sim/task.hpp).
+//
+// GCC 12.2 mis-destroys non-trivially-destructible prvalue arguments of a
+// co_awaited coroutine call when the awaited coroutine itself awaits further
+// tasks (invalid free on frame teardown). These tests pin the safe idioms
+// used throughout this codebase:
+//   * CO_AWAIT(...) — bind the task to a named local before awaiting;
+//   * named lvalues / std::move(lvalue) arguments;
+//   * trivially-destructible parameter types (string_view instead of string).
+// If a future compiler changes behaviour, these still pass (they assert
+// correct results, not the bug).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/combinators.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct Config {
+  int threads = 1024;
+  bool coop = false;
+  std::string_view name = "kernel";  // trivially destructible by design
+};
+
+Task leaf(Engine& eng, std::string label, std::vector<int>& sink) {
+  co_await eng.delay(5);
+  sink.push_back(static_cast<int>(label.size()));
+}
+
+Task middle(Engine& eng, Config cfg, std::vector<int>& sink) {
+  std::string label = std::string(cfg.name) + ":phase";
+  CO_AWAIT(leaf(eng, std::move(label), sink));
+  co_await eng.delay(cfg.threads);
+}
+
+Task outer(Engine& eng, std::vector<int>& sink) {
+  // Braced aggregate prvalue is safe here because Config is trivially
+  // destructible (string_view member).
+  CO_AWAIT(middle(eng, Config{.name = "stencil"}, sink));
+  Config named{.threads = 7, .name = "named"};
+  CO_AWAIT(middle(eng, named, sink));
+}
+
+TEST(GccBugRegression, NestedAwaitsWithStringsViaCoAwaitMacro) {
+  Engine eng;
+  std::vector<int> sink;
+  eng.spawn(outer(eng, sink));
+  eng.run();
+  // "stencil:phase" = 13 chars, "named:phase" = 11.
+  EXPECT_EQ(sink, (std::vector<int>{13, 11}));
+  EXPECT_EQ(eng.now(), 5 + 1024 + 5 + 7);
+}
+
+Task take_function(Engine& eng, std::function<Task(Engine&)> fn, int reps) {
+  for (int i = 0; i < reps; ++i) {
+    Task t = fn(eng);
+    co_await std::move(t);
+  }
+}
+
+TEST(GccBugRegression, FunctionObjectsMovedThroughNamedLocals) {
+  Engine eng;
+  int count = 0;
+  eng.spawn([](Engine& e, int& c) -> Task {
+    std::function<Task(Engine&)> fn = [](Engine& ee) -> Task {
+      co_await ee.delay(3);
+    };
+    auto counted = [&c, fn](Engine& ee) -> Task {
+      co_await ee.delay(1);
+      ++c;
+    };
+    std::function<Task(Engine&)> wrapped = counted;
+    CO_AWAIT(take_function(e, std::move(wrapped), 4));
+  }(eng, count));
+  eng.run();
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(eng.now(), 4);
+}
+
+Task deep(Engine& eng, int depth, std::string tag, int& leaves) {
+  if (depth == 0) {
+    co_await eng.delay(1);
+    ++leaves;
+    co_return;
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::string child_tag = tag + "." + std::to_string(i);
+    CO_AWAIT(deep(eng, depth - 1, std::move(child_tag), leaves));
+  }
+}
+
+TEST(GccBugRegression, DeepRecursionWithHeapStrings) {
+  Engine eng;
+  int leaves = 0;
+  std::string root = "a-sufficiently-long-root-tag-that-defeats-sso-0123456789";
+  eng.spawn(deep(eng, 6, std::move(root), leaves));
+  eng.run();
+  EXPECT_EQ(leaves, 64);
+}
+
+TEST(GccBugRegression, CoAwaitMacroInsideLoopBody) {
+  Engine eng;
+  std::vector<int> sink;
+  eng.spawn([](Engine& e, std::vector<int>& out) -> Task {
+    for (int i = 0; i < 8; ++i) {
+      std::string label(static_cast<std::size_t>(i + 20), 'x');  // heap string
+      CO_AWAIT(leaf(e, std::move(label), out));
+    }
+  }(eng, sink));
+  eng.run();
+  ASSERT_EQ(sink.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i + 20);
+}
+
+}  // namespace

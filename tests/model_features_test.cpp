@@ -1,0 +1,285 @@
+// Tests for the cost-model and metrics features added during calibration:
+// group bandwidth shares, multi-category trace unions, the hidden-comm
+// metric, stencil ablation knobs (TB policy, put scope), dacelite execution
+// knobs (blocking puts, conservative barriers), host-staged vector
+// datatypes, and rectangular DaCe 2D domains.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cpufree/metrics.hpp"
+#include "dacelite/exec.hpp"
+#include "dacelite/frontend.hpp"
+#include "hostmpi/comm.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+#include "vgpu/costmodel.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using stencil::StencilConfig;
+using stencil::TbPolicy;
+using stencil::Variant;
+using vgpu::DeviceSpec;
+using vgpu::MachineSpec;
+
+TEST(BwShare, ProportionalForLargeGroupsFloorForSmall) {
+  DeviceSpec d;
+  d.per_block_bw_fraction = 0.03;
+  // 54 of 108 blocks: proportional 0.5 > standalone 1.62 -> capped... the
+  // standalone bound also caps at 1.0; max picks the larger then clamps.
+  EXPECT_DOUBLE_EQ(d.bw_share(54, 108), 1.0);  // 54*0.03 = 1.62 -> clamp
+  EXPECT_DOUBLE_EQ(d.bw_share(1, 108), 0.03);  // floor beats 1/108
+  EXPECT_DOUBLE_EQ(d.bw_share(108, 108), 1.0);
+  EXPECT_DOUBLE_EQ(d.bw_share(0, 108), 1.0);   // degenerate: whole device
+  d.per_block_bw_fraction = 0.001;
+  EXPECT_DOUBLE_EQ(d.bw_share(27, 108), 0.25);  // proportional wins
+}
+
+TEST(TraceUnions, MultiCategoryMergesAcrossKinds) {
+  sim::Trace tr;
+  tr.record(sim::Cat::kComm, 0, 0, 0, 100);
+  tr.record(sim::Cat::kSync, 0, 1, 50, 150);   // overlaps comm
+  tr.record(sim::Cat::kHostApi, -1, 0, 200, 250);
+  EXPECT_EQ(tr.union_length_any({sim::Cat::kComm, sim::Cat::kSync,
+                                 sim::Cat::kHostApi}),
+            200);
+  EXPECT_EQ(tr.union_length_any({sim::Cat::kComm}), 100);
+  EXPECT_EQ(tr.union_length_any({sim::Cat::kCompute}), 0);
+}
+
+TEST(Metrics, HiddenCommRatioCoversOverlap) {
+  // Run [0, 100]: compute [0, 80], comm [60, 100]: non-compute union 40,
+  // covered by compute = 80 + 40 - 100 = 20 -> ratio 0.5.
+  sim::Trace tr;
+  tr.record(sim::Cat::kCompute, 0, 0, 0, 80);
+  tr.record(sim::Cat::kComm, 0, 1, 60, 100);
+  const auto m = cpufree::analyze_run(tr, 100, 1);
+  EXPECT_DOUBLE_EQ(m.hidden_comm_ratio, 0.5);
+}
+
+TEST(Metrics, HiddenCommRatioZeroWhenSerialized) {
+  sim::Trace tr;
+  tr.record(sim::Cat::kCompute, 0, 0, 0, 50);
+  tr.record(sim::Cat::kComm, 0, 1, 50, 100);
+  const auto m = cpufree::analyze_run(tr, 100, 1);
+  EXPECT_DOUBLE_EQ(m.hidden_comm_ratio, 0.0);
+}
+
+TEST(Metrics, HiddenCommRatioFullWhenContained) {
+  sim::Trace tr;
+  tr.record(sim::Cat::kCompute, 0, 0, 0, 100);
+  tr.record(sim::Cat::kComm, 0, 1, 20, 60);
+  const auto m = cpufree::analyze_run(tr, 100, 1);
+  EXPECT_DOUBLE_EQ(m.hidden_comm_ratio, 1.0);
+}
+
+// TB policy knob: all policies stay functionally correct; the proportional
+// formula is at least as fast as the single-block policy on an unbalanced 3D
+// domain (the §4.1.2 claim).
+TEST(Knobs, TbPolicyCorrectAndProportionalWinsWhenUnbalanced) {
+  stencil::Jacobi3D prob;
+  prob.nx = 12;
+  prob.ny = 10;
+  prob.nz = 8;
+  for (TbPolicy policy :
+       {TbPolicy::kProportional, TbPolicy::kSingleBlock, TbPolicy::kEqualSplit}) {
+    StencilConfig cfg;
+    cfg.iterations = 4;
+    cfg.persistent_blocks = 12;
+    cfg.tb_policy = policy;
+    const auto out = stencil::run_jacobi3d(Variant::kCpuFree,
+                                           MachineSpec::hgx_a100(2), prob, cfg);
+    EXPECT_TRUE(out.verified);
+  }
+
+  stencil::Jacobi3D big;
+  big.nx = 512;
+  big.ny = 256;
+  big.nz = 32;
+  StencilConfig cfg;
+  cfg.iterations = 20;
+  cfg.functional = false;
+  cfg.persistent_blocks = 108;
+  cfg.tb_policy = TbPolicy::kProportional;
+  const auto prop = stencil::run_jacobi3d(Variant::kCpuFree,
+                                          MachineSpec::hgx_a100(4), big, cfg)
+                        .result.metrics.total;
+  cfg.tb_policy = TbPolicy::kSingleBlock;
+  const auto single = stencil::run_jacobi3d(Variant::kCpuFree,
+                                            MachineSpec::hgx_a100(4), big, cfg)
+                          .result.metrics.total;
+  EXPECT_LE(prop, single);
+}
+
+TEST(Knobs, ThreadScopedPutsSlowerButCorrect) {
+  stencil::Jacobi2D prob;
+  prob.nx = 24;
+  prob.ny = 24;
+  StencilConfig cfg;
+  cfg.iterations = 4;
+  cfg.persistent_blocks = 12;
+  cfg.comm_scope = vshmem::Scope::kThread;
+  const auto out =
+      stencil::run_jacobi2d(Variant::kCpuFree, MachineSpec::hgx_a100(2), prob, cfg);
+  EXPECT_TRUE(out.verified);
+
+  stencil::Jacobi2D big;
+  big.nx = 4096;
+  big.ny = 4096;
+  StencilConfig bcfg;
+  bcfg.iterations = 10;
+  bcfg.functional = false;
+  bcfg.persistent_blocks = 108;
+  bcfg.comm_scope = vshmem::Scope::kBlock;
+  const auto block_t = stencil::run_jacobi2d(Variant::kCpuFree,
+                                             MachineSpec::hgx_a100(4), big, bcfg)
+                           .result.metrics.comm;
+  bcfg.comm_scope = vshmem::Scope::kThread;
+  const auto thread_t = stencil::run_jacobi2d(Variant::kCpuFree,
+                                              MachineSpec::hgx_a100(4), big, bcfg)
+                            .result.metrics.comm;
+  EXPECT_GT(thread_t, block_t);
+}
+
+TEST(Knobs, DaceliteBlockingPutsSlowerButCorrect) {
+  auto run = [](bool blocking) {
+    auto prog = dacelite::make_jacobi2d(24, 4, 4);
+    dacelite::to_cpu_free(prog.sdfg);
+    vgpu::Machine m(MachineSpec::hgx_a100(4));
+    vshmem::World w(m);
+    dacelite::ProgramData data(w, prog.sdfg, true);
+    dacelite::ExecOptions opt;
+    opt.blocking_puts = blocking;
+    const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+    const bool ok = prog.gather(data) == prog.reference(4);
+    return std::pair<bool, sim::Nanos>(ok, r.metrics.total);
+  };
+  const auto [ok_nbi, t_nbi] = run(false);
+  const auto [ok_blk, t_blk] = run(true);
+  EXPECT_TRUE(ok_nbi);
+  EXPECT_TRUE(ok_blk);
+  EXPECT_GE(t_blk, t_nbi);
+}
+
+TEST(Knobs, ConservativeBarriersSlowerButCorrect) {
+  auto run = [](bool conservative) {
+    auto prog = dacelite::make_jacobi1d(48, 4, 5);
+    dacelite::to_cpu_free(prog.sdfg);
+    vgpu::Machine m(MachineSpec::hgx_a100(4));
+    vshmem::World w(m);
+    dacelite::ProgramData data(w, prog.sdfg, true);
+    dacelite::ExecOptions opt;
+    opt.conservative_barriers = conservative;
+    const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+    const bool ok = prog.gather(data) == prog.reference(5);
+    return std::pair<bool, sim::Nanos>(ok, r.metrics.total);
+  };
+  const auto [ok_rel, t_rel] = run(false);
+  const auto [ok_con, t_con] = run(true);
+  EXPECT_TRUE(ok_rel);
+  EXPECT_TRUE(ok_con);
+  EXPECT_GE(t_con, t_rel);
+}
+
+TEST(Knobs, MappedPExpansionCorrectButSlowerForContiguous) {
+  // §5.3.2: the Mapped specialization expands contiguous transfers to
+  // per-element p calls from many threads — correct, but word-granularity
+  // stores cannot saturate the link.
+  auto run = [](bool mapped) {
+    auto prog = dacelite::make_jacobi2d(24, 4, 4);
+    dacelite::to_cpu_free(prog.sdfg);
+    vgpu::Machine m(MachineSpec::hgx_a100(4));
+    vshmem::World w(m);
+    dacelite::ProgramData data(w, prog.sdfg, true);
+    dacelite::ExecOptions opt;
+    opt.mapped_p_expansion = mapped;
+    const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+    const bool ok = prog.gather(data) == prog.reference(4);
+    return std::pair<bool, sim::Nanos>(ok, r.metrics.total);
+  };
+  const auto [ok_put, t_put] = run(false);
+  const auto [ok_map, t_map] = run(true);
+  EXPECT_TRUE(ok_put);
+  EXPECT_TRUE(ok_map);
+  EXPECT_GT(t_map, t_put);
+}
+
+TEST(Rectangular, DaceJacobi2dRectangularDomainsVerify) {
+  // 48 x 24 on 8 ranks (2x4 grid): lnx = 24, lny = 6.
+  auto prog = dacelite::make_jacobi2d(48, 24, 8, 3);
+  EXPECT_EQ(prog.lnx, 24u);
+  EXPECT_EQ(prog.lny, 6u);
+  dacelite::to_cpu_free(prog.sdfg);
+  vgpu::Machine m(MachineSpec::hgx_a100(8));
+  vshmem::World w(m);
+  dacelite::ProgramData data(w, prog.sdfg, true);
+  dacelite::execute_persistent(m, w, data, prog.sdfg, dacelite::ExecOptions{});
+  EXPECT_EQ(prog.gather(data), prog.reference(3));
+}
+
+TEST(Rectangular, IndivisibleDomainThrows) {
+  EXPECT_THROW(static_cast<void>(dacelite::make_jacobi2d(25, 24, 8, 1)),
+               std::invalid_argument);
+}
+
+TEST(HostStaging, StridedSendsSlowerThanContiguousOfSameSize) {
+  // End-to-end through the MPI layer with HGX defaults.
+  auto run = [](hostmpi::Datatype dt, std::size_t count) {
+    vgpu::Machine m(MachineSpec::hgx_a100(2));
+    hostmpi::Comm comm(m);
+    sim::Nanos done = -1;
+    m.run_host_threads([&](int dev) -> sim::Task {
+      vgpu::HostCtx h(m, dev);
+      if (dev == 0) {
+        std::function<void()> none;
+        CO_AWAIT(comm.send(h, 1, 0, count, dt, std::move(none)));
+      } else {
+        co_await comm.recv(h, 0, 0);
+        done = m.engine().now();
+      }
+    });
+    return done;
+  };
+  const auto contiguous = run(hostmpi::Datatype::contiguous(8), 1024);
+  const auto strided = run(hostmpi::Datatype::vector(1024, 1, 4096, 8), 1);
+  EXPECT_GT(strided, 4 * contiguous);
+}
+
+// The §6.2.2 expansion paths exercised end-to-end: 1D single-element (p),
+// 2D strided (iput) — both already verified bitwise elsewhere; here we check
+// the trace actually contains those operations.
+TEST(Expansions, TraceShowsSelectedOperations) {
+  {
+    auto prog = dacelite::make_jacobi1d(32, 2, 2);
+    dacelite::to_cpu_free(prog.sdfg);
+    vgpu::Machine m(MachineSpec::hgx_a100(2));
+    vshmem::World w(m);
+    dacelite::ProgramData data(w, prog.sdfg, true);
+    dacelite::execute_persistent(m, w, data, prog.sdfg, dacelite::ExecOptions{});
+    bool saw_p = false;
+    for (const auto& iv : m.trace().intervals()) {
+      if (iv.name == "p") saw_p = true;
+    }
+    EXPECT_TRUE(saw_p) << "1D single-element exchange must use nvshmem p";
+  }
+  {
+    auto prog = dacelite::make_jacobi2d(16, 4, 2);
+    dacelite::to_cpu_free(prog.sdfg);
+    vgpu::Machine m(MachineSpec::hgx_a100(4));
+    vshmem::World w(m);
+    dacelite::ProgramData data(w, prog.sdfg, true);
+    dacelite::execute_persistent(m, w, data, prog.sdfg, dacelite::ExecOptions{});
+    bool saw_iput = false;
+    bool saw_contig = false;
+    for (const auto& iv : m.trace().intervals()) {
+      if (iv.name == "iput") saw_iput = true;
+      if (iv.name == "putmem_signal_nbi") saw_contig = true;
+    }
+    EXPECT_TRUE(saw_iput) << "2D east/west exchange must use strided iput";
+    EXPECT_TRUE(saw_contig) << "2D north/south exchange must use putmem_signal";
+  }
+}
+
+}  // namespace
