@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_1_weak2d.dir/fig6_1_weak2d.cpp.o"
+  "CMakeFiles/fig6_1_weak2d.dir/fig6_1_weak2d.cpp.o.d"
+  "fig6_1_weak2d"
+  "fig6_1_weak2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_1_weak2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_1_weak2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2_jacobi3d.dir/fig6_2_jacobi3d.cpp.o"
+  "CMakeFiles/fig6_2_jacobi3d.dir/fig6_2_jacobi3d.cpp.o.d"
+  "fig6_2_jacobi3d"
+  "fig6_2_jacobi3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2_jacobi3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_dace.dir/fig6_3_dace.cpp.o"
+  "CMakeFiles/fig6_3_dace.dir/fig6_3_dace.cpp.o.d"
+  "fig6_3_dace"
+  "fig6_3_dace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_dace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sensitivity.cpp" "bench/CMakeFiles/sensitivity.dir/sensitivity.cpp.o" "gcc" "bench/CMakeFiles/sensitivity.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stencil/CMakeFiles/stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/dacelite/CMakeFiles/dacelite.dir/DependInfo.cmake"
+  "/root/repo/build/src/vshmem/CMakeFiles/vshmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostmpi/CMakeFiles/hostmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

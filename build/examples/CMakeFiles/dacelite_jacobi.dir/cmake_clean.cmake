@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacelite_jacobi.dir/dacelite_jacobi.cpp.o"
+  "CMakeFiles/dacelite_jacobi.dir/dacelite_jacobi.cpp.o.d"
+  "dacelite_jacobi"
+  "dacelite_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacelite_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi2d_cpufree.dir/jacobi2d_cpufree.cpp.o"
+  "CMakeFiles/jacobi2d_cpufree.dir/jacobi2d_cpufree.cpp.o.d"
+  "jacobi2d_cpufree"
+  "jacobi2d_cpufree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi2d_cpufree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jacobi2d_cpufree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi3d_strong.dir/jacobi3d_strong.cpp.o"
+  "CMakeFiles/jacobi3d_strong.dir/jacobi3d_strong.cpp.o.d"
+  "jacobi3d_strong"
+  "jacobi3d_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi3d_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jacobi3d_strong.
+# This may be replaced when dependencies are built.

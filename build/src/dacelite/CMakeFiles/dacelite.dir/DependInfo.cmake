@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dacelite/exec.cpp" "src/dacelite/CMakeFiles/dacelite.dir/exec.cpp.o" "gcc" "src/dacelite/CMakeFiles/dacelite.dir/exec.cpp.o.d"
+  "/root/repo/src/dacelite/frontend.cpp" "src/dacelite/CMakeFiles/dacelite.dir/frontend.cpp.o" "gcc" "src/dacelite/CMakeFiles/dacelite.dir/frontend.cpp.o.d"
+  "/root/repo/src/dacelite/ir.cpp" "src/dacelite/CMakeFiles/dacelite.dir/ir.cpp.o" "gcc" "src/dacelite/CMakeFiles/dacelite.dir/ir.cpp.o.d"
+  "/root/repo/src/dacelite/transforms.cpp" "src/dacelite/CMakeFiles/dacelite.dir/transforms.cpp.o" "gcc" "src/dacelite/CMakeFiles/dacelite.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vgpu/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vshmem/CMakeFiles/vshmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostmpi/CMakeFiles/hostmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacelite.dir/exec.cpp.o"
+  "CMakeFiles/dacelite.dir/exec.cpp.o.d"
+  "CMakeFiles/dacelite.dir/frontend.cpp.o"
+  "CMakeFiles/dacelite.dir/frontend.cpp.o.d"
+  "CMakeFiles/dacelite.dir/ir.cpp.o"
+  "CMakeFiles/dacelite.dir/ir.cpp.o.d"
+  "CMakeFiles/dacelite.dir/transforms.cpp.o"
+  "CMakeFiles/dacelite.dir/transforms.cpp.o.d"
+  "libdacelite.a"
+  "libdacelite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacelite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

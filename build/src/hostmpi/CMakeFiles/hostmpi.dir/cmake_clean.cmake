@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostmpi.dir/comm.cpp.o"
+  "CMakeFiles/hostmpi.dir/comm.cpp.o.d"
+  "libhostmpi.a"
+  "libhostmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers.dir/cg.cpp.o"
+  "CMakeFiles/solvers.dir/cg.cpp.o.d"
+  "libsolvers.a"
+  "libsolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

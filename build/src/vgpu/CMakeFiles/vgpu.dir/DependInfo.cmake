@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/host.cpp" "src/vgpu/CMakeFiles/vgpu.dir/host.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/host.cpp.o.d"
+  "/root/repo/src/vgpu/kernel.cpp" "src/vgpu/CMakeFiles/vgpu.dir/kernel.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/kernel.cpp.o.d"
+  "/root/repo/src/vgpu/machine.cpp" "src/vgpu/CMakeFiles/vgpu.dir/machine.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/machine.cpp.o.d"
+  "/root/repo/src/vgpu/stream.cpp" "src/vgpu/CMakeFiles/vgpu.dir/stream.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

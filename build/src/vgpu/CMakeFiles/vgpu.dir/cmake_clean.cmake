@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu.dir/host.cpp.o"
+  "CMakeFiles/vgpu.dir/host.cpp.o.d"
+  "CMakeFiles/vgpu.dir/kernel.cpp.o"
+  "CMakeFiles/vgpu.dir/kernel.cpp.o.d"
+  "CMakeFiles/vgpu.dir/machine.cpp.o"
+  "CMakeFiles/vgpu.dir/machine.cpp.o.d"
+  "CMakeFiles/vgpu.dir/stream.cpp.o"
+  "CMakeFiles/vgpu.dir/stream.cpp.o.d"
+  "libvgpu.a"
+  "libvgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vshmem.dir/world.cpp.o"
+  "CMakeFiles/vshmem.dir/world.cpp.o.d"
+  "libvshmem.a"
+  "libvshmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vshmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

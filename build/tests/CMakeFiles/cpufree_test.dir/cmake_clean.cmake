@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpufree_test.dir/cpufree_test.cpp.o"
+  "CMakeFiles/cpufree_test.dir/cpufree_test.cpp.o.d"
+  "cpufree_test"
+  "cpufree_test.pdb"
+  "cpufree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpufree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

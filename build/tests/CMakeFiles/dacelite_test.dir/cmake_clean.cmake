@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacelite_test.dir/dacelite_test.cpp.o"
+  "CMakeFiles/dacelite_test.dir/dacelite_test.cpp.o.d"
+  "dacelite_test"
+  "dacelite_test.pdb"
+  "dacelite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacelite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

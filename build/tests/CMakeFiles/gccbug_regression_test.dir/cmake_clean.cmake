@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gccbug_regression_test.dir/gccbug_regression_test.cpp.o"
+  "CMakeFiles/gccbug_regression_test.dir/gccbug_regression_test.cpp.o.d"
+  "gccbug_regression_test"
+  "gccbug_regression_test.pdb"
+  "gccbug_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gccbug_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

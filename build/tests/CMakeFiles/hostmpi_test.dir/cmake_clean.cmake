@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostmpi_test.dir/hostmpi_test.cpp.o"
+  "CMakeFiles/hostmpi_test.dir/hostmpi_test.cpp.o.d"
+  "hostmpi_test"
+  "hostmpi_test.pdb"
+  "hostmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

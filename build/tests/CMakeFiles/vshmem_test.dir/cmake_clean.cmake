@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vshmem_test.dir/vshmem_test.cpp.o"
+  "CMakeFiles/vshmem_test.dir/vshmem_test.cpp.o.d"
+  "vshmem_test"
+  "vshmem_test.pdb"
+  "vshmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vshmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/gccbug_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/vshmem_test[1]_include.cmake")
+include("/root/repo/build/tests/hostmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/cpufree_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/dacelite_test[1]_include.cmake")
+include("/root/repo/build/tests/model_features_test[1]_include.cmake")
+include("/root/repo/build/tests/cg_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
