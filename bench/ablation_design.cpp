@@ -24,7 +24,7 @@ using stencil::StencilConfig;
 using stencil::TbPolicy;
 using stencil::Variant;
 
-double run3d(TbPolicy policy, vshmem::Scope scope, int gpus) {
+sweep::RunResult run3d(TbPolicy policy, vshmem::Scope scope, int gpus) {
   stencil::Jacobi3D p;
   p.nx = 512;
   p.ny = 256;
@@ -34,15 +34,36 @@ double run3d(TbPolicy policy, vshmem::Scope scope, int gpus) {
   cfg.functional = false;
   cfg.tb_policy = policy;
   cfg.comm_scope = scope;
-  const auto out = stencil::run_jacobi3d(
-      Variant::kCpuFree, vgpu::MachineSpec::hgx_a100(gpus), p, cfg);
-  return out.result.metrics.per_iteration_us();
+  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  const auto out = stencil::run_jacobi3d(Variant::kCpuFree, spec, p, cfg);
+  sweep::RunResult res;
+  res.spec = spec;
+  res.metrics = out.result.metrics;
+  res.set("per_iter_us", out.result.metrics.per_iteration_us());
+  return res;
 }
 
-double run_dace2d(bool blocking, bool conservative, int gpus) {
+sweep::RunResult run_stencil2d(Variant v, int gpus) {
+  stencil::Jacobi2D p;
+  p.nx = 2048;
+  p.ny = 2048;
+  StencilConfig cfg;
+  cfg.iterations = 50;
+  cfg.functional = false;
+  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  const auto out = stencil::run_jacobi2d(v, spec, p, cfg);
+  sweep::RunResult res;
+  res.spec = spec;
+  res.metrics = out.result.metrics;
+  res.set("per_iter_us", out.result.metrics.per_iteration_us());
+  return res;
+}
+
+sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus) {
   auto prog = dacelite::make_jacobi2d(2048, gpus, 50);
   dacelite::to_cpu_free(prog.sdfg);
-  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(gpus));
+  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  vgpu::Machine m(spec);
   vshmem::World w(m);
   dacelite::ProgramData data(w, prog.sdfg, false);
   dacelite::ExecOptions opt;
@@ -50,95 +71,100 @@ double run_dace2d(bool blocking, bool conservative, int gpus) {
   opt.blocking_puts = blocking;
   opt.conservative_barriers = conservative;
   const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
-  return sim::to_usec(r.metrics.per_iteration);
+  sweep::RunResult res;
+  res.spec = spec;
+  res.metrics = r.metrics;
+  res.set("per_iter_us", sim::to_usec(r.metrics.per_iteration));
+  return res;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::print_header("Ablations", "design choices called out in the paper");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
   const std::vector<int> gpus = {2, 4, 8};
 
-  {
-    std::vector<bench::Row> rows;
-    rows.push_back({"proportional (paper)", {}});
-    rows.push_back({"single boundary TB", {}});
-    rows.push_back({"equal three-way split", {}});
+  // Every ablation arm, in table order; each arm contributes one row whose
+  // columns are the GPU counts.
+  struct Arm {
+    const char* study;
+    const char* label;
+    sweep::RunResult (*run)(int gpus);
+  };
+  const Arm arms[] = {
+      {"tb_policy", "proportional (paper)",
+       [](int g) { return run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, g); }},
+      {"tb_policy", "single boundary TB",
+       [](int g) { return run3d(TbPolicy::kSingleBlock, vshmem::Scope::kBlock, g); }},
+      {"tb_policy", "equal three-way split",
+       [](int g) { return run3d(TbPolicy::kEqualSplit, vshmem::Scope::kBlock, g); }},
+      {"put_scope", "block-scoped puts (paper)",
+       [](int g) { return run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, g); }},
+      {"put_scope", "thread-scoped puts",
+       [](int g) { return run3d(TbPolicy::kProportional, vshmem::Scope::kThread, g); }},
+      {"put_blocking", "nbi puts (default)",
+       [](int g) { return run_dace2d(false, false, g); }},
+      {"put_blocking", "blocking puts",
+       [](int g) { return run_dace2d(true, false, g); }},
+      {"kernel_org", "single kernel + TB specialization",
+       [](int g) { return run_stencil2d(Variant::kCpuFree, g); }},
+      {"kernel_org", "two co-resident kernels",
+       [](int g) { return run_stencil2d(Variant::kCpuFreeTwoKernels, g); }},
+      {"barriers", "relaxed barriers (this work)",
+       [](int g) { return run_dace2d(false, false, g); }},
+      {"barriers", "barrier after every state",
+       [](int g) { return run_dace2d(false, true, g); }},
+  };
+
+  sweep::Executor ex(args.sweep_options());
+  for (const Arm& arm : arms) {
     for (int g : gpus) {
-      rows[0].values.push_back(
-          run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, g));
-      rows[1].values.push_back(
-          run3d(TbPolicy::kSingleBlock, vshmem::Scope::kBlock, g));
-      rows[2].values.push_back(
-          run3d(TbPolicy::kEqualSplit, vshmem::Scope::kBlock, g));
+      ex.add(std::string(arm.study) + "/" + arm.label +
+                 "/gpus=" + std::to_string(g),
+             {{"study", arm.study},
+              {"arm", arm.label},
+              {"gpus", std::to_string(g)}},
+             [&arm, g] { return arm.run(g); });
     }
-    bench::print_table(
-        "1. TB specialization policy, unbalanced 3D domain (CPU-Free)", gpus,
-        rows, "us/iter");
   }
 
-  {
-    std::vector<bench::Row> rows;
-    rows.push_back({"block-scoped puts (paper)", {}});
-    rows.push_back({"thread-scoped puts", {}});
-    for (int g : gpus) {
-      rows[0].values.push_back(
-          run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, g));
-      rows[1].values.push_back(
-          run3d(TbPolicy::kProportional, vshmem::Scope::kThread, g));
-    }
-    bench::print_table("2. halo put scope (CPU-Free 3D)", gpus, rows,
-                       "us/iter");
-  }
+  const int threads = ex.resolved_threads();
+  const std::vector<sweep::RunRecord> records = ex.run();
+  bench::RecordCursor cur(records);
 
-  {
-    std::vector<bench::Row> rows;
-    rows.push_back({"nbi puts (default)", {}});
-    rows.push_back({"blocking puts", {}});
-    for (int g : gpus) {
-      rows[0].values.push_back(run_dace2d(false, false, g));
-      rows[1].values.push_back(run_dace2d(true, false, g));
+  auto take_row = [&](const char* label) {
+    bench::Row r{label, {}};
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      r.values.push_back(cur.next().value("per_iter_us"));
     }
-    bench::print_table("3. nonblocking vs blocking puts (dacelite jacobi2d)",
-                       gpus, rows, "us/iter");
-  }
+    return r;
+  };
 
-  {
-    std::vector<bench::Row> rows;
-    rows.push_back({"single kernel + TB specialization", {}});
-    rows.push_back({"two co-resident kernels", {}});
-    for (int g : gpus) {
-      stencil::Jacobi2D p2;
-      p2.nx = 2048;
-      p2.ny = 2048;
-      StencilConfig cfg;
-      cfg.iterations = 50;
-      cfg.functional = false;
-      rows[0].values.push_back(
-          stencil::run_jacobi2d(Variant::kCpuFree,
-                                vgpu::MachineSpec::hgx_a100(g), p2, cfg)
-              .result.metrics.per_iteration_us());
-      rows[1].values.push_back(
-          stencil::run_jacobi2d(Variant::kCpuFreeTwoKernels,
-                                vgpu::MachineSpec::hgx_a100(g), p2, cfg)
-              .result.metrics.per_iteration_us());
-    }
-    bench::print_table(
-        "5. single persistent kernel vs two co-resident kernels (2D)", gpus,
-        rows, "us/iter");
-  }
+  bench::print_table(
+      "1. TB specialization policy, unbalanced 3D domain (CPU-Free)", gpus,
+      {take_row("proportional (paper)"), take_row("single boundary TB"),
+       take_row("equal three-way split")},
+      "us/iter");
+  bench::print_table(
+      "2. halo put scope (CPU-Free 3D)", gpus,
+      {take_row("block-scoped puts (paper)"), take_row("thread-scoped puts")},
+      "us/iter");
+  bench::print_table(
+      "3. nonblocking vs blocking puts (dacelite jacobi2d)", gpus,
+      {take_row("nbi puts (default)"), take_row("blocking puts")}, "us/iter");
+  bench::print_table(
+      "4. single persistent kernel vs two co-resident kernels (2D)", gpus,
+      {take_row("single kernel + TB specialization"),
+       take_row("two co-resident kernels")},
+      "us/iter");
+  bench::print_table(
+      "5. persistent-fusion barrier placement (dacelite)", gpus,
+      {take_row("relaxed barriers (this work)"),
+       take_row("barrier after every state")},
+      "us/iter");
 
-  {
-    std::vector<bench::Row> rows;
-    rows.push_back({"relaxed barriers (this work)", {}});
-    rows.push_back({"barrier after every state", {}});
-    for (int g : gpus) {
-      rows[0].values.push_back(run_dace2d(false, false, g));
-      rows[1].values.push_back(run_dace2d(false, true, g));
-    }
-    bench::print_table("4. persistent-fusion barrier placement (dacelite)",
-                       gpus, rows, "us/iter");
-  }
+  bench::emit_records("ablation_design", args, threads, records);
   return 0;
 }

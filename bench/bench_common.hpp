@@ -9,12 +9,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/executor.hpp"
 #include "vgpu/costmodel.hpp"
 
 namespace bench {
@@ -82,11 +86,16 @@ inline void print_speedups(std::string_view caption,
   std::printf("\n");
 }
 
-/// Parses "--repeats N" / "--trace" style flags trivially.
+/// Parses "--repeats N" / "--threads N" / "--trace" style flags trivially.
 struct Args {
   int repeats = 1;
+  /// Sweep worker threads; 0 = all hardware threads, 1 = sequential.
+  int threads = 0;
+  bool progress = true;
   bool trace_dump = false;
   std::string trace_path = "trace.json";
+  std::string out_json;  // --out PATH; default BENCH_<name>.json
+  std::string out_csv;   // --csv PATH; no CSV when empty
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -94,6 +103,14 @@ struct Args {
       const std::string_view s = argv[i];
       if (s == "--repeats" && i + 1 < argc) {
         a.repeats = std::atoi(argv[++i]);
+      } else if (s == "--threads" && i + 1 < argc) {
+        a.threads = std::atoi(argv[++i]);
+      } else if (s == "--quiet") {
+        a.progress = false;
+      } else if (s == "--out" && i + 1 < argc) {
+        a.out_json = argv[++i];
+      } else if (s == "--csv" && i + 1 < argc) {
+        a.out_csv = argv[++i];
       } else if (s == "--trace") {
         a.trace_dump = true;
         if (i + 1 < argc && argv[i + 1][0] != '-') a.trace_path = argv[++i];
@@ -102,6 +119,61 @@ struct Args {
     if (a.repeats < 1) a.repeats = 1;
     return a;
   }
+
+  [[nodiscard]] sweep::Options sweep_options() const {
+    sweep::Options o;
+    o.threads = threads;
+    o.progress = progress;
+    return o;
+  }
 };
+
+/// Walks sweep records in submission order. The drivers queue jobs in the
+/// same nested-loop structure they later build tables in, so consuming the
+/// record vector front-to-back lines every record up with its table cell.
+class RecordCursor {
+ public:
+  explicit RecordCursor(const std::vector<sweep::RunRecord>& records)
+      : records_(&records) {}
+
+  const sweep::RunRecord& next() {
+    if (i_ >= records_->size()) {
+      throw std::logic_error("bench: record cursor ran past the sweep");
+    }
+    return (*records_)[i_++];
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return i_ == records_->size();
+  }
+
+ private:
+  const std::vector<sweep::RunRecord>* records_;
+  std::size_t i_ = 0;
+};
+
+/// Emits the structured outputs for a finished sweep: BENCH_<name>.json
+/// (always; --out overrides the path) and a CSV when --csv was given.
+inline void emit_records(std::string_view bench_name, const Args& args,
+                         int threads,
+                         const std::vector<sweep::RunRecord>& records) {
+  const std::string json_path =
+      args.out_json.empty() ? "BENCH_" + std::string(bench_name) + ".json"
+                            : args.out_json;
+  try {
+    sweep::write_file(json_path,
+                      sweep::bench_json(bench_name, threads, records));
+    std::printf("wrote %zu run records to %s\n", records.size(),
+                json_path.c_str());
+    if (!args.out_csv.empty()) {
+      sweep::write_file(args.out_csv, sweep::bench_csv(records));
+      std::printf("wrote CSV to %s\n", args.out_csv.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(1);
+  }
+  std::printf("\n");
+}
 
 }  // namespace bench

@@ -46,6 +46,12 @@ Jacobi2D weak_scaled(std::size_t base, int gpus) {
   return p;
 }
 
+std::vector<sweep::Param> params(const char* part, Variant v, int g) {
+  return {{"part", part},
+          {"variant", std::string(stencil::variant_name(v))},
+          {"gpus", std::to_string(g)}};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,26 +62,77 @@ int main(int argc, char** argv) {
 
   const std::vector<int> gpus = {2, 4, 8};
   constexpr int kIters = 200;
+  constexpr Variant kNoComputeVariants[] = {
+      Variant::kBaselineCopy, Variant::kBaselineOverlap, Variant::kBaselineP2P,
+      Variant::kBaselineNvshmem, Variant::kCpuFree};
+  constexpr Variant kComputeVariants[] = {
+      Variant::kBaselineCopy, Variant::kBaselineOverlap, Variant::kCpuFree};
+
+  sweep::Executor ex(args.sweep_options());
 
   // (a) No-compute: per-iteration communication+synchronization time.
+  for (Variant v : kNoComputeVariants) {
+    for (int g : gpus) {
+      ex.add(std::string("a/") + std::string(stencil::variant_name(v)) +
+                 "/gpus=" + std::to_string(g),
+             params("a", v, g), [v, g, repeats = args.repeats] {
+               StencilConfig cfg;
+               cfg.iterations = kIters;
+               cfg.functional = false;
+               cfg.compute_enabled = false;
+               const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+               sweep::RunResult res;
+               res.spec = spec;
+               sim::RunStats stats;
+               for (int rep = 0; rep < repeats; ++rep) {
+                 const auto out =
+                     stencil::run_jacobi2d(v, spec, weak_scaled(256, g), cfg);
+                 stats.add(out.result.metrics.per_iteration_us());
+                 res.metrics = out.result.metrics;
+               }
+               res.set("per_iter_us", stats.min());
+               return res;
+             });
+    }
+  }
+
+  // (b) With compute: total time and overlap ratio. A 1024^2 base keeps the
+  // domain small (latency-sensitive) while leaving computation to hide
+  // communication under.
+  for (Variant v : kComputeVariants) {
+    for (int g : gpus) {
+      ex.add(std::string("b/") + std::string(stencil::variant_name(v)) +
+                 "/gpus=" + std::to_string(g),
+             params("b", v, g), [v, g] {
+               StencilConfig cfg;
+               cfg.iterations = kIters;
+               cfg.functional = false;
+               const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+               const auto out =
+                   stencil::run_jacobi2d(v, spec, weak_scaled(1024, g), cfg);
+               sweep::RunResult res;
+               res.spec = spec;
+               res.metrics = out.result.metrics;
+               res.set("total_ms", out.result.metrics.total_ms());
+               res.set("overlap_pct",
+                       out.result.metrics.hidden_comm_ratio * 100.0);
+               res.set("noncompute_pct",
+                       out.result.metrics.noncompute_fraction * 100.0);
+               return res;
+             });
+    }
+  }
+
+  const int threads = ex.resolved_threads();
+  const std::vector<sweep::RunRecord> records = ex.run();
+  bench::RecordCursor cur(records);
+
   {
     std::vector<bench::Row> rows;
-    for (Variant v : {Variant::kBaselineCopy, Variant::kBaselineOverlap,
-                      Variant::kBaselineP2P, Variant::kBaselineNvshmem,
-                      Variant::kCpuFree}) {
+    for (Variant v : kNoComputeVariants) {
       bench::Row r{std::string(stencil::variant_name(v)), {}};
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = kIters;
-        cfg.functional = false;
-        cfg.compute_enabled = false;
-        sim::RunStats stats;
-        for (int rep = 0; rep < args.repeats; ++rep) {
-          const auto out = stencil::run_jacobi2d(
-              v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(256, g), cfg);
-          stats.add(out.result.metrics.per_iteration_us());
-        }
-        r.values.push_back(stats.min());
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        r.values.push_back(cur.next().value("per_iter_us"));
       }
       rows.push_back(std::move(r));
     }
@@ -84,27 +141,19 @@ int main(int argc, char** argv) {
         rows, "us/iter");
   }
 
-  // (b) With compute: total time and overlap ratio. A 1024^2 base keeps the
-  // domain small (latency-sensitive) while leaving computation to hide
-  // communication under.
   {
     std::vector<bench::Row> total_rows;
     std::vector<bench::Row> overlap_rows;
     std::vector<bench::Row> commfrac_rows;
-    for (Variant v : {Variant::kBaselineCopy, Variant::kBaselineOverlap,
-                      Variant::kCpuFree}) {
+    for (Variant v : kComputeVariants) {
       bench::Row rt{std::string(stencil::variant_name(v)), {}};
       bench::Row ro = rt;
       bench::Row rc = rt;
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = kIters;
-        cfg.functional = false;
-        const auto out = stencil::run_jacobi2d(
-            v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(1024, g), cfg);
-        rt.values.push_back(out.result.metrics.total_ms());
-        ro.values.push_back(out.result.metrics.hidden_comm_ratio * 100.0);
-        rc.values.push_back(out.result.metrics.noncompute_fraction * 100.0);
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        const sweep::RunRecord& rec = cur.next();
+        rt.values.push_back(rec.value("total_ms"));
+        ro.values.push_back(rec.value("overlap_pct"));
+        rc.values.push_back(rec.value("noncompute_pct"));
       }
       total_rows.push_back(std::move(rt));
       overlap_rows.push_back(std::move(ro));
@@ -116,6 +165,8 @@ int main(int argc, char** argv) {
     bench::print_table("(b) non-compute (communication) share of runtime",
                        gpus, commfrac_rows, "%");
   }
+
+  bench::emit_records("fig2_2_overhead", args, threads, records);
 
   if (args.trace_dump) {
     StencilConfig cfg;

@@ -7,6 +7,7 @@
 //   * large: plain CPU-Free LOSES to the baselines (software tiling,
 //     §4.1.4/§6.1.2) while CPU-Free PERKS wins (~19% in the paper) and weak-
 //     scales within a few percent.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -37,6 +38,19 @@ Jacobi2D weak_scaled(std::size_t base, int gpus) {
   return p;
 }
 
+struct DomainClass {
+  const char* name;
+  const char* key;
+  std::size_t base;
+  int iters;
+};
+
+constexpr DomainClass kClasses[] = {
+    {"small (256^2)", "small", 256, 200},
+    {"medium (2048^2)", "medium", 2048, 50},
+    {"large (8192^2)", "large", 8192, 10},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,32 +59,48 @@ int main(int argc, char** argv) {
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
 
   const std::vector<int> gpus = {1, 2, 4, 8};
-  struct DomainClass {
-    const char* name;
-    std::size_t base;
-    int iters;
-  };
-  const DomainClass classes[] = {
-      {"small (256^2)", 256, 200},
-      {"medium (2048^2)", 2048, 50},
-      {"large (8192^2)", 8192, 10},
-  };
 
-  for (const DomainClass& dc : classes) {
+  sweep::Executor ex(args.sweep_options());
+  for (const DomainClass& dc : kClasses) {
+    for (Variant v : stencil::kAllVariants) {
+      for (int g : gpus) {
+        ex.add(std::string(dc.key) + "/" +
+                   std::string(stencil::variant_name(v)) +
+                   "/gpus=" + std::to_string(g),
+               {{"domain", dc.key},
+                {"variant", std::string(stencil::variant_name(v))},
+                {"gpus", std::to_string(g)}},
+               [dc, v, g, repeats = args.repeats] {
+                 StencilConfig cfg;
+                 cfg.iterations = dc.iters;
+                 cfg.functional = false;
+                 const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+                 sweep::RunResult res;
+                 res.spec = spec;
+                 sim::RunStats stats;
+                 for (int rep = 0; rep < repeats; ++rep) {
+                   const auto out = stencil::run_jacobi2d(
+                       v, spec, weak_scaled(dc.base, g), cfg);
+                   stats.add(out.result.metrics.per_iteration_us());
+                   res.metrics = out.result.metrics;
+                 }
+                 res.set("per_iter_us", stats.min());
+                 return res;
+               });
+      }
+    }
+  }
+
+  const int threads = ex.resolved_threads();
+  const std::vector<sweep::RunRecord> records = ex.run();
+  bench::RecordCursor cur(records);
+
+  for (const DomainClass& dc : kClasses) {
     std::vector<bench::Row> rows;
     for (Variant v : stencil::kAllVariants) {
       bench::Row r{std::string(stencil::variant_name(v)), {}};
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = dc.iters;
-        cfg.functional = false;
-        sim::RunStats stats;
-        for (int rep = 0; rep < args.repeats; ++rep) {
-          const auto out = stencil::run_jacobi2d(
-              v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(dc.base, g), cfg);
-          stats.add(out.result.metrics.per_iteration_us());
-        }
-        r.values.push_back(stats.min());
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        r.values.push_back(cur.next().value("per_iter_us"));
       }
       rows.push_back(std::move(r));
     }
@@ -102,5 +132,7 @@ int main(int argc, char** argv) {
     std::printf("  CPU-Free PERKS weak-scaling dropoff 1->8 GPUs: %.1f%%\n\n",
                 (perks8 / perks1 - 1.0) * 100.0);
   }
+
+  bench::emit_records("fig6_1_weak2d", args, threads, records);
   return 0;
 }

@@ -46,28 +46,77 @@ const Variant kVariants[] = {Variant::kBaselineCopy, Variant::kBaselineOverlap,
                              Variant::kBaselineP2P, Variant::kBaselineNvshmem,
                              Variant::kCpuFree};
 
+struct Part {
+  const char* key;
+  bool compute;
+  bool fixed_domain;  // false: weak-scaled 256^3 base
+  int iters;
+};
+
+constexpr Part kParts[] = {
+    {"weak", true, false, 20},
+    {"weak_nocompute", false, false, 50},
+    {"strong", true, true, 20},
+    {"strong_nocompute", false, true, 50},
+};
+
+Jacobi3D domain_for(const Part& part, int gpus) {
+  if (!part.fixed_domain) return weak_scaled(256, gpus);
+  Jacobi3D fixed;
+  fixed.nx = 512;
+  fixed.ny = 512;
+  fixed.nz = 256;
+  return fixed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
-  static_cast<void>(args);
   bench::print_header("Figure 6.2", "3D Jacobi weak/strong scaling");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
 
   const std::vector<int> gpus = {1, 2, 4, 8};
+
+  sweep::Executor ex(args.sweep_options());
+  for (const Part& part : kParts) {
+    for (Variant v : kVariants) {
+      for (int g : gpus) {
+        ex.add(std::string(part.key) + "/" +
+                   std::string(stencil::variant_name(v)) +
+                   "/gpus=" + std::to_string(g),
+               {{"part", part.key},
+                {"variant", std::string(stencil::variant_name(v))},
+                {"gpus", std::to_string(g)}},
+               [part, v, g] {
+                 StencilConfig cfg;
+                 cfg.iterations = part.iters;
+                 cfg.functional = false;
+                 cfg.compute_enabled = part.compute;
+                 const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+                 const auto out =
+                     stencil::run_jacobi3d(v, spec, domain_for(part, g), cfg);
+                 sweep::RunResult res;
+                 res.spec = spec;
+                 res.metrics = out.result.metrics;
+                 res.set("per_iter_us", out.result.metrics.per_iteration_us());
+                 return res;
+               });
+      }
+    }
+  }
+
+  const int threads = ex.resolved_threads();
+  const std::vector<sweep::RunRecord> records = ex.run();
+  bench::RecordCursor cur(records);
 
   // (left) Weak scaling, 256^3 base.
   {
     std::vector<bench::Row> rows;
     for (Variant v : kVariants) {
       bench::Row r{std::string(stencil::variant_name(v)), {}};
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = 20;
-        cfg.functional = false;
-        const auto out = stencil::run_jacobi3d(
-            v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(256, g), cfg);
-        r.values.push_back(out.result.metrics.per_iteration_us());
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        r.values.push_back(cur.next().value("per_iter_us"));
       }
       rows.push_back(std::move(r));
     }
@@ -83,14 +132,8 @@ int main(int argc, char** argv) {
     double cpufree = 0;
     for (Variant v : kVariants) {
       bench::Row r{std::string(stencil::variant_name(v)), {}};
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = 50;
-        cfg.functional = false;
-        cfg.compute_enabled = false;
-        const auto out = stencil::run_jacobi3d(
-            v, vgpu::MachineSpec::hgx_a100(g), weak_scaled(256, g), cfg);
-        r.values.push_back(out.result.metrics.per_iteration_us());
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        r.values.push_back(cur.next().value("per_iter_us"));
       }
       if (v == Variant::kCpuFree) {
         cpufree = r.values.back();
@@ -107,44 +150,22 @@ int main(int argc, char** argv) {
         sim::speedup_percent(best_baseline, cpufree));
   }
 
-  // (right) Strong scaling on a fixed large domain.
-  {
-    Jacobi3D fixed;
-    fixed.nx = 512;
-    fixed.ny = 512;
-    fixed.nz = 256;
+  // (right) Strong scaling on a fixed large domain, then its no-compute
+  // companion.
+  for (const char* caption :
+       {"strong scaling (512x512x256 fixed), per-iteration time",
+        "strong scaling (no compute)"}) {
     std::vector<bench::Row> rows;
     for (Variant v : kVariants) {
       bench::Row r{std::string(stencil::variant_name(v)), {}};
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = 20;
-        cfg.functional = false;
-        const auto out = stencil::run_jacobi3d(
-            v, vgpu::MachineSpec::hgx_a100(g), fixed, cfg);
-        r.values.push_back(out.result.metrics.per_iteration_us());
+      for (std::size_t i = 0; i < gpus.size(); ++i) {
+        r.values.push_back(cur.next().value("per_iter_us"));
       }
       rows.push_back(std::move(r));
     }
-    bench::print_table("strong scaling (512x512x256 fixed), per-iteration time",
-                       gpus, rows, "us/iter");
-
-    // And the no-compute strong-scaling companion.
-    std::vector<bench::Row> nc_rows;
-    for (Variant v : kVariants) {
-      bench::Row r{std::string(stencil::variant_name(v)), {}};
-      for (int g : gpus) {
-        StencilConfig cfg;
-        cfg.iterations = 50;
-        cfg.functional = false;
-        cfg.compute_enabled = false;
-        const auto out = stencil::run_jacobi3d(
-            v, vgpu::MachineSpec::hgx_a100(g), fixed, cfg);
-        r.values.push_back(out.result.metrics.per_iteration_us());
-      }
-      nc_rows.push_back(std::move(r));
-    }
-    bench::print_table("strong scaling (no compute)", gpus, nc_rows, "us/iter");
+    bench::print_table(caption, gpus, rows, "us/iter");
   }
+
+  bench::emit_records("fig6_2_jacobi3d", args, threads, records);
   return 0;
 }

@@ -19,64 +19,59 @@
 
 namespace {
 
-struct Point {
-  double total_ms;
-  double comm_us;
-  double noncompute_pct;
-};
-
-Point run_1d_baseline(std::size_t n, int ranks, int iters) {
+sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters) {
   auto prog = dacelite::make_jacobi1d(n, ranks, iters);
-  dacelite::apply_gpu_transform(prog.sdfg);
-  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
+  vgpu::Machine m(spec);
   vshmem::World w(m);
-  hostmpi::Comm comm(m);
-  dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
   dacelite::ExecOptions opt;
   opt.functional = false;
-  const auto r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
-  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
-          r.metrics.noncompute_fraction * 100.0};
+  dacelite::ExecResult r;
+  if (cpufree) {
+    dacelite::to_cpu_free(prog.sdfg);
+    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
+    r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+  } else {
+    dacelite::apply_gpu_transform(prog.sdfg);
+    hostmpi::Comm comm(m);
+    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
+    r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+  }
+  sweep::RunResult res;
+  res.spec = spec;
+  res.metrics = r.metrics;
+  res.set("total_ms", r.metrics.total_ms());
+  res.set("comm_us", sim::to_usec(r.metrics.comm));
+  res.set("noncompute_pct", r.metrics.noncompute_fraction * 100.0);
+  return res;
 }
 
-Point run_1d_cpufree(std::size_t n, int ranks, int iters) {
-  auto prog = dacelite::make_jacobi1d(n, ranks, iters);
-  dacelite::to_cpu_free(prog.sdfg);
-  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
-  vshmem::World w(m);
-  dacelite::ProgramData data(w, prog.sdfg, false);
-  dacelite::ExecOptions opt;
-  opt.functional = false;
-  const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
-  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
-          r.metrics.noncompute_fraction * 100.0};
-}
-
-Point run_2d_baseline(std::size_t gx, std::size_t gy, int ranks, int iters) {
+sweep::RunResult run_2d(bool cpufree, std::size_t gx, std::size_t gy,
+                        int ranks, int iters) {
   auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
-  dacelite::apply_gpu_transform(prog.sdfg);
-  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
+  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
+  vgpu::Machine m(spec);
   vshmem::World w(m);
-  hostmpi::Comm comm(m);
-  dacelite::ProgramData data(w, prog.sdfg, false);
   dacelite::ExecOptions opt;
   opt.functional = false;
-  const auto r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
-  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
-          r.metrics.noncompute_fraction * 100.0};
-}
-
-Point run_2d_cpufree(std::size_t gx, std::size_t gy, int ranks, int iters) {
-  auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
-  dacelite::to_cpu_free(prog.sdfg);
-  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(ranks));
-  vshmem::World w(m);
-  dacelite::ProgramData data(w, prog.sdfg, false);
-  dacelite::ExecOptions opt;
-  opt.functional = false;
-  const auto r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
-  return {r.metrics.total_ms(), sim::to_usec(r.metrics.comm),
-          r.metrics.noncompute_fraction * 100.0};
+  dacelite::ExecResult r;
+  if (cpufree) {
+    dacelite::to_cpu_free(prog.sdfg);
+    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
+    r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+  } else {
+    dacelite::apply_gpu_transform(prog.sdfg);
+    hostmpi::Comm comm(m);
+    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
+    r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+  }
+  sweep::RunResult res;
+  res.spec = spec;
+  res.metrics = r.metrics;
+  res.set("total_ms", r.metrics.total_ms());
+  res.set("comm_us", sim::to_usec(r.metrics.comm));
+  res.set("noncompute_pct", r.metrics.noncompute_fraction * 100.0);
+  return res;
 }
 
 /// Weak scaling: grow the domain with the rank count.
@@ -105,13 +100,40 @@ std::pair<std::size_t, std::size_t> weak_2d(std::size_t base, int ranks) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
-  static_cast<void>(args);
   bench::print_header("Figure 6.3",
                       "DaCe-generated: discrete MPI vs CPU-Free (NVSHMEM)");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
 
   const std::vector<int> gpus = {1, 2, 4, 8};
   constexpr int kIters = 100;
+  const char* impl_name[] = {"baseline_mpi", "cpu_free_nvshmem"};
+
+  sweep::Executor ex(args.sweep_options());
+  for (const char* system : {"jacobi1d", "jacobi2d"}) {
+    const bool is_1d = std::string_view(system) == "jacobi1d";
+    for (int impl = 0; impl < 2; ++impl) {
+      const bool cpufree = impl == 1;
+      for (int g : gpus) {
+        ex.add(std::string(system) + "/" + impl_name[impl] +
+                   "/gpus=" + std::to_string(g),
+               {{"system", system},
+                {"impl", impl_name[impl]},
+                {"gpus", std::to_string(g)}},
+               [is_1d, cpufree, g] {
+                 if (is_1d) {
+                   return run_1d(cpufree, weak_1d(1u << 20, g), g, kIters);
+                 }
+                 const auto [gx, gy] = weak_2d(2048, g);
+                 return run_2d(cpufree, gx, gy, g, kIters);
+               });
+      }
+    }
+  }
+
+  const int threads = ex.resolved_threads();
+  const std::vector<sweep::RunRecord> records = ex.run();
+  bench::RecordCursor cur(records);
+  const std::size_t at8 = gpus.size() - 1;
 
   // (a) Jacobi 1D.
   {
@@ -119,19 +141,19 @@ int main(int argc, char** argv) {
     bench::Row free_r{"cpu-free (NVSHMEM)", {}};
     bench::Row base_comm{"baseline comm", {}};
     bench::Row free_comm{"cpu-free comm", {}};
-    for (int g : gpus) {
-      const std::size_t n = weak_1d(1u << 20, g);  // 1M points per rank
-      const Point b = run_1d_baseline(n, g, kIters);
-      const Point f = run_1d_cpufree(n, g, kIters);
-      base.values.push_back(b.total_ms);
-      free_r.values.push_back(f.total_ms);
-      base_comm.values.push_back(b.comm_us);
-      free_comm.values.push_back(f.comm_us);
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const sweep::RunRecord& rec = cur.next();
+      base.values.push_back(rec.value("total_ms"));
+      base_comm.values.push_back(rec.value("comm_us"));
+    }
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const sweep::RunRecord& rec = cur.next();
+      free_r.values.push_back(rec.value("total_ms"));
+      free_comm.values.push_back(rec.value("comm_us"));
     }
     bench::print_table("(a) Jacobi 1D total time", gpus, {base, free_r}, "ms");
     bench::print_table("(a) Jacobi 1D communication latency", gpus,
                        {base_comm, free_comm}, "us");
-    const std::size_t at8 = gpus.size() - 1;
     std::printf("  at 8 GPUs: total %+6.1f%%   comm latency %+6.1f%%\n\n",
                 sim::speedup_percent(base.values[at8], free_r.values[at8]),
                 sim::speedup_percent(base_comm.values[at8],
@@ -143,22 +165,23 @@ int main(int argc, char** argv) {
     bench::Row base{"baseline (MPI)", {}};
     bench::Row free_r{"cpu-free (NVSHMEM)", {}};
     bench::Row base_nc{"baseline non-compute %", {}};
-    for (int g : gpus) {
-      const auto [gx, gy] = weak_2d(2048, g);
-      const Point b = run_2d_baseline(gx, gy, g, kIters);
-      const Point f = run_2d_cpufree(gx, gy, g, kIters);
-      base.values.push_back(b.total_ms);
-      free_r.values.push_back(f.total_ms);
-      base_nc.values.push_back(b.noncompute_pct);
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const sweep::RunRecord& rec = cur.next();
+      base.values.push_back(rec.value("total_ms"));
+      base_nc.values.push_back(rec.value("noncompute_pct"));
+    }
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      free_r.values.push_back(cur.next().value("total_ms"));
     }
     bench::print_table("(b) Jacobi 2D total time", gpus, {base, free_r}, "ms");
     bench::print_table("(b) baseline communication share", gpus, {base_nc},
                        "%");
-    const std::size_t at8 = gpus.size() - 1;
     std::printf("  at 8 GPUs: total improvement %+6.1f%%\n",
                 sim::speedup_percent(base.values[at8], free_r.values[at8]));
     std::printf("  CPU-Free weak-scaling efficiency 1->8 GPUs: %.1f%%\n\n",
                 free_r.values[0] / free_r.values[at8] * 100.0);
   }
+
+  bench::emit_records("fig6_3_dace", args, threads, records);
   return 0;
 }

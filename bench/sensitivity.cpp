@@ -8,6 +8,12 @@
 //       while CPU-Free PERKS wins (the Fig. 6.1 right crossover).
 // A claim that only holds at the exact calibration point would be suspect;
 // the table shows both hold across the whole perturbation grid.
+//
+// This is the widest sweep in the suite (231 simulations), flattened to one
+// job per (knob, scale, domain, variant) point so the executor can spread
+// the whole grid across cores. The perturbed MachineSpec is captured in
+// every record, so each BENCH row is self-describing.
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -49,34 +55,27 @@ double run_large(Variant v, const vgpu::MachineSpec& spec) {
   return stencil::run_jacobi2d(v, spec, p, cfg).result.metrics.per_iteration_us();
 }
 
-Claims evaluate(const vgpu::MachineSpec& spec) {
-  const Variant baselines[] = {Variant::kBaselineCopy, Variant::kBaselineOverlap,
-                               Variant::kBaselineP2P, Variant::kBaselineNvshmem};
-  double best_small = 1e300;
-  double best_large = 1e300;
-  for (Variant v : baselines) {
-    best_small = std::min(best_small, run_small(v, spec));
-    best_large = std::min(best_large, run_large(v, spec));
-  }
-  const double free_small = run_small(Variant::kCpuFree, spec);
-  const double free_large = run_large(Variant::kCpuFree, spec);
-  const double perks_large = run_large(Variant::kCpuFreePerks, spec);
-  Claims c;
-  c.small_speedup = sim::speedup_percent(best_small, free_small);
-  c.small_wins = free_small < best_small;
-  c.large_cpufree_loses = free_large > best_large;
-  c.large_perks_wins = perks_large < best_large;
-  return c;
-}
-
 struct Knob {
   const char* name;
   std::function<void(vgpu::MachineSpec&, double)> scale;
 };
 
+constexpr Variant kBaselines[] = {Variant::kBaselineCopy,
+                                  Variant::kBaselineOverlap,
+                                  Variant::kBaselineP2P,
+                                  Variant::kBaselineNvshmem};
+
+constexpr Variant kSmallVariants[] = {
+    Variant::kBaselineCopy, Variant::kBaselineOverlap, Variant::kBaselineP2P,
+    Variant::kBaselineNvshmem, Variant::kCpuFree};
+constexpr Variant kLargeVariants[] = {
+    Variant::kBaselineCopy, Variant::kBaselineOverlap, Variant::kBaselineP2P,
+    Variant::kBaselineNvshmem, Variant::kCpuFree, Variant::kCpuFreePerks};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::print_header("Sensitivity",
                       "headline claims under cost-model perturbation");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
@@ -109,16 +108,63 @@ int main() {
        }},
       {"link_bw", [](vgpu::MachineSpec& s, double f) { s.link.bw_gbps *= f; }},
   };
+  const double kScales[] = {0.5, 1.0, 2.0};
+
+  sweep::Executor ex(args.sweep_options());
+  for (const Knob& k : knobs) {
+    for (double f : kScales) {
+      vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(8);
+      k.scale(spec, f);
+      const std::string point =
+          std::string(k.name) + "/x" + std::to_string(f);
+      auto add = [&](const char* domain, Variant v) {
+        ex.add(point + "/" + domain + "/" +
+                   std::string(stencil::variant_name(v)),
+               {{"knob", k.name},
+                {"scale", std::to_string(f)},
+                {"domain", domain},
+                {"variant", std::string(stencil::variant_name(v))}},
+               [spec, v, small = std::string_view(domain) == "small"] {
+                 sweep::RunResult res;
+                 res.spec = spec;
+                 res.set("per_iter_us",
+                         small ? run_small(v, spec) : run_large(v, spec));
+                 return res;
+               });
+      };
+      for (Variant v : kSmallVariants) add("small", v);
+      for (Variant v : kLargeVariants) add("large", v);
+    }
+  }
+
+  const int threads = ex.resolved_threads();
+  const std::vector<sweep::RunRecord> records = ex.run();
+  bench::RecordCursor cur(records);
 
   std::printf("%-14s %6s | %18s | %10s | %14s | %12s\n", "knob", "scale",
               "small speedup %", "small wins", "large CF loses",
               "PERKS wins");
   int violations = 0;
   for (const Knob& k : knobs) {
-    for (double f : {0.5, 1.0, 2.0}) {
-      vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(8);
-      k.scale(spec, f);
-      const Claims c = evaluate(spec);
+    for (double f : kScales) {
+      double small_of[std::size(kSmallVariants)];
+      double large_of[std::size(kLargeVariants)];
+      for (double& v : small_of) v = cur.next().value("per_iter_us");
+      for (double& v : large_of) v = cur.next().value("per_iter_us");
+      double best_small = 1e300;
+      double best_large = 1e300;
+      for (std::size_t i = 0; i < std::size(kBaselines); ++i) {
+        best_small = std::min(best_small, small_of[i]);
+        best_large = std::min(best_large, large_of[i]);
+      }
+      const double free_small = small_of[4];
+      const double free_large = large_of[4];
+      const double perks_large = large_of[5];
+      Claims c;
+      c.small_speedup = sim::speedup_percent(best_small, free_small);
+      c.small_wins = free_small < best_small;
+      c.large_cpufree_loses = free_large > best_large;
+      c.large_perks_wins = perks_large < best_large;
       std::printf("%-14s %6.1f | %18.1f | %10s | %14s | %12s\n", k.name, f,
                   c.small_speedup, c.small_wins ? "yes" : "NO",
                   c.large_cpufree_loses ? "yes" : "NO",
@@ -128,7 +174,9 @@ int main() {
       }
     }
   }
-  std::printf("\n%s: %d perturbation points violated a headline claim\n",
+  std::printf("\n%s: %d perturbation points violated a headline claim\n\n",
               violations == 0 ? "ROBUST" : "SENSITIVE", violations);
+
+  bench::emit_records("sensitivity", args, threads, records);
   return 0;
 }

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -65,6 +67,33 @@ struct RunMetrics {
         static_cast<double>(covered) / static_cast<double>(noncompute);
   }
   return m;
+}
+
+/// Appends `m` as a compact JSON object. This is the `"metrics"` member of
+/// the per-run records in `BENCH_*.json` files: durations as integer
+/// nanoseconds (the simulator's exact representation, so records round-trip
+/// bit-identically), ratios as doubles with full precision.
+inline void append_json(const RunMetrics& m, std::string& out) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"total_ns\":%lld,\"per_iteration_ns\":%lld,\"comm_ns\":%lld,"
+      "\"compute_ns\":%lld,\"sync_ns\":%lld,\"host_api_ns\":%lld,"
+      "\"comm_hidden_ns\":%lld,\"overlap_ratio\":%.17g,"
+      "\"comm_fraction\":%.17g,\"noncompute_fraction\":%.17g,"
+      "\"hidden_comm_ratio\":%.17g}",
+      static_cast<long long>(m.total), static_cast<long long>(m.per_iteration),
+      static_cast<long long>(m.comm), static_cast<long long>(m.compute),
+      static_cast<long long>(m.sync), static_cast<long long>(m.host_api),
+      static_cast<long long>(m.comm_hidden), m.overlap_ratio, m.comm_fraction,
+      m.noncompute_fraction, m.hidden_comm_ratio);
+  out += buf;
+}
+
+[[nodiscard]] inline std::string to_json(const RunMetrics& m) {
+  std::string out;
+  append_json(m, out);
+  return out;
 }
 
 }  // namespace cpufree

@@ -40,9 +40,8 @@ sim::Task Comm::transport(int src, int dst, int tag, double bytes,
     co_await eng.delay(static_cast<sim::Nanos>(type.block_count) *
                        link.vector_per_block_overhead);
     co_await eng.delay(dev.dram_time(2.0 * pack_extra_bytes));
-    const auto pcie = static_cast<sim::Nanos>(
-        pack_extra_bytes / link.host_staging_bw_gbps);
-    co_await eng.delay(link.host_staging_latency + pcie);
+    co_await eng.delay(link.host_staging_latency +
+                       link.staging_time(pack_extra_bytes));
   }
   // The functional copy is deferred to match time (MPI buffers the eager
   // payload internally); the wire charges only the movement cost here.
@@ -51,9 +50,8 @@ sim::Task Comm::transport(int src, int dst, int tag, double bytes,
                               "mpi_payload");
   if (strided) {
     // Host-to-device staging plus unpack on the receiver.
-    const auto pcie = static_cast<sim::Nanos>(
-        pack_extra_bytes / link.host_staging_bw_gbps);
-    co_await eng.delay(link.host_staging_latency + pcie);
+    co_await eng.delay(link.host_staging_latency +
+                       link.staging_time(pack_extra_bytes));
     co_await eng.delay(dev.dram_time(2.0 * pack_extra_bytes));
   }
   sent->set(1);

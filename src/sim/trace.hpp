@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -37,6 +38,14 @@ struct Interval {
   std::string name;
 };
 
+/// THREAD CONFINEMENT: a Trace (like the Engine that owns it) is
+/// single-threaded state. It must be recorded into from exactly one thread;
+/// the sweep executor runs one whole Machine/Engine/Trace per worker, never
+/// sharing one across workers. `record` enforces this: it captures the
+/// recording thread on first use and throws std::logic_error on a record
+/// from any other thread. Read-only analysis from a different thread after
+/// the owning thread finished (join/future provides the happens-before) is
+/// fine. `clear()` releases ownership.
 class Trace {
  public:
   /// Enables or disables recording. Disabled traces drop all intervals,
@@ -47,7 +56,10 @@ class Trace {
   void record(Cat cat, std::int32_t device, std::int32_t lane, Nanos begin,
               Nanos end, std::string name = {});
 
-  void clear() { intervals_.clear(); }
+  void clear() {
+    intervals_.clear();
+    owner_ = std::thread::id{};
+  }
 
   [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
     return intervals_;
@@ -89,6 +101,8 @@ class Trace {
       std::initializer_list<Cat> cats, std::int32_t device) const;
 
   std::vector<Interval> intervals_;
+  /// Thread that first recorded; default-constructed id == unowned.
+  std::thread::id owner_;
   bool enabled_ = true;
 };
 

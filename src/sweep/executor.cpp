@@ -1,0 +1,101 @@
+#include "sweep/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+Executor::Executor(Options opt) : opt_(opt) {}
+
+std::size_t Executor::add(std::string id, std::vector<Param> params, JobFn fn) {
+  const std::size_t index = jobs_.size();
+  jobs_.push_back(Job{std::move(id), std::move(params), std::move(fn)});
+  return index;
+}
+
+int Executor::resolved_threads() const noexcept {
+  int n = opt_.threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  const auto jobs = static_cast<int>(jobs_.size());
+  if (jobs > 0 && n > jobs) n = jobs;
+  return n;
+}
+
+std::vector<RunRecord> Executor::run() {
+  const std::size_t n = jobs_.size();
+  std::vector<RunRecord> records(n);
+  if (n == 0) return records;
+
+  const int nthreads = resolved_threads();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;  // guards first_error and the progress line
+  std::exception_ptr first_error;
+  const Clock::time_point sweep_t0 = Clock::now();
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      Job& job = jobs_[i];
+      RunRecord rec;
+      rec.index = i;
+      rec.id = std::move(job.id);
+      rec.params = std::move(job.params);
+      const Clock::time_point t0 = Clock::now();
+      try {
+        rec.out = job.fn();
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      rec.wall_ms = elapsed_ms(t0, Clock::now());
+      const std::size_t finished =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opt_.progress) {
+        const std::lock_guard<std::mutex> lock(mu);
+        std::fprintf(stderr, "\r[sweep] %zu/%zu done  last: %s (%.1f ms)\033[K",
+                     finished, n, rec.id.c_str(), rec.wall_ms);
+        std::fflush(stderr);
+      }
+      records[i] = std::move(rec);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  jobs_.clear();
+
+  if (first_error) {
+    if (opt_.progress) std::fprintf(stderr, "\n");
+    std::rethrow_exception(first_error);
+  }
+  if (opt_.progress) {
+    std::fprintf(stderr, "\r[sweep] %zu runs on %d thread%s in %.1f ms\033[K\n",
+                 n, nthreads, nthreads == 1 ? "" : "s",
+                 elapsed_ms(sweep_t0, Clock::now()));
+  }
+  return records;
+}
+
+}  // namespace sweep

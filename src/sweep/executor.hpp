@@ -1,0 +1,72 @@
+// Thread-pool sweep executor.
+//
+// The paper's evaluation is built from large parameter sweeps whose points
+// are fully independent: each simulated run constructs its own
+// vgpu::Machine (and with it its own sim::Engine and sim::Trace), so runs
+// are embarrassingly parallel across host cores the same way MGSim farms
+// multi-GPU experiments out to workers. The executor:
+//
+//  * runs queued jobs on N worker threads (default: all hardware threads),
+//  * preserves deterministic result ordering — records come back in
+//    submission order no matter which worker finished first, and because
+//    every job owns its whole simulation, per-run metrics are bit-identical
+//    between 1-thread and N-thread execution,
+//  * measures per-run host wall-clock and reports live progress.
+//
+// Jobs must be self-contained: a job body must not touch an Engine, Machine
+// or Trace owned by another job (sim::Trace::record enforces the
+// thread-confinement at runtime).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/record.hpp"
+
+namespace sweep {
+
+struct Options {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Live "[sweep] done/total" progress line on stderr.
+  bool progress = true;
+};
+
+class Executor {
+ public:
+  using JobFn = std::function<RunResult()>;
+
+  explicit Executor(Options opt = {});
+
+  /// Queues a job. `id` names the run (used in progress and output files),
+  /// `params` are its sweep-axis coordinates. Returns the job's index, which
+  /// is also its position in the vector run() returns.
+  std::size_t add(std::string id, std::vector<Param> params, JobFn fn);
+
+  /// Runs every queued job across the worker pool and returns the records in
+  /// submission order. Rethrows the first job exception (remaining queued
+  /// jobs are abandoned). The queue is consumed; the executor can be reused
+  /// by adding new jobs afterwards.
+  [[nodiscard]] std::vector<RunRecord> run();
+
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+
+  /// Resolved worker count for the current queue: options.threads (or the
+  /// hardware concurrency) clamped to [1, size()].
+  [[nodiscard]] int resolved_threads() const noexcept;
+
+ private:
+  struct Job {
+    std::string id;
+    std::vector<Param> params;
+    JobFn fn;
+  };
+
+  Options opt_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace sweep

@@ -1,0 +1,61 @@
+// Per-run record types for the sweep executor.
+//
+// A sweep is a list of independent simulated runs (variant x device count x
+// domain size x ...). Each run returns a RunResult: the cpufree::RunMetrics
+// the simulation produced, the exact MachineSpec calibration it ran with
+// (sensitivity sweeps perturb it per run, so it is captured per run, not per
+// sweep), and any derived scalars the driver wants plotted. The executor
+// wraps that into a RunRecord with the run's identity and bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cpufree/metrics.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace sweep {
+
+/// One named sweep-axis coordinate, e.g. {"variant", "cpu_free"}. Ordered;
+/// order is preserved into the JSON/CSV output.
+struct Param {
+  std::string key;
+  std::string value;
+};
+
+/// What a sweep job body returns.
+struct RunResult {
+  cpufree::RunMetrics metrics;
+  /// Calibration the run was simulated with (embedded per run in the JSON).
+  vgpu::MachineSpec spec;
+  /// Derived scalars keyed by name (e.g. "per_iter_us"); what the figure
+  /// tables are built from.
+  std::vector<std::pair<std::string, double>> values;
+
+  void set(std::string key, double v) {
+    values.emplace_back(std::move(key), v);
+  }
+};
+
+/// A finished run: identity + result + bookkeeping. Records come back from
+/// Executor::run() in submission order regardless of completion order.
+struct RunRecord {
+  std::size_t index = 0;
+  std::string id;
+  std::vector<Param> params;
+  RunResult out;
+  /// Host wall-clock spent simulating this run (not simulated time).
+  double wall_ms = 0.0;
+
+  [[nodiscard]] double value(std::string_view key, double fallback = 0.0) const {
+    for (const auto& [k, v] : out.values) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+}  // namespace sweep

@@ -12,6 +12,7 @@
 // NVSHMEM put latency ~1 us.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -19,11 +20,24 @@
 
 namespace vgpu {
 
+/// Converts a byte count moved at `gbps` (GB/s == bytes/ns) into integer
+/// nanoseconds, rounding up and charging at least 1 ns for any nonzero
+/// transfer. A truncating cast here let sub-nanosecond transfers round down
+/// to a free 0 ns, so e.g. a 4-byte NVLink put paid no wire time at all.
+[[nodiscard]] inline sim::Nanos transfer_ns(double bytes, double gbps) {
+  if (bytes <= 0.0 || gbps <= 0.0) return 0;
+  const auto t = static_cast<sim::Nanos>(std::ceil(bytes / gbps));
+  return t > 0 ? t : 1;
+}
+
 /// Per-device hardware characteristics.
 struct DeviceSpec {
   int sm_count = 108;
   int max_threads_per_block = 1024;
   int max_threads_per_sm = 2048;
+  /// Hardware limit on resident blocks per SM regardless of their size
+  /// (32 on A100); small blocks hit this before the thread-count limit.
+  int max_blocks_per_sm = 32;
   /// Bytes of shared memory usable per SM (A100: 164 KiB configurable).
   std::size_t shared_mem_per_sm = 164 * 1024;
   /// Register-file bytes per SM (A100: 64K 32-bit registers).
@@ -49,10 +63,13 @@ struct DeviceSpec {
 
   /// Maximum number of co-resident thread blocks for a cooperative launch
   /// with `threads_per_block` threads — the Cooperative Groups constraint the
-  /// paper's §4.1.4 discusses. A100 with 1024-thread blocks: 2 per SM.
+  /// paper's §4.1.4 discusses. A100 with 1024-thread blocks: 2 per SM. Small
+  /// blocks are capped by the per-SM resident-block limit, not just the
+  /// thread count: 32-thread blocks give 32 per SM, not 2048/32 = 64.
   [[nodiscard]] int max_cooperative_blocks(int threads_per_block) const {
     if (threads_per_block <= 0) return 0;
-    const int per_sm = max_threads_per_sm / threads_per_block;
+    int per_sm = max_threads_per_sm / threads_per_block;
+    if (per_sm > max_blocks_per_sm) per_sm = max_blocks_per_sm;
     return per_sm * sm_count;
   }
 
@@ -72,8 +89,7 @@ struct DeviceSpec {
   /// `bw_fraction` share of the device's streaming bandwidth.
   [[nodiscard]] sim::Nanos dram_time(double bytes, double bw_fraction = 1.0) const {
     if (bytes <= 0.0 || bw_fraction <= 0.0) return 0;
-    const double gbps = dram_bw_gbps * dram_efficiency * bw_fraction;
-    return static_cast<sim::Nanos>(bytes / gbps);  // GB/s == bytes/ns
+    return transfer_ns(bytes, dram_bw_gbps * dram_efficiency * bw_fraction);
   }
 
   [[nodiscard]] static DeviceSpec a100() { return DeviceSpec{}; }
@@ -148,8 +164,13 @@ struct LinkSpec {
   sim::Nanos vector_per_block_overhead = sim::usec(2.0);
 
   [[nodiscard]] sim::Nanos wire_time(double bytes) const {
-    if (bytes <= 0.0) return 0;
-    return static_cast<sim::Nanos>(bytes / bw_gbps);  // GB/s == bytes/ns
+    return transfer_ns(bytes, bw_gbps);
+  }
+
+  /// One direction of the host-staging (PCIe) path used by non-contiguous
+  /// MPI datatypes; same rounding rules as `wire_time`.
+  [[nodiscard]] sim::Nanos staging_time(double bytes) const {
+    return transfer_ns(bytes, host_staging_bw_gbps);
   }
 };
 

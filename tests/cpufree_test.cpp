@@ -284,4 +284,66 @@ TEST(Metrics, ZeroIterationGuard) {
   EXPECT_DOUBLE_EQ(m.comm_fraction, 0.0);
 }
 
+TEST(Metrics, ZeroIterationRunWithActivityStillDerivesFractions) {
+  // A run that aborted before its first iteration: intervals exist but
+  // iterations == 0. per_iteration falls back to total; fractions are still
+  // well-defined.
+  sim::Trace tr;
+  tr.record(sim::Cat::kHostApi, -1, 0, 0, 200);
+  tr.record(sim::Cat::kCompute, 0, 0, 200, 400);
+  const cpufree::RunMetrics m = cpufree::analyze_run(tr, 400, 0);
+  EXPECT_EQ(m.per_iteration, 400);
+  EXPECT_EQ(m.compute, 200);
+  EXPECT_EQ(m.host_api, 200);
+  EXPECT_DOUBLE_EQ(m.noncompute_fraction, 0.5);
+  // Host API [0,200) and compute [200,400) tile the run exactly: nothing is
+  // hidden.
+  EXPECT_DOUBLE_EQ(m.hidden_comm_ratio, 0.0);
+}
+
+TEST(Metrics, IdleGapsClampHiddenCommRatioToZero) {
+  // compute + noncompute < total because of a large idle gap; the covered
+  // estimate (compute + noncompute - total) goes negative and must clamp to
+  // zero rather than produce a negative ratio.
+  sim::Trace tr;
+  tr.record(sim::Cat::kCompute, 0, 0, 0, 100);
+  tr.record(sim::Cat::kComm, 0, 0, 500, 600);  // idle gap [100, 500)
+  const cpufree::RunMetrics m = cpufree::analyze_run(tr, 1000, 10);
+  EXPECT_EQ(m.compute, 100);
+  EXPECT_EQ(m.comm, 100);
+  EXPECT_EQ(m.comm_hidden, 0);
+  EXPECT_DOUBLE_EQ(m.hidden_comm_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.noncompute_fraction, 0.9);
+}
+
+TEST(Metrics, FullyOverlappedCommClampsHiddenRatioToOne) {
+  // Compute spans the whole run and covers all non-compute activity: covered
+  // = compute + noncompute - total would exceed noncompute without the upper
+  // clamp (compute alone already tiles the run).
+  sim::Trace tr;
+  tr.record(sim::Cat::kCompute, 0, 0, 0, 1000);
+  tr.record(sim::Cat::kComm, 0, 0, 100, 200);
+  tr.record(sim::Cat::kSync, 0, 0, 300, 350);
+  const cpufree::RunMetrics m = cpufree::analyze_run(tr, 1000, 10);
+  EXPECT_EQ(m.comm_hidden, 100);
+  EXPECT_DOUBLE_EQ(m.overlap_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.hidden_comm_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.noncompute_fraction, 0.0);
+}
+
+TEST(Metrics, JsonEmitsExactNanosAndRatios) {
+  cpufree::RunMetrics m;
+  m.total = 123456789;
+  m.per_iteration = 1234567;
+  m.comm = 42;
+  m.overlap_ratio = 0.5;
+  const std::string json = cpufree::to_json(m);
+  EXPECT_NE(json.find("\"total_ns\":123456789"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"per_iteration_ns\":1234567"), std::string::npos);
+  EXPECT_NE(json.find("\"comm_ns\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"overlap_ratio\":0.5"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
 }  // namespace

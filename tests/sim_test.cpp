@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -404,6 +405,62 @@ TEST(Trace, ChromeJsonContainsEvents) {
 TEST(Trace, OverlapRatioZeroWhenNoIntervals) {
   sim::Trace tr;
   EXPECT_DOUBLE_EQ(tr.overlap_ratio(Cat::kComm, Cat::kCompute), 0.0);
+}
+
+TEST(Trace, UnionLengthAnyEmptyCategorySetIsZero) {
+  sim::Trace tr;
+  tr.record(Cat::kCompute, 0, 0, 0, 100);
+  EXPECT_EQ(tr.union_length_any({}), 0);
+}
+
+TEST(Trace, UnionLengthAnyMergesAcrossCategories) {
+  sim::Trace tr;
+  tr.record(Cat::kComm, 0, 0, 0, 100);
+  tr.record(Cat::kSync, 0, 0, 50, 150);      // overlaps the comm interval
+  tr.record(Cat::kHostApi, -1, 0, 200, 250); // disjoint
+  tr.record(Cat::kCompute, 0, 0, 0, 1000);   // not requested; must not count
+  EXPECT_EQ(tr.union_length_any({Cat::kComm, Cat::kSync, Cat::kHostApi}), 200);
+}
+
+TEST(Trace, OverlapRatioZeroWhenOneCategoryEmpty) {
+  sim::Trace tr;
+  tr.record(Cat::kCompute, 0, 0, 0, 100);
+  // No comm intervals at all: the ratio's denominator union is empty.
+  EXPECT_DOUBLE_EQ(tr.overlap_ratio(Cat::kComm, Cat::kCompute), 0.0);
+  // And the other way around: comm exists but compute is empty.
+  sim::Trace tr2;
+  tr2.record(Cat::kComm, 0, 0, 0, 100);
+  EXPECT_DOUBLE_EQ(tr2.overlap_ratio(Cat::kComm, Cat::kCompute), 0.0);
+}
+
+TEST(Trace, RecordFromSecondThreadThrows) {
+  // Traces are thread-confined: each sweep job must own its Machine/Engine/
+  // Trace. Recording from a second thread is a programming error the trace
+  // detects at runtime.
+  sim::Trace tr;
+  tr.record(Cat::kCompute, 0, 0, 0, 100);  // bind to this thread
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      tr.record(Cat::kCompute, 0, 0, 100, 200);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(tr.intervals().size(), 1u);  // the cross-thread record was rejected
+}
+
+TEST(Trace, ClearReleasesThreadOwnership) {
+  // clear() resets ownership so a pooled worker can reuse a trace for the
+  // next job.
+  sim::Trace tr;
+  std::thread first([&] { tr.record(Cat::kCompute, 0, 0, 0, 100); });
+  first.join();
+  tr.clear();
+  EXPECT_NO_THROW(tr.record(Cat::kComm, 0, 0, 0, 50));  // this thread now owns
+  EXPECT_EQ(tr.intervals().size(), 1u);
 }
 
 TEST(Stats, MinMeanMedianMax) {

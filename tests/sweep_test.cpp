@@ -1,0 +1,259 @@
+// Unit tests for the sweep executor and structured emission: submission-order
+// determinism, bit-identical metrics across thread counts, parallel speedup
+// on sleep-bound jobs, exception propagation, and the JSON/CSV emitters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/executor.hpp"
+#include "sweep/json.hpp"
+#include "sweep/record.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace {
+
+using sweep::Executor;
+using sweep::Options;
+using sweep::RunRecord;
+using sweep::RunResult;
+
+Options quiet(int threads) {
+  Options opt;
+  opt.threads = threads;
+  opt.progress = false;
+  return opt;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(Executor, RecordsComeBackInSubmissionOrder) {
+  // Later submissions sleep less, so on 4 workers they finish first; records
+  // must still come back in submission order.
+  Executor ex(quiet(4));
+  constexpr int kJobs = 8;
+  for (int i = 0; i < kJobs; ++i) {
+    ex.add("job" + std::to_string(i), {{"i", std::to_string(i)}}, [i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kJobs - i));
+      RunResult res;
+      res.set("i", static_cast<double>(i));
+      return res;
+    });
+  }
+  const std::vector<RunRecord> records = ex.run();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kJobs));
+  for (int i = 0; i < kJobs; ++i) {
+    const RunRecord& r = records[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.index, static_cast<std::size_t>(i));
+    EXPECT_EQ(r.id, "job" + std::to_string(i));
+    ASSERT_EQ(r.params.size(), 1u);
+    EXPECT_EQ(r.params[0].value, std::to_string(i));
+    EXPECT_DOUBLE_EQ(r.value("i"), static_cast<double>(i));
+  }
+}
+
+std::vector<RunRecord> run_stencil_sweep(int threads) {
+  Executor ex(quiet(threads));
+  for (stencil::Variant v :
+       {stencil::Variant::kBaselineCopy, stencil::Variant::kBaselineNvshmem,
+        stencil::Variant::kCpuFree}) {
+    for (int gpus : {1, 2, 4}) {
+      ex.add(std::string(stencil::variant_name(v)) + "/gpus=" +
+                 std::to_string(gpus),
+             {}, [v, gpus] {
+               stencil::Jacobi2D p;
+               p.nx = 256;
+               p.ny = 256;
+               stencil::StencilConfig cfg;
+               cfg.iterations = 10;
+               cfg.functional = false;
+               const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+               RunResult res;
+               res.spec = spec;
+               res.metrics = stencil::run_jacobi2d(v, spec, p, cfg)
+                                 .result.metrics;
+               return res;
+             });
+    }
+  }
+  return ex.run();
+}
+
+// The acceptance bar for the executor: because every job owns its whole
+// simulation (Machine, Engine, Trace), metrics must be bit-identical no
+// matter how many workers the sweep ran on.
+TEST(Executor, MetricsBitIdenticalAcrossThreadCounts) {
+  const std::vector<RunRecord> seq = run_stencil_sweep(1);
+  const std::vector<RunRecord> par = run_stencil_sweep(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].id, par[i].id);
+    const cpufree::RunMetrics& a = seq[i].out.metrics;
+    const cpufree::RunMetrics& b = par[i].out.metrics;
+    EXPECT_EQ(a.total, b.total) << seq[i].id;
+    EXPECT_EQ(a.per_iteration, b.per_iteration) << seq[i].id;
+    EXPECT_EQ(a.comm, b.comm) << seq[i].id;
+    EXPECT_EQ(a.compute, b.compute) << seq[i].id;
+    EXPECT_EQ(a.sync, b.sync) << seq[i].id;
+    EXPECT_EQ(a.host_api, b.host_api) << seq[i].id;
+    EXPECT_EQ(a.comm_hidden, b.comm_hidden) << seq[i].id;
+    // Doubles are derived from identical integer inputs by identical code, so
+    // they must match to the bit, not just approximately.
+    EXPECT_EQ(std::memcmp(&a.overlap_ratio, &b.overlap_ratio, sizeof(double)),
+              0)
+        << seq[i].id;
+    EXPECT_EQ(std::memcmp(&a.hidden_comm_ratio, &b.hidden_comm_ratio,
+                          sizeof(double)),
+              0)
+        << seq[i].id;
+    // The JSON form is what consumers diff; it must be byte-identical.
+    EXPECT_EQ(cpufree::to_json(a), cpufree::to_json(b)) << seq[i].id;
+  }
+}
+
+// The acceptance bar for parallelism: >= 16 independent runs complete
+// measurably faster on 4 workers than on 1. Jobs sleep rather than spin so
+// the test holds even on a single-core host (sleeping threads overlap).
+TEST(Executor, FourWorkersBeatOneOnSixteenJobs) {
+  constexpr int kJobs = 16;
+  constexpr auto kNap = std::chrono::milliseconds(20);
+  auto build = [&](int threads) {
+    Executor ex(quiet(threads));
+    for (int i = 0; i < kJobs; ++i) {
+      ex.add("nap" + std::to_string(i), {}, [kNap] {
+        std::this_thread::sleep_for(kNap);
+        return RunResult{};
+      });
+    }
+    return ex;
+  };
+
+  Executor seq = build(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto seq_records = seq.run();
+  const double seq_ms = elapsed_ms(t0);
+
+  Executor par = build(4);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto par_records = par.run();
+  const double par_ms = elapsed_ms(t1);
+
+  EXPECT_EQ(seq_records.size(), static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(par_records.size(), static_cast<std::size_t>(kJobs));
+  // 1 worker serializes 16 naps (>= 320 ms); 4 workers overlap them in waves
+  // of 4 (~80 ms). Half is a generous bar that absorbs scheduler noise.
+  EXPECT_GE(seq_ms, kJobs * 20.0 * 0.9);
+  EXPECT_LT(par_ms, seq_ms * 0.5)
+      << "4 workers took " << par_ms << " ms vs " << seq_ms
+      << " ms on 1 worker";
+}
+
+TEST(Executor, FirstJobExceptionPropagates) {
+  Executor ex(quiet(4));
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    ex.add("job" + std::to_string(i), {}, [i, &completed]() -> RunResult {
+      if (i == 2) throw std::runtime_error("job 2 failed");
+      ++completed;
+      return {};
+    });
+  }
+  EXPECT_THROW(static_cast<void>(ex.run()), std::runtime_error);
+}
+
+TEST(Executor, ResolvedThreadsClampedToQueueSize) {
+  Executor ex(quiet(8));
+  ex.add("only", {}, [] { return RunResult{}; });
+  EXPECT_EQ(ex.resolved_threads(), 1);
+  ex.add("second", {}, [] { return RunResult{}; });
+  EXPECT_EQ(ex.resolved_threads(), 2);
+}
+
+TEST(Executor, CanBeReusedAfterRun) {
+  Executor ex(quiet(2));
+  ex.add("a", {}, [] { return RunResult{}; });
+  EXPECT_EQ(ex.run().size(), 1u);
+  EXPECT_EQ(ex.size(), 0u);  // queue consumed
+  ex.add("b", {}, [] { return RunResult{}; });
+  const auto records = ex.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "b");
+}
+
+TEST(JsonWriter, NestsAndSeparates) {
+  sweep::JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("bench");
+  w.key("runs");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(2.5);
+  w.value(true);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"name\":\"bench\",\"runs\":[1,2.5,true]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  sweep::JsonWriter w;
+  w.begin_object();
+  w.key("s");
+  w.value("quote\" back\\ tab\t nl\n");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"quote\\\" back\\\\ tab\\t nl\\n\"}");
+}
+
+RunRecord sample_record() {
+  RunRecord rec;
+  rec.index = 0;
+  rec.id = "small/cpu_free/gpus=8";
+  rec.params = {{"variant", "cpu_free"}, {"gpus", "8"}};
+  rec.out.spec = vgpu::MachineSpec::hgx_a100(8);
+  rec.out.metrics.total = 12345;
+  rec.out.metrics.per_iteration = 123;
+  rec.out.set("per_iter_us", 0.123);
+  rec.wall_ms = 1.5;
+  return rec;
+}
+
+TEST(Emit, BenchJsonContainsSchemaParamsMetricsAndMachine) {
+  const std::string json = sweep::bench_json("fig_test", 4, {sample_record()});
+  for (const char* needle :
+       {"\"schema\":\"cpufree-bench-v1\"", "\"bench\":\"fig_test\"",
+        "\"threads\":4", "\"id\":\"small/cpu_free/gpus=8\"",
+        "\"variant\":\"cpu_free\"", "\"gpus\":\"8\"", "\"per_iter_us\":0.123",
+        "\"total_ns\":12345", "\"per_iteration_ns\":123", "\"sm_count\":108",
+        "\"max_blocks_per_sm\":32", "\"wall_ms\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(Emit, BenchCsvFlattensAndQuotes) {
+  RunRecord rec = sample_record();
+  rec.params.push_back({"note", "has,comma"});
+  const std::string csv = sweep::bench_csv({rec});
+  const auto newline = csv.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string header = csv.substr(0, newline);
+  EXPECT_NE(header.find("index,id,variant,gpus,note,per_iter_us,wall_ms"),
+            std::string::npos)
+      << header;
+  EXPECT_NE(header.find("total_ns"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("small/cpu_free/gpus=8"), std::string::npos);
+}
+
+}  // namespace

@@ -51,7 +51,28 @@ TEST(CostModel, A100CooperativeBlockLimit) {
   // 1024-thread blocks: 2048/1024 = 2 per SM * 108 SMs.
   EXPECT_EQ(a100.max_cooperative_blocks(1024), 216);
   EXPECT_EQ(a100.max_cooperative_blocks(256), 8 * 108);
+  // Small blocks hit the per-SM resident-block limit (32 on A100) before the
+  // thread-count limit: 32-thread blocks give 32 per SM, not 2048/32 = 64.
+  EXPECT_EQ(a100.max_cooperative_blocks(32), 32 * 108);
+  EXPECT_EQ(a100.max_cooperative_blocks(1), 32 * 108);
   EXPECT_EQ(a100.max_cooperative_blocks(0), 0);
+}
+
+TEST(CostModel, SubNanosecondTransfersChargeAtLeastOneNano) {
+  vgpu::LinkSpec l;
+  l.bw_gbps = 250.0;
+  // 4 bytes at 250 GB/s is 0.016 ns of wire time; it must not truncate to a
+  // free transfer.
+  EXPECT_EQ(l.wire_time(4.0), 1);
+  EXPECT_EQ(l.wire_time(0.0), 0);
+  EXPECT_EQ(l.staging_time(1.0), 1);
+  EXPECT_EQ(l.staging_time(0.0), 0);
+  DeviceSpec d;
+  d.dram_bw_gbps = 1000.0;
+  d.dram_efficiency = 1.0;
+  EXPECT_EQ(d.dram_time(8.0), 1);
+  // Fractional times round up, never down: 1.5 ns -> 2 ns.
+  EXPECT_EQ(d.dram_time(1500.0), 2);
 }
 
 TEST(CostModel, DramTimeScalesWithBytesAndFraction) {
