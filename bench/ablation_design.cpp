@@ -16,6 +16,7 @@
 #include "dacelite/frontend.hpp"
 #include "stencil/problems.hpp"
 #include "stencil/runner.hpp"
+#include "stencil/variants.hpp"
 #include "vshmem/world.hpp"
 
 namespace {
@@ -85,6 +86,14 @@ int main(int argc, char** argv) {
   bench::print_header("Ablations", "design choices called out in the paper");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
   const std::vector<int> gpus = {2, 4, 8};
+
+  // Every arm perturbs one knob of the same CPU-Free composition (the
+  // dacelite persistent backend runs the identical triple).
+  bench::print_policies(
+      {{stencil::variant_name(Variant::kCpuFree),
+        stencil::plan_for(Variant::kCpuFree)},
+       {stencil::variant_name(Variant::kCpuFreeTwoKernels),
+        stencil::plan_for(Variant::kCpuFreeTwoKernels)}});
 
   // Every ablation arm, in table order; each arm contributes one row whose
   // columns are the GPU counts.

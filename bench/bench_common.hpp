@@ -13,8 +13,10 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "exec/policy.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "sweep/emit.hpp"
@@ -49,6 +51,26 @@ inline void print_calibration(const vgpu::MachineSpec& spec) {
       sim::to_usec(spec.link.device_put_issue),
       sim::to_usec(spec.link.device_initiated_latency),
       sim::to_usec(spec.link.host_initiated_latency));
+}
+
+/// A named (launch, comm, sync) composition to list in the report header.
+using PolicyRow = std::pair<std::string_view, exec::Plan>;
+
+/// Prints the exec-layer policy triple behind each evaluated variant, so the
+/// report states the composition (§4.1) each variant name stands for.
+inline void print_policies(const std::vector<PolicyRow>& rows) {
+  std::printf("execution policies (launch, comm, sync):\n");
+  for (const auto& [label, plan] : rows) {
+    const std::string_view l = exec::name(plan.launch);
+    const std::string_view c = exec::name(plan.comm);
+    const std::string_view s = exec::name(plan.sync);
+    std::printf("  %-24.*s (%.*s, %.*s, %.*s)\n",
+                static_cast<int>(label.size()), label.data(),
+                static_cast<int>(l.size()), l.data(),
+                static_cast<int>(c.size()), c.data(),
+                static_cast<int>(s.size()), s.data());
+  }
+  std::printf("\n");
 }
 
 /// One table row: label + one value per GPU count.

@@ -68,6 +68,14 @@ int main(int argc, char** argv) {
   constexpr Variant kComputeVariants[] = {
       Variant::kBaselineCopy, Variant::kBaselineOverlap, Variant::kCpuFree};
 
+  {
+    std::vector<bench::PolicyRow> policies;
+    for (Variant v : kNoComputeVariants) {
+      policies.emplace_back(stencil::variant_name(v), stencil::plan_for(v));
+    }
+    bench::print_policies(policies);
+  }
+
   sweep::Executor ex(args.sweep_options());
 
   // (a) No-compute: per-iteration communication+synchronization time.

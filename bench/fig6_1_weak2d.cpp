@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "stencil/problems.hpp"
 #include "stencil/runner.hpp"
+#include "stencil/variants.hpp"
 
 namespace {
 
@@ -59,6 +60,14 @@ int main(int argc, char** argv) {
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
 
   const std::vector<int> gpus = {1, 2, 4, 8};
+
+  {
+    std::vector<bench::PolicyRow> policies;
+    for (Variant v : stencil::kAllVariants) {
+      policies.emplace_back(stencil::variant_name(v), stencil::plan_for(v));
+    }
+    bench::print_policies(policies);
+  }
 
   sweep::Executor ex(args.sweep_options());
   for (const DomainClass& dc : kClasses) {

@@ -108,6 +108,17 @@ int main(int argc, char** argv) {
   constexpr int kIters = 100;
   const char* impl_name[] = {"baseline_mpi", "cpu_free_nvshmem"};
 
+  // The two generated workflows as exec-layer compositions: the discrete
+  // backend is a host-driven loop with staged (MPI) transfers fenced by the
+  // host; the persistent backend is the CPU-Free triple.
+  bench::print_policies(
+      {{impl_name[0],
+        {exec::LaunchPolicy::kHostLoop, exec::CommPolicy::kStagedCopy,
+         exec::SyncPolicy::kHostBarrier}},
+       {impl_name[1],
+        {exec::LaunchPolicy::kPersistent, exec::CommPolicy::kSignaledPut,
+         exec::SyncPolicy::kIterationFlags}}});
+
   sweep::Executor ex(args.sweep_options());
   for (const char* system : {"jacobi1d", "jacobi2d"}) {
     const bool is_1d = std::string_view(system) == "jacobi1d";

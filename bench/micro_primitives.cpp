@@ -17,6 +17,7 @@
 #include "sim/sync.hpp"
 #include "stencil/problems.hpp"
 #include "stencil/runner.hpp"
+#include "stencil/variants.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/machine.hpp"
 
@@ -68,6 +69,10 @@ sweep::RunResult measure(int repeats, double items_per_rep,
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
   bench::print_header("Micro", "simulator substrate wall-clock throughput");
+  // The full-run workload exercises one composition end to end.
+  bench::print_policies(
+      {{stencil::variant_name(stencil::Variant::kCpuFree),
+        stencil::plan_for(stencil::Variant::kCpuFree)}});
   const int repeats = args.repeats > 1 ? args.repeats : 3;
 
   sweep::Executor ex(args.sweep_options());

@@ -22,6 +22,7 @@
 #include "bench_common.hpp"
 #include "stencil/problems.hpp"
 #include "stencil/runner.hpp"
+#include "stencil/variants.hpp"
 
 namespace {
 
@@ -79,6 +80,14 @@ int main(int argc, char** argv) {
   bench::print_header("Sensitivity",
                       "headline claims under cost-model perturbation");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+
+  {
+    std::vector<bench::PolicyRow> policies;
+    for (Variant v : kLargeVariants) {
+      policies.emplace_back(stencil::variant_name(v), stencil::plan_for(v));
+    }
+    bench::print_policies(policies);
+  }
 
   const std::vector<Knob> knobs = {
       {"kernel_launch", [](vgpu::MachineSpec& s, double f) {

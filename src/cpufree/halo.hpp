@@ -53,6 +53,10 @@ struct HaloPlan1D {
 
 /// The iteration-number semaphore protocol over a SignalSet: flags count
 /// iterations; waiting compares against the current iteration (§4.1.1).
+///
+/// Flags are plain signal indices so any layout works: the stencil's four
+/// HaloFlag slots, CG's `channel*n + peer` reduction flags, or the signal
+/// indices a lowered SDFG assigns (HaloFlag converts implicitly).
 class IterationProtocol {
  public:
   IterationProtocol(vshmem::World& world, vshmem::SignalSet& signals)
@@ -63,28 +67,29 @@ class IterationProtocol {
   template <typename T>
   sim::Task put_and_signal(vgpu::KernelCtx& ctx, vshmem::Sym<T>& arr,
                            std::size_t src_off, std::size_t dst_off,
-                           std::size_t count, HaloFlag flag, std::int64_t iter,
-                           int dst_pe) {
+                           std::size_t count, std::size_t flag,
+                           std::int64_t iter, int dst_pe,
+                           vshmem::Scope scope = vshmem::Scope::kBlock) {
     co_await world_->putmem_signal_nbi(ctx, arr, src_off, dst_off, count,
                                        *signals_, flag, iter,
-                                       vshmem::SignalOp::kSet, dst_pe);
+                                       vshmem::SignalOp::kSet, dst_pe, scope);
   }
 
   /// Receiver side: wait until `flag` on my PE reaches iteration `iter`.
-  sim::Task wait_iteration(vgpu::KernelCtx& ctx, HaloFlag flag,
+  sim::Task wait_iteration(vgpu::KernelCtx& ctx, std::size_t flag,
                            std::int64_t iter) {
     co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
                                        iter);
   }
 
   /// Pure signal without payload (ack / flow-control edges).
-  sim::Task signal_only(vgpu::KernelCtx& ctx, HaloFlag flag, std::int64_t iter,
-                        int dst_pe) {
+  sim::Task signal_only(vgpu::KernelCtx& ctx, std::size_t flag,
+                        std::int64_t iter, int dst_pe) {
     co_await world_->signal_op(ctx, *signals_, flag, iter,
                                vshmem::SignalOp::kSet, dst_pe);
   }
 
-  [[nodiscard]] std::int64_t flag_value(int pe, HaloFlag flag) const {
+  [[nodiscard]] std::int64_t flag_value(int pe, std::size_t flag) const {
     return signals_->at(pe, flag).value();
   }
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "cpufree/halo.hpp"
 #include "cpufree/launch.hpp"
 #include "cpufree/perks.hpp"
 #include "dacelite/transforms.hpp"
+#include "exec/launch.hpp"
+#include "exec/policy.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/kernel.hpp"
 
@@ -234,6 +237,7 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
                                    int rank, int size, int t,
                                    const ExecOptions& opt) {
   if (!lib.active(rank, size)) co_return;
+  cpufree::IterationProtocol proto(w, data.signals());
   switch (lib.kind) {
     case LibKind::kNvshmemPutmemSignal: {
       const int peer = lib.peer_of(rank, size);
@@ -241,9 +245,8 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
         // Flow control: wait until the receiver consumed the previous
         // iteration's halo (it publishes "ready for t" at the top of its
         // exchange state).
-        co_await w.signal_wait_until(k, data.signals(),
-                                     static_cast<std::size_t>(lib.ack_flag),
-                                     sim::Cmp::kGe, t);
+        co_await proto.wait_iteration(
+            k, static_cast<std::size_t>(lib.ack_flag), t);
       }
       const PutExpansion exp = select_expansion(lib.src, lib.dst);
       vshmem::Sym<double>& arr = data.sym(lib.array);
@@ -257,22 +260,18 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
             co_await w.iput(k, arr, lib.src.offset, 1, lib.dst.offset, 1,
                             lib.src.count, peer);
             co_await w.quiet(k);
-            co_await w.signal_op(k, data.signals(), flag, t,
-                                 vshmem::SignalOp::kSet, peer);
+            co_await proto.signal_only(k, flag, t, peer);
           } else if (opt.blocking_puts) {
             // Ablation: blocking put + separate signal (serializes the
             // issuing thread on the wire time).
             co_await w.putmem(k, arr, lib.src.offset, lib.dst.offset,
                               lib.src.count, peer, vshmem::Scope::kThread);
-            co_await w.signal_op(k, data.signals(), flag, t,
-                                 vshmem::SignalOp::kSet, peer);
+            co_await proto.signal_only(k, flag, t, peer);
           } else {
             // Single-thread scheduled nonblocking signaled put (§5.3.2).
-            co_await w.putmem_signal_nbi(k, arr, lib.src.offset,
-                                         lib.dst.offset, lib.src.count,
-                                         data.signals(), flag, t,
-                                         vshmem::SignalOp::kSet, peer,
-                                         vshmem::Scope::kThread);
+            co_await proto.put_and_signal(k, arr, lib.src.offset,
+                                          lib.dst.offset, lib.src.count, flag,
+                                          t, peer, vshmem::Scope::kThread);
           }
           break;
         case PutExpansion::kStridedIputSignal:
@@ -281,8 +280,7 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
           co_await w.iput(k, arr, lib.src.offset, lib.src.stride,
                           lib.dst.offset, lib.dst.stride, lib.src.count, peer);
           co_await w.quiet(k);
-          co_await w.signal_op(k, data.signals(), flag, t,
-                               vshmem::SignalOp::kSet, peer);
+          co_await proto.signal_only(k, flag, t, peer);
           break;
         case PutExpansion::kSingleElementP: {
           const double value =
@@ -290,8 +288,7 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
                                 : 0.0;
           co_await w.p(k, arr, lib.dst.offset, value, peer);
           co_await w.quiet(k);
-          co_await w.signal_op(k, data.signals(), flag, t,
-                               vshmem::SignalOp::kSet, peer);
+          co_await proto.signal_only(k, flag, t, peer);
           break;
         }
       }
@@ -301,14 +298,11 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
       // (The consumption ACK for this stream was published in the state's
       // pre-pass — see run_device_persistent — so senders are never gated on
       // OUR sends, which would deadlock.)
-      co_await w.signal_wait_until(k, data.signals(),
-                                   static_cast<std::size_t>(lib.flag),
-                                   sim::Cmp::kGe, t);
+      co_await proto.wait_iteration(k, static_cast<std::size_t>(lib.flag), t);
       break;
     case LibKind::kNvshmemSignalOp:
-      co_await w.signal_op(k, data.signals(),
-                           static_cast<std::size_t>(lib.flag), t,
-                           vshmem::SignalOp::kSet, lib.peer_of(rank, size));
+      co_await proto.signal_only(k, static_cast<std::size_t>(lib.flag), t,
+                                 lib.peer_of(rank, size));
       break;
     case LibKind::kNvshmemIput: {
       vshmem::Sym<double>& arr = data.sym(lib.array);
@@ -339,6 +333,7 @@ sim::Task run_device_persistent(vshmem::World& w, ProgramData& data,
                                 int iters, ExecOptions opt) {
   const int size = w.n_pes();
   const int resident_threads = opt.persistent_blocks * opt.threads_per_block;
+  cpufree::IterationProtocol proto(w, data.signals());
   for (int t = 1; t <= iters; ++t) {
     for (std::size_t si = 0; si < sdfg.body.size(); ++si) {
       const State& st = sdfg.body[si];
@@ -349,10 +344,9 @@ sim::Task run_device_persistent(vshmem::World& w, ProgramData& data,
         if (const auto* lib = std::get_if<LibraryNode>(&node)) {
           if (lib->kind == LibKind::kNvshmemSignalWait && lib->ack_flag >= 0 &&
               lib->active(rank, size)) {
-            co_await w.signal_op(k, data.signals(),
-                                 static_cast<std::size_t>(lib->ack_flag), t,
-                                 vshmem::SignalOp::kSet,
-                                 lib->peer_of(rank, size));
+            co_await proto.signal_only(k,
+                                       static_cast<std::size_t>(lib->ack_flag),
+                                       t, lib->peer_of(rank, size));
           }
         }
       }
@@ -403,6 +397,10 @@ ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
   }
   machine.trace().set_enabled(options.trace);
   const int iters = resolve_iterations(sdfg, options);
+  // Resolve before the kernel bodies capture `options`: the software-tiling
+  // model reads persistent_blocks for the resident-thread count.
+  options.persistent_blocks = exec::resolve_persistent_blocks(
+      options.persistent_blocks, machine.spec());
 
   // Setup states run once; they carry initialization only, executed
   // functionally before the launch.
@@ -432,10 +430,8 @@ ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
     groups[static_cast<std::size_t>(rank)].push_back(
         vgpu::BlockGroup{"sdfg", options.persistent_blocks, std::move(body)});
   }
-  cpufree::PersistentConfig pc;
-  pc.threads_per_block = options.threads_per_block;
-  pc.name = "dacelite_persistent";
-  cpufree::launch_persistent_all(machine, std::move(groups), pc);
+  exec::persistent_launch(machine, std::move(groups), options.threads_per_block,
+                          "dacelite_persistent");
 
   ExecResult r;
   r.iterations = iters;

@@ -30,8 +30,9 @@ struct ExecOptions {
   bool functional = true;
   bool trace = true;
   int threads_per_block = 1024;
-  /// Co-resident blocks per device for the persistent backend.
-  int persistent_blocks = 108;
+  /// Co-resident blocks per device for the persistent backend; 0 (default)
+  /// derives one block per SM from MachineSpec::sm_count at launch time.
+  int persistent_blocks = 0;
   /// Ablation: emit a grid barrier after EVERY state (the conservative
   /// pre-relaxation behaviour of DaCe's persistent fusion, §5.1) instead of
   /// only on dependent state edges.

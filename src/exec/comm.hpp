@@ -1,0 +1,120 @@
+// CommPolicy primitives: how data moves between neighbouring ranks.
+//
+// The 1D-decomposition halo shapes the paper evaluates:
+//  * staged_halo_exchange — host-issued async memcpys toward both
+//    neighbours (Baseline Copy/Overlap, baseline CG; §6.1.1);
+//  * peer_store_halos     — device-initiated P2P stores from inside a
+//    kernel (Baseline P2P);
+//  * signaled puts        — cpufree::IterationProtocol::put_and_signal
+//    (Baseline NVSHMEM, CPU-Free, CG, lowered SDFGs; §4.1.1);
+//  * allreduce_put_wait   — device-side flat all-to-all allreduce over
+//    symmetric slots with per-peer iteration flags (CG dot products);
+//  * host_allreduce       — the CPU-controlled equivalent over MPI.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpufree/halo.hpp"
+#include "hostmpi/comm.hpp"
+#include "sim/task.hpp"
+#include "vgpu/host.hpp"
+#include "vgpu/kernel.hpp"
+#include "vshmem/world.hpp"
+
+namespace exec {
+
+/// Functional payload factory for one halo direction (nullable).
+using HaloDeliverFn = std::function<std::function<void()>(bool to_top)>;
+
+/// CommPolicy::kStagedCopy / kOverlapStreams: push both boundary slabs to
+/// the neighbours with host-issued async memcpys in `stream` (up first,
+/// then down — the order every baseline uses).
+inline sim::Task staged_halo_exchange(vgpu::HostCtx& h, vgpu::Stream& stream,
+                                      int dev, int n_pes, double bytes,
+                                      HaloDeliverFn deliver) {
+  if (dev > 0) {
+    auto del = deliver ? deliver(/*to_top=*/true) : std::function<void()>{};
+    CO_AWAIT(h.memcpy_peer_async(stream, dev - 1, dev, bytes, "halo_up",
+                                 std::move(del)));
+  }
+  if (dev + 1 < n_pes) {
+    auto del = deliver ? deliver(/*to_top=*/false) : std::function<void()>{};
+    CO_AWAIT(h.memcpy_peer_async(stream, dev + 1, dev, bytes, "halo_down",
+                                 std::move(del)));
+  }
+}
+
+/// CommPolicy::kPeerStore: store both boundary slabs straight into the
+/// neighbours' memory from inside the kernel (device-initiated).
+inline sim::Task peer_store_halos(vgpu::KernelCtx& k, int dev, int n_pes,
+                                  double bytes, HaloDeliverFn deliver) {
+  if (dev > 0) {
+    auto del = deliver ? deliver(/*to_top=*/true) : std::function<void()>{};
+    CO_AWAIT(k.peer_put(dev - 1, bytes, "p2p_up", std::move(del)));
+  }
+  if (dev + 1 < n_pes) {
+    auto del = deliver ? deliver(/*to_top=*/false) : std::function<void()>{};
+    CO_AWAIT(k.peer_put(dev + 1, bytes, "p2p_down", std::move(del)));
+  }
+}
+
+/// Device-side flat all-to-all allreduce at round `t`: publish `local` into
+/// my slot on every peer (signalling flag_base + me), then wait until every
+/// peer's flag_base + peer reached `t`. Slots hold one double per PE; the
+/// caller sums them afterwards. Matches CG's reduction order exactly.
+inline sim::Task allreduce_put_wait(vshmem::World& world, vgpu::KernelCtx& k,
+                                    vshmem::Sym<double>& slots,
+                                    vshmem::SignalSet& sig,
+                                    std::size_t flag_base, int me, int n_pes,
+                                    int t, double local, bool functional) {
+  cpufree::IterationProtocol proto(world, sig);
+  if (functional) {
+    slots.on(me)[static_cast<std::size_t>(me)] = local;
+  }
+  for (int peer = 0; peer < n_pes; ++peer) {
+    if (peer == me) continue;
+    co_await proto.put_and_signal(k, slots, static_cast<std::size_t>(me),
+                                  static_cast<std::size_t>(me), 1,
+                                  flag_base + static_cast<std::size_t>(me), t,
+                                  peer);
+  }
+  for (int peer = 0; peer < n_pes; ++peer) {
+    if (peer == me) continue;
+    co_await proto.wait_iteration(
+        k, flag_base + static_cast<std::size_t>(peer), t);
+  }
+}
+
+/// Host-side all-to-all allreduce over MPI: each rank isends its partial to
+/// every peer and irecvs theirs, then waits for all requests. `box` stands
+/// in for the n per-rank receive buffers (each rank's deliver writes its own
+/// slot in the shared box); the caller combines the slots in rank order.
+inline sim::Task host_allreduce(hostmpi::Comm& comm, vgpu::HostCtx& h, int me,
+                                int n_pes, int tag, double local,
+                                std::shared_ptr<std::vector<double>> box,
+                                bool functional) {
+  (*box)[static_cast<std::size_t>(me)] = local;
+  std::vector<hostmpi::Request> reqs;
+  for (int peer = 0; peer < n_pes; ++peer) {
+    if (peer == me) continue;
+    hostmpi::Request req;
+    std::function<void()> deliver;
+    if (functional) {
+      deliver = [box, me, local] {
+        (*box)[static_cast<std::size_t>(me)] = local;
+      };
+    }
+    CO_AWAIT(comm.isend(h, peer, tag, 1, hostmpi::Datatype::contiguous(8),
+                        std::move(deliver), req));
+    reqs.push_back(req);
+    hostmpi::Request rreq;
+    co_await comm.irecv(h, peer, tag, rreq);
+    reqs.push_back(rreq);
+  }
+  CO_AWAIT(comm.waitall(h, std::move(reqs)));
+}
+
+}  // namespace exec

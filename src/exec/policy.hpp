@@ -1,0 +1,116 @@
+// Execution-policy vocabulary: the paper's three orthogonal choices.
+//
+// A multi-GPU program is the composition of
+//   * WHO drives the time loop      — LaunchPolicy  (§3.1.1, §4.1),
+//   * HOW halos move                — CommPolicy    (§3.1.4, §6.1.1),
+//   * HOW ranks synchronize a step  — SyncPolicy    (§2.2, §4.1.1),
+// and every evaluated variant is one (launch, comm, sync) triple. The
+// enums below name the mechanisms; an exec::Plan composes them; the
+// primitives in launch.hpp / comm.hpp / sync.hpp implement them; and the
+// slab driver (slab.hpp) runs a stencil-shaped problem under any valid
+// composition. CG and the dacelite persistent backend build on the same
+// primitives directly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "vgpu/costmodel.hpp"
+
+namespace exec {
+
+/// Who drives the time loop.
+enum class LaunchPolicy : std::uint8_t {
+  kHostLoop,        // host-driven discrete loop: one+ kernel launches per step
+  kPersistent,      // one persistent cooperative kernel per device (§3.1.1)
+  kPersistentPair,  // two co-resident persistent kernels per device (§4 alt.)
+};
+
+/// How halo data moves between neighbouring ranks.
+enum class CommPolicy : std::uint8_t {
+  kStagedCopy,      // host-issued async memcpys in the compute stream
+  kOverlapStreams,  // staged memcpys + boundary kernel in a second stream
+  kPeerStore,       // device-initiated P2P stores from inside the kernel
+  kSignaledPut,     // device-side signaled puts via vshmem (§3.1.4)
+};
+
+/// How ranks synchronize at step boundaries.
+enum class SyncPolicy : std::uint8_t {
+  kHostBarrier,     // stream sync(s) + host-wide barrier every step
+  kStreamSync,      // stream sync(s) only; devices already agreed
+  kIterationFlags,  // device iteration-flag semaphores (cpufree/halo.hpp)
+};
+
+[[nodiscard]] constexpr std::string_view name(LaunchPolicy p) {
+  switch (p) {
+    case LaunchPolicy::kHostLoop: return "host_loop";
+    case LaunchPolicy::kPersistent: return "persistent";
+    case LaunchPolicy::kPersistentPair: return "persistent_pair";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view name(CommPolicy p) {
+  switch (p) {
+    case CommPolicy::kStagedCopy: return "staged_copy";
+    case CommPolicy::kOverlapStreams: return "overlap_streams";
+    case CommPolicy::kPeerStore: return "peer_store";
+    case CommPolicy::kSignaledPut: return "signaled_put";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view name(SyncPolicy p) {
+  switch (p) {
+    case SyncPolicy::kHostBarrier: return "host_barrier";
+    case SyncPolicy::kStreamSync: return "stream_sync";
+    case SyncPolicy::kIterationFlags: return "iteration_flags";
+  }
+  return "?";
+}
+
+/// One named composition of the three policies. `kernel_name` labels the
+/// launched kernels in traces (a view: must outlive the run; the variant
+/// tables use string literals).
+struct Plan {
+  LaunchPolicy launch = LaunchPolicy::kHostLoop;
+  CommPolicy comm = CommPolicy::kStagedCopy;
+  SyncPolicy sync = SyncPolicy::kHostBarrier;
+  std::string_view kernel_name = "kernel";
+};
+
+/// A plan is valid when its pieces can actually compose: persistent kernels
+/// cannot be driven by host-side barriers (the host is out of the loop), and
+/// device-initiated comm under a host loop needs the host to pace steps.
+[[nodiscard]] constexpr bool valid(const Plan& p) {
+  const bool persistent = p.launch != LaunchPolicy::kHostLoop;
+  if (persistent) {
+    // The host only launches and waits; everything else is device-side.
+    return p.comm == CommPolicy::kSignaledPut &&
+           p.sync == SyncPolicy::kIterationFlags;
+  }
+  switch (p.comm) {
+    case CommPolicy::kStagedCopy:
+    case CommPolicy::kOverlapStreams:
+    case CommPolicy::kPeerStore:
+      // Host-initiated or kernel-embedded stores: the host must fence the
+      // step (barrier) — there is no device-side arrival signal to wait on.
+      return p.sync == SyncPolicy::kHostBarrier;
+    case CommPolicy::kSignaledPut:
+      // Arrival is signalled on the devices; the host only paces its stream.
+      return p.sync == SyncPolicy::kStreamSync ||
+             p.sync == SyncPolicy::kIterationFlags;
+  }
+  return false;
+}
+
+/// Resolves the number of co-resident blocks for persistent launches at
+/// plan-build time: an explicit positive request wins; 0 derives the
+/// paper's "one block of 1024 threads on each SM" default (§6.1.2) from the
+/// machine model instead of hardcoding the A100's 108.
+[[nodiscard]] constexpr int resolve_persistent_blocks(
+    int requested, const vgpu::MachineSpec& spec) {
+  return requested > 0 ? requested : spec.device.sm_count;
+}
+
+}  // namespace exec

@@ -1,0 +1,507 @@
+// run_slab(): the slab-problem driver behind every evaluated stencil
+// variant. Each launch path composes the launch/comm/sync primitives into
+// exactly the event sequence the paper's variants issue (§6.1.1, Listing
+// 4.1) — metric traces are bit-identical to the pre-refactor monoliths.
+#include "exec/slab.hpp"
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "cpufree/halo.hpp"
+#include "cpufree/launch.hpp"
+#include "exec/comm.hpp"
+#include "exec/launch.hpp"
+#include "exec/sync.hpp"
+#include "sim/sync.hpp"
+#include "vgpu/host.hpp"
+#include "vgpu/kernel.hpp"
+
+namespace exec {
+
+namespace {
+
+/// Kernel body: one compute phase of `bytes` DRAM traffic at `bw_fraction`,
+/// running `fnl` (the functional numerics) at phase start.
+std::function<sim::Task(vgpu::KernelCtx&)> compute_only_body(
+    double bytes, double bw_fraction, const char* label,
+    std::function<void()> fnl) {
+  return [bytes, bw_fraction, label,
+          fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+    std::function<void()> body = fnl;
+    co_await k.compute(bytes, bw_fraction, label, std::move(body));
+  };
+}
+
+/// Presets the halo-ready flags to "iteration 0 delivered" so the first
+/// wait of every signaled-put composition passes (§4.1.1).
+std::unique_ptr<vshmem::SignalSet> alloc_halo_signals(vshmem::World& w,
+                                                      int n_pes) {
+  auto sig = w.alloc_signals(4);
+  for (int pe = 0; pe < n_pes; ++pe) {
+    sig->at(pe, cpufree::kTopHaloReady).set(1);
+    sig->at(pe, cpufree::kBottomHaloReady).set(1);
+  }
+  return sig;
+}
+
+/// (kHostLoop, kStagedCopy, kHostBarrier): one kernel per step, halo
+/// memcpys in the same stream, stream sync + host barrier.
+void run_host_staged(const SlabProgram& P, const Plan& plan,
+                     const SlabExecParams& prm) {
+  vgpu::Machine& m = *P.machine;
+  const int n = P.n_pes;
+  std::vector<vgpu::Stream*> st;
+  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
+  host_loop(m, prm.iterations,
+            [&P, &plan, &prm, &st, n](vgpu::HostCtx& h, int dev,
+                                      int t) -> sim::Task {
+              vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
+              const std::size_t rows = P.rows(dev);
+              const int blocks =
+                  discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
+                                  prm.threads_per_block);
+              vgpu::LaunchConfig lc;
+              lc.threads_per_block = prm.threads_per_block;
+              lc.name = plan.kernel_name;
+              auto fnl = P.update_body(dev, t, 1, rows + 1);
+              auto body = compute_only_body(
+                  P.compute_bytes(static_cast<double>(rows)), 1.0, "stencil",
+                  std::move(fnl));
+              CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body)));
+              CO_AWAIT(staged_halo_exchange(
+                  h, stream, dev, n, P.halo_bytes, [&P, dev, t](bool to_top) {
+                    return P.halo_deliver(dev, to_top, t);
+                  }));
+              vgpu::Stream* const streams[] = {&stream};
+              co_await end_host_step(h, plan.sync, streams);
+            });
+}
+
+/// (kHostLoop, kOverlapStreams, kHostBarrier): boundary kernel + halo
+/// memcpys in a comm stream concurrent with the inner kernel in a comp
+/// stream; host syncs both, then barriers.
+void run_host_overlap(const SlabProgram& P, const Plan& plan,
+                      const SlabExecParams& prm) {
+  vgpu::Machine& m = *P.machine;
+  const int n = P.n_pes;
+  std::vector<vgpu::Stream*> comp, comm;
+  for (int d = 0; d < n; ++d) {
+    comp.push_back(&m.device(d).create_stream());
+    comm.push_back(&m.device(d).create_stream());
+  }
+  host_loop(m, prm.iterations,
+            [&P, &plan, &prm, &comp, &comm, n](vgpu::HostCtx& h, int dev,
+                                               int t) -> sim::Task {
+              vgpu::Stream& comp_s = *comp[static_cast<std::size_t>(dev)];
+              vgpu::Stream& comm_s = *comm[static_cast<std::size_t>(dev)];
+              const std::size_t rows = P.rows(dev);
+              const int inner_blocks =
+                  discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
+                                  prm.threads_per_block);
+              const int bnd_blocks =
+                  discrete_blocks(2 * P.plane, prm.threads_per_block);
+              vgpu::LaunchConfig lci;
+              lci.threads_per_block = prm.threads_per_block;
+              lci.name = "inner";
+              vgpu::LaunchConfig lcb;
+              lcb.threads_per_block = prm.threads_per_block;
+              lcb.name = "boundary";
+              // Boundary rows + halo pushes in the comm stream...
+              auto fnl_top = P.update_body(dev, t, 1, 2);
+              auto fnl_bot = P.update_body(dev, t, rows, rows + 1);
+              auto fnl_bnd = [f1 = std::move(fnl_top),
+                              f2 = std::move(fnl_bot)] {
+                if (f1) f1();
+                if (f2) f2();
+              };
+              auto bnd_body = compute_only_body(P.compute_bytes(2.0), 1.0,
+                                                "boundary", std::move(fnl_bnd));
+              CO_AWAIT(
+                  h.launch_single(comm_s, lcb, bnd_blocks, std::move(bnd_body)));
+              // ...overlapped with the inner kernel in the comp stream.
+              auto fnl_in = P.update_body(dev, t, 2, rows);
+              auto in_body = compute_only_body(
+                  P.compute_bytes(static_cast<double>(rows) - 2.0), 1.0,
+                  "inner", std::move(fnl_in));
+              CO_AWAIT(h.launch_single(comp_s, lci, inner_blocks,
+                                       std::move(in_body)));
+              CO_AWAIT(staged_halo_exchange(
+                  h, comm_s, dev, n, P.halo_bytes, [&P, dev, t](bool to_top) {
+                    return P.halo_deliver(dev, to_top, t);
+                  }));
+              vgpu::Stream* const streams[] = {&comm_s, &comp_s};
+              co_await end_host_step(h, plan.sync, streams);
+            });
+}
+
+/// (kHostLoop, kPeerStore, kHostBarrier): one kernel per step writes halos
+/// straight into neighbour memory; host still synchronizes every step.
+void run_host_peer_store(const SlabProgram& P, const Plan& plan,
+                         const SlabExecParams& prm) {
+  vgpu::Machine& m = *P.machine;
+  const int n = P.n_pes;
+  m.enable_all_peer_access();
+  std::vector<vgpu::Stream*> st;
+  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
+  host_loop(
+      m, prm.iterations,
+      [&P, &plan, &prm, &st, n](vgpu::HostCtx& h, int dev, int t) -> sim::Task {
+        vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
+        const std::size_t rows = P.rows(dev);
+        const int blocks =
+            discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
+                            prm.threads_per_block);
+        vgpu::LaunchConfig lc;
+        lc.threads_per_block = prm.threads_per_block;
+        lc.name = plan.kernel_name;
+        auto fnl = P.update_body(dev, t, 1, rows + 1);
+        auto body = [&P, dev, t, n, rows,
+                     fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+          std::function<void()> f = fnl;
+          co_await k.compute(P.compute_bytes(static_cast<double>(rows)), 1.0,
+                             "stencil", std::move(f));
+          // Device-initiated halo stores straight into neighbour memory.
+          CO_AWAIT(peer_store_halos(k, dev, n, P.halo_bytes,
+                                    [&P, dev, t](bool to_top) {
+                                      return P.halo_deliver(dev, to_top, t);
+                                    }));
+        };
+        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+        vgpu::Stream* const streams[] = {&stream};
+        co_await end_host_step(h, plan.sync, streams);
+      });
+}
+
+/// (kHostLoop, kSignaledPut, kStreamSync): compute kernel with device-side
+/// signaled puts plus a dedicated neighbour-sync kernel, both launched by
+/// the CPU every step; no host barrier (§6.1.1's NVSHMEM baseline).
+void run_host_signaled(const SlabProgram& P, const Plan& plan,
+                       const SlabExecParams& prm) {
+  vgpu::Machine& m = *P.machine;
+  vshmem::World& w = *P.world;
+  const int n = P.n_pes;
+  auto sig = alloc_halo_signals(w, n);
+  std::vector<vgpu::Stream*> st;
+  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
+  vshmem::SignalSet* sigp = sig.get();
+  host_loop(
+      m, prm.iterations,
+      [&P, &plan, &prm, &w, &st, sigp, n](vgpu::HostCtx& h, int dev,
+                                          int t) -> sim::Task {
+        vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
+        const std::size_t rows = P.rows(dev);
+        const int blocks =
+            discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
+                            prm.threads_per_block);
+        vgpu::LaunchConfig lc;
+        lc.threads_per_block = prm.threads_per_block;
+        lc.name = plan.kernel_name;
+        vgpu::LaunchConfig lsync;
+        lsync.threads_per_block = 32;
+        lsync.name = "neighbor_sync";
+        auto fnl = P.update_body(dev, t, 1, rows + 1);
+        auto body = [&P, &w, &prm, sigp, dev, t, n,
+                     fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+          cpufree::IterationProtocol proto(w, *sigp);
+          std::function<void()> f = fnl;
+          co_await k.compute(P.compute_bytes(static_cast<double>(P.rows(dev))),
+                             1.0, "stencil", std::move(f));
+          // Device-side signaled puts of the fresh boundary slabs.
+          if (dev > 0) {
+            co_await proto.put_and_signal(
+                k, P.buffer(t & 1), P.send_offset(dev, true),
+                P.recv_offset(dev - 1, true), P.plane,
+                cpufree::kBottomHaloReady, t + 1, dev - 1, prm.comm_scope);
+          }
+          if (dev + 1 < n) {
+            co_await proto.put_and_signal(
+                k, P.buffer(t & 1), P.send_offset(dev, false),
+                P.recv_offset(dev + 1, false), P.plane, cpufree::kTopHaloReady,
+                t + 1, dev + 1, prm.comm_scope);
+          }
+        };
+        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+        // Dedicated kernel that synchronizes with the two neighbours only
+        // (avoids redundantly synchronizing all PEs, §6.1.1).
+        auto sync_body = [&w, sigp, dev, t, n](vgpu::KernelCtx& k) -> sim::Task {
+          cpufree::IterationProtocol proto(w, *sigp);
+          if (dev > 0) {
+            co_await proto.wait_iteration(k, cpufree::kTopHaloReady, t + 1);
+          }
+          if (dev + 1 < n) {
+            co_await proto.wait_iteration(k, cpufree::kBottomHaloReady, t + 1);
+          }
+          co_await w.quiet(k);
+        };
+        std::function<sim::Task(vgpu::KernelCtx&)> sync_fn =
+            std::move(sync_body);
+        CO_AWAIT(h.launch_single(stream, lsync, 1, std::move(sync_fn)));
+        vgpu::Stream* const streams[] = {&stream};
+        co_await end_host_step(h, plan.sync, streams);
+      });
+}
+
+/// The comm TB group of a persistent composition: wait for the neighbour's
+/// halo, compute my boundary slab, commit it with a signaled put (Listing
+/// 4.1 a/b). `end_iteration` is the composition's per-step join: grid_sync
+/// alone (single kernel) or grid_sync + the local pair handshake.
+std::function<sim::Task(vgpu::KernelCtx&)> make_comm_group(
+    const SlabProgram& P, vshmem::World& w, vshmem::SignalSet* sigp, int dev,
+    std::size_t rows, double bshare, const SlabExecParams& prm, bool top_side,
+    std::function<sim::Task(vgpu::KernelCtx&, bool top_side, int t)>
+        end_iteration) {
+  const int n = P.n_pes;
+  return [&P, &w, sigp, dev, n, rows, bshare, &prm, top_side,
+          end_iteration = std::move(end_iteration)](
+             vgpu::KernelCtx& k) -> sim::Task {
+    cpufree::IterationProtocol proto(w, *sigp);
+    const bool has_neighbor = top_side ? dev > 0 : dev + 1 < n;
+    const int neighbor = top_side ? dev - 1 : dev + 1;
+    const std::size_t slab = top_side ? 1 : rows;
+    const auto wait_flag = cpufree::HaloPlan1D::my_ready_flag(top_side);
+    const auto dest_flag = cpufree::HaloPlan1D::ready_flag_at_neighbor(top_side);
+    for (int t = 1; t <= prm.iterations; ++t) {
+      if (has_neighbor) {
+        // 1. Wait for the neighbour's halo of the previous step.
+        co_await proto.wait_iteration(k, wait_flag, t);
+        // 2. Compute my boundary slab.
+        auto fnl = P.update_body(dev, t, slab, slab + 1);
+        std::function<void()> f = std::move(fnl);
+        co_await k.compute(P.compute_bytes(1.0), bshare, "boundary",
+                           std::move(f));
+        // 3+4. Commit it into the neighbour's halo and signal t+1.
+        co_await proto.put_and_signal(
+            k, P.buffer(t & 1), P.send_offset(dev, top_side),
+            P.recv_offset(neighbor, top_side), P.plane, dest_flag, t + 1,
+            neighbor, prm.comm_scope);
+      }
+      // 5. Join before the next iteration (policy-specific).
+      CO_AWAIT(end_iteration(k, top_side, t));
+    }
+  };
+}
+
+/// The inner TB group: the whole interior every step, under the
+/// composition's inner cost model (PERKS caching or software tiling).
+std::function<sim::Task(vgpu::KernelCtx&)> make_inner_group(
+    const SlabProgram& P, int dev, std::size_t rows, double ishare,
+    double inner_slabs, InnerModel im, int iterations,
+    std::function<sim::Task(vgpu::KernelCtx&, int t)> end_iteration) {
+  return [&P, dev, rows, ishare, inner_slabs, im, iterations,
+          end_iteration = std::move(end_iteration)](
+             vgpu::KernelCtx& k) -> sim::Task {
+    for (int t = 1; t <= iterations; ++t) {
+      auto fnl = P.update_body(dev, t, 2, rows);
+      std::function<void()> f = std::move(fnl);
+      const double bytes =
+          P.compute_bytes(inner_slabs) * im.traffic_factor /
+          im.tiling_efficiency;
+      co_await k.compute(bytes, ishare, "inner", std::move(f));
+      CO_AWAIT(end_iteration(k, t));
+    }
+  };
+}
+
+cpufree::TbPartition partition_for(const SlabProgram& P,
+                                   const SlabExecParams& prm, int dev,
+                                   int tb_total, double inner_slabs) {
+  if (prm.partition) return prm.partition(dev, tb_total);
+  return cpufree::specialize_blocks(
+      tb_total, static_cast<double>(P.plane),
+      inner_slabs * static_cast<double>(P.plane));
+}
+
+InnerModel inner_model_for(const SlabExecParams& prm, int dev,
+                           int inner_resident_threads) {
+  if (prm.inner_model) return prm.inner_model(dev, inner_resident_threads);
+  return InnerModel{};
+}
+
+/// (kPersistent, kSignaledPut, kIterationFlags): one persistent cooperative
+/// kernel per device for the entire run — specialized comm groups + inner
+/// group, iteration-flag signaling, grid.sync() per step (Listing 4.1).
+void run_persistent(const SlabProgram& P, const Plan& plan,
+                    const SlabExecParams& prm) {
+  vgpu::Machine& m = *P.machine;
+  vshmem::World& w = *P.world;
+  const int n = P.n_pes;
+  auto sig = alloc_halo_signals(w, n);
+  vshmem::SignalSet* sigp = sig.get();
+  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec());
+
+  std::vector<cpufree::DeviceGroups> groups(static_cast<std::size_t>(n));
+  for (int dev = 0; dev < n; ++dev) {
+    const std::size_t rows = P.rows(dev);
+    const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
+    const cpufree::TbPartition part =
+        partition_for(P, prm, dev, pb, inner_slabs);
+    const vgpu::DeviceSpec& dev_spec = m.device(dev).spec();
+    const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
+    const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
+    const InnerModel im = inner_model_for(
+        prm, dev, part.inner_blocks * prm.threads_per_block);
+
+    // All groups of the single kernel join with grid.sync() alone.
+    auto grid_only_comm = [](vgpu::KernelCtx& k, bool, int) -> sim::Task {
+      co_await k.grid_sync();
+    };
+    auto grid_only_inner = [](vgpu::KernelCtx& k, int) -> sim::Task {
+      co_await k.grid_sync();
+    };
+
+    auto& dg = groups[static_cast<std::size_t>(dev)];
+    dg.push_back(vgpu::BlockGroup{
+        "comm_top", part.boundary_blocks,
+        make_comm_group(P, w, sigp, dev, rows, bshare, prm, true,
+                        grid_only_comm)});
+    dg.push_back(vgpu::BlockGroup{
+        "comm_bottom", part.boundary_blocks,
+        make_comm_group(P, w, sigp, dev, rows, bshare, prm, false,
+                        grid_only_comm)});
+    dg.push_back(vgpu::BlockGroup{
+        "inner", part.inner_blocks,
+        make_inner_group(P, dev, rows, ishare, inner_slabs, im, prm.iterations,
+                         grid_only_inner)});
+  }
+  persistent_launch(m, std::move(groups), prm.threads_per_block,
+                    plan.kernel_name);
+}
+
+/// (kPersistentPair, kSignaledPut, kIterationFlags): the §4 alternative —
+/// two co-resident persistent kernels per device in separate streams. The
+/// comm kernel and the inner kernel synchronize once per iteration by
+/// busy-waiting on flags in local device memory — the "extra sync point
+/// between the local pairs of streams" the paper describes.
+void run_persistent_pair(const SlabProgram& P, const Plan& plan,
+                         const SlabExecParams& prm) {
+  vgpu::Machine& m = *P.machine;
+  vshmem::World& w = *P.world;
+  const int n = P.n_pes;
+  auto sig = alloc_halo_signals(w, n);
+  vshmem::SignalSet* sigp = sig.get();
+  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec());
+
+  // Local per-device flags (device memory): iteration counters.
+  std::deque<sim::Flag> inner_done;
+  std::deque<sim::Flag> comm_done;
+  for (int d = 0; d < n; ++d) {
+    inner_done.emplace_back(m.engine(), 0);
+    comm_done.emplace_back(m.engine(), 0);
+  }
+
+  std::vector<vgpu::Stream*> comm_streams, comp_streams;
+  for (int d = 0; d < n; ++d) {
+    comm_streams.push_back(&m.device(d).create_stream());
+    comp_streams.push_back(&m.device(d).create_stream());
+  }
+
+  m.run_host_threads([&P, &plan, &prm, &m, &w, sigp, &inner_done, &comm_done,
+                      &comm_streams, &comp_streams, pb](int dev) -> sim::Task {
+    vgpu::HostCtx h(m, dev);
+    const std::size_t rows = P.rows(dev);
+    const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
+    const cpufree::TbPartition part =
+        partition_for(P, prm, dev, pb, inner_slabs);
+    const vgpu::DeviceSpec& dev_spec = m.device(dev).spec();
+    // Both kernels must be co-resident simultaneously.
+    const int limit = dev_spec.max_cooperative_blocks(prm.threads_per_block);
+    if (part.total() > limit) {
+      throw vgpu::CooperativeLaunchError(part.total(), limit);
+    }
+    const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
+    const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
+    const InnerModel im = inner_model_for(
+        prm, dev, part.inner_blocks * prm.threads_per_block);
+
+    sim::Flag* my_inner_done = &inner_done[static_cast<std::size_t>(dev)];
+    sim::Flag* my_comm_done = &comm_done[static_cast<std::size_t>(dev)];
+
+    // Comm groups join with grid.sync(), publish "comm done" (top group
+    // speaks for the kernel), then handshake with the local inner kernel.
+    auto comm_end = [my_inner_done, my_comm_done](
+                        vgpu::KernelCtx& k, bool top_side, int t) -> sim::Task {
+      co_await k.grid_sync();
+      if (top_side) my_comm_done->set(t);
+      co_await local_pair_handshake(k, *my_inner_done, t, "inner_done");
+    };
+    // The inner kernel publishes "inner done" and handshakes back.
+    auto inner_end = [my_inner_done, my_comm_done](vgpu::KernelCtx& k,
+                                                   int t) -> sim::Task {
+      my_inner_done->set(t);
+      co_await local_pair_handshake(k, *my_comm_done, t, "comm_done");
+    };
+
+    vgpu::LaunchConfig lc_comm;
+    lc_comm.threads_per_block = prm.threads_per_block;
+    lc_comm.cooperative = true;
+    lc_comm.name = "cpu_free_comm";
+    std::vector<vgpu::BlockGroup> cg;
+    cg.push_back(vgpu::BlockGroup{
+        "comm_top", part.boundary_blocks,
+        make_comm_group(P, w, sigp, dev, rows, bshare, prm, true, comm_end)});
+    cg.push_back(vgpu::BlockGroup{
+        "comm_bottom", part.boundary_blocks,
+        make_comm_group(P, w, sigp, dev, rows, bshare, prm, false, comm_end)});
+    CO_AWAIT(h.launch(*comm_streams[static_cast<std::size_t>(dev)], lc_comm,
+                      std::move(cg)));
+
+    vgpu::LaunchConfig lc_inner;
+    lc_inner.threads_per_block = prm.threads_per_block;
+    lc_inner.cooperative = true;
+    lc_inner.name = "cpu_free_inner";
+    std::vector<vgpu::BlockGroup> ig;
+    ig.push_back(vgpu::BlockGroup{
+        "inner", part.inner_blocks,
+        make_inner_group(P, dev, rows, ishare, inner_slabs, im, prm.iterations,
+                         inner_end)});
+    CO_AWAIT(h.launch(*comp_streams[static_cast<std::size_t>(dev)], lc_inner,
+                      std::move(ig)));
+
+    vgpu::Stream* const streams[] = {
+        comm_streams[static_cast<std::size_t>(dev)],
+        comp_streams[static_cast<std::size_t>(dev)]};
+    co_await end_host_step(h, plan.sync, streams);
+  });
+}
+
+}  // namespace
+
+void run_slab(const SlabProgram& program, const Plan& plan,
+              const SlabExecParams& params) {
+  if (!valid(plan)) {
+    throw std::invalid_argument("run_slab: invalid (launch, comm, sync) plan");
+  }
+  switch (plan.launch) {
+    case LaunchPolicy::kHostLoop:
+      switch (plan.comm) {
+        case CommPolicy::kStagedCopy:
+          run_host_staged(program, plan, params);
+          break;
+        case CommPolicy::kOverlapStreams:
+          run_host_overlap(program, plan, params);
+          break;
+        case CommPolicy::kPeerStore:
+          run_host_peer_store(program, plan, params);
+          break;
+        case CommPolicy::kSignaledPut:
+          run_host_signaled(program, plan, params);
+          break;
+      }
+      break;
+    case LaunchPolicy::kPersistent:
+      run_persistent(program, plan, params);
+      break;
+    case LaunchPolicy::kPersistentPair:
+      run_persistent_pair(program, plan, params);
+      break;
+  }
+}
+
+}  // namespace exec

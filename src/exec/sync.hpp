@@ -1,0 +1,45 @@
+// SyncPolicy primitives: how ranks agree a step finished.
+//
+//  * end_host_step       — the host side of a discrete step: synchronize the
+//    step's stream(s), then (kHostBarrier) a host-wide barrier;
+//  * iteration flags     — the device-side semaphore protocol lives in
+//    cpufree::IterationProtocol (re-exported via comm.hpp / halo.hpp);
+//  * local_pair_handshake — the §4 two-kernel design's per-device sync:
+//    busy-wait on the co-resident kernel's flag in local device memory.
+#pragma once
+
+#include <span>
+
+#include "exec/policy.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "vgpu/host.hpp"
+#include "vgpu/kernel.hpp"
+
+namespace exec {
+
+/// Applies `sync` at the end of one host-driven step: synchronizes every
+/// stream in order, then a host-wide barrier when the policy demands one.
+/// (kIterationFlags under a host loop means the devices already agreed via
+/// flags — the host only paces its own stream, like kStreamSync.)
+inline sim::Task end_host_step(vgpu::HostCtx& h, SyncPolicy sync,
+                               std::span<vgpu::Stream* const> streams) {
+  for (vgpu::Stream* s : streams) {
+    CO_AWAIT(h.sync_stream(*s));
+  }
+  if (sync == SyncPolicy::kHostBarrier) {
+    co_await h.barrier();
+  }
+}
+
+/// One side of the two-co-resident-kernels handshake: wait until the OTHER
+/// kernel on this device published iteration `t` on its local flag, then pay
+/// the local-memory flag-synchronization cost.
+inline sim::Task local_pair_handshake(vgpu::KernelCtx& k, sim::Flag& peer_done,
+                                      int t, std::string_view peer_name) {
+  co_await k.spin_wait(peer_done, sim::Cmp::kGe, t, peer_name);
+  co_await k.busy(k.device().spec().local_flag_sync, sim::Cat::kSync,
+                  "local_handshake");
+}
+
+}  // namespace exec

@@ -8,7 +8,12 @@
 #include <span>
 #include <vector>
 
+#include "cpufree/halo.hpp"
 #include "cpufree/launch.hpp"
+#include "exec/comm.hpp"
+#include "exec/launch.hpp"
+#include "exec/policy.hpp"
+#include "exec/sync.hpp"
 #include "hostmpi/comm.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/kernel.hpp"
@@ -230,6 +235,8 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   world.set_functional(cfg.functional);
   machine.trace().set_enabled(cfg.trace);
   const int n = machine.num_devices();
+  const int persistent_blocks =
+      exec::resolve_persistent_blocks(cfg.persistent_blocks, spec);
   auto states = make_states(cfg, n);
 
   const std::size_t vec_size =
@@ -310,36 +317,11 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
                  iterations_run, final_rr](vgpu::KernelCtx& k) -> sim::Task {
       const double pts = st->points();
       const std::size_t halo_count = st->nx;
-      const double halo_bytes = static_cast<double>(halo_count) * 8.0;
       double rz = rz0;
 
-      // Device-side all-to-all allreduce of `local` on `channel` at round t.
-      auto allreduce = [&world, dev, n, sigp, st](
-                           vgpu::KernelCtx& kk, vshmem::Sym<double>& slots,
-                           std::size_t channel, int t, double local,
-                           bool functional) -> sim::Task {
-        static_cast<void>(st);
-        if (functional) {
-          slots.on(dev)[static_cast<std::size_t>(dev)] = local;
-        }
-        for (int peer = 0; peer < n; ++peer) {
-          if (peer == dev) continue;
-          co_await world.putmem_signal_nbi(
-              kk, slots, static_cast<std::size_t>(dev),
-              static_cast<std::size_t>(dev), 1, *sigp,
-              channel * static_cast<std::size_t>(n) +
-                  static_cast<std::size_t>(dev),
-              t, vshmem::SignalOp::kSet, peer);
-        }
-        for (int peer = 0; peer < n; ++peer) {
-          if (peer == dev) continue;
-          co_await world.signal_wait_until(
-              kk, *sigp,
-              channel * static_cast<std::size_t>(n) +
-                  static_cast<std::size_t>(peer),
-              sim::Cmp::kGe, t);
-        }
-      };
+      // Halo flags and reduction flags both follow the iteration-number
+      // semaphore protocol; the reductions use flag base channel*n.
+      cpufree::IterationProtocol proto(world, *sigp);
       auto sum_slots = [&](vshmem::Sym<double>& slots) {
         double acc = 0.0;
         for (int pe = 0; pe < n; ++pe) {
@@ -351,10 +333,10 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
       for (int t = 1; t <= cfg.max_iterations; ++t) {
         // Wait for this iteration's p halos (initial values pre-signaled).
         if (dev > 0) {
-          co_await world.signal_wait_until(k, *sigp, kTopHalo, sim::Cmp::kGe, t);
+          co_await proto.wait_iteration(k, kTopHalo, t);
         }
         if (dev + 1 < n) {
-          co_await world.signal_wait_until(k, *sigp, kBottomHalo, sim::Cmp::kGe, t);
+          co_await proto.wait_iteration(k, kBottomHalo, t);
         }
         std::function<void()> f_spmv;
         if (cfg.functional) {
@@ -370,7 +352,9 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
           };
         }
         co_await k.compute(pts * kDotBytes, 1.0, "dot_pq", std::move(f_dot1));
-        CO_AWAIT(allreduce(k, slots0, 0, t, pq_local, cfg.functional));
+        CO_AWAIT(exec::allreduce_put_wait(world, k, slots0, *sigp,
+                                          /*flag_base=*/0, dev, n, t, pq_local,
+                                          cfg.functional));
         const double pq = cfg.functional ? sum_slots(slots0) : 1.0;
         const double alpha = cfg.functional ? rz / pq : 0.0;
 
@@ -390,7 +374,10 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
           };
         }
         co_await k.compute(pts * kDotBytes, 1.0, "dot_rr", std::move(f_dot2));
-        CO_AWAIT(allreduce(k, slots1, 1, t, rr_local, cfg.functional));
+        CO_AWAIT(exec::allreduce_put_wait(
+            world, k, slots1, *sigp,
+            /*flag_base=*/static_cast<std::size_t>(n), dev, n, t, rr_local,
+            cfg.functional));
         const double rr = cfg.functional ? sum_slots(slots1) : 1.0;
 
         if (dev == 0) {
@@ -415,27 +402,23 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
 
         // Publish next iteration's p boundary rows.
         if (dev > 0) {
-          co_await world.putmem_signal_nbi(
-              k, p, st->idx(1, 0), (up_rows + 1) * st->nx, halo_count, *sigp,
-              kBottomHalo, t + 1, vshmem::SignalOp::kSet, dev - 1);
-          static_cast<void>(halo_bytes);
+          co_await proto.put_and_signal(k, p, st->idx(1, 0),
+                                        (up_rows + 1) * st->nx, halo_count,
+                                        kBottomHalo, t + 1, dev - 1);
         }
         if (dev + 1 < n) {
-          co_await world.putmem_signal_nbi(k, p, st->idx(st->rows, 0),
-                                           st->idx(0, 0), halo_count, *sigp,
-                                           kTopHalo, t + 1,
-                                           vshmem::SignalOp::kSet, dev + 1);
+          co_await proto.put_and_signal(k, p, st->idx(st->rows, 0),
+                                        st->idx(0, 0), halo_count, kTopHalo,
+                                        t + 1, dev + 1);
         }
       }
     };
     groups[static_cast<std::size_t>(dev)].push_back(
-        vgpu::BlockGroup{"cg", cfg.persistent_blocks, std::move(body)});
+        vgpu::BlockGroup{"cg", persistent_blocks, std::move(body)});
   }
 
-  cpufree::PersistentConfig pc;
-  pc.threads_per_block = cfg.threads_per_block;
-  pc.name = "cg_cpufree";
-  cpufree::launch_persistent_all(machine, std::move(groups), pc);
+  exec::persistent_launch(machine, std::move(groups), cfg.threads_per_block,
+                          "cg_cpufree");
 
   CgResult res;
   res.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
@@ -494,161 +477,146 @@ CgResult run_cg_baseline(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   std::vector<vgpu::Stream*> streams;
   for (int d = 0; d < n; ++d) streams.push_back(&machine.device(d).create_stream());
 
-  // Host-side all-to-all allreduce over MPI (partials combined in rank order).
-  auto host_allreduce = [&comm, n](vgpu::HostCtx& h, int me, int tag,
-                                   double local,
-                                   std::shared_ptr<std::vector<double>> box,
-                                   bool functional) -> sim::Task {
-    (*box)[static_cast<std::size_t>(me)] = local;
-    std::vector<hostmpi::Request> reqs;
-    for (int peer = 0; peer < n; ++peer) {
-      if (peer == me) continue;
-      hostmpi::Request req;
-      std::function<void()> deliver;
-      if (functional) {
-        deliver = [box, me, local] { (*box)[static_cast<std::size_t>(me)] = local; };
-      }
-      CO_AWAIT(comm.isend(h, peer, tag, 1, hostmpi::Datatype::contiguous(8),
-                          std::move(deliver), req));
-      reqs.push_back(req);
-      hostmpi::Request rreq;
-      co_await comm.irecv(h, peer, tag, rreq);
-      reqs.push_back(rreq);
-    }
-    CO_AWAIT(comm.waitall(h, std::move(reqs)));
-  };
-  static_cast<void>(host_allreduce);
-
   // Per-rank reduction boxes shared across ranks (each rank's deliver writes
   // its own slot in everyone's box — the box is shared state standing in for
   // the n per-rank receive buffers).
   auto pq_box = std::make_shared<std::vector<double>>(static_cast<std::size_t>(n), 0.0);
   auto rr_box = std::make_shared<std::vector<double>>(static_cast<std::size_t>(n), 0.0);
 
-  machine.run_host_threads([&, n](int dev) -> sim::Task {
-    vgpu::HostCtx h(machine, dev);
-    vgpu::Stream& stream = *streams[static_cast<std::size_t>(dev)];
-    const RankState* st = &states[static_cast<std::size_t>(dev)];
-    const double pts = st->points();
-    const int blocks = std::max(
-        1, static_cast<int>(pts / cfg.threads_per_block) + 1);
-    vgpu::LaunchConfig lc;
-    lc.threads_per_block = cfg.threads_per_block;
-    lc.name = "cg_phase";
-    double rz = rz0;
-    auto pq_partial = std::make_shared<double>(0.0);
-    auto rr_partial = std::make_shared<double>(0.0);
+  // Per-device loop state surviving across host_loop steps.
+  std::vector<double> rz_state(static_cast<std::size_t>(n), rz0);
+  std::vector<std::shared_ptr<double>> pq_partials, rr_partials;
+  for (int d = 0; d < n; ++d) {
+    pq_partials.push_back(std::make_shared<double>(0.0));
+    rr_partials.push_back(std::make_shared<double>(0.0));
+  }
+  // The data-dependent termination test: a converged rank skips the
+  // remaining steps of the host loop.
+  std::vector<char> converged(static_cast<std::size_t>(n), 0);
 
-    for (int t = 1; t <= cfg.max_iterations; ++t) {
-      // Halo exchange of p via host-issued memcpys, then host barrier.
-      if (dev > 0) {
-        std::function<void()> del;
+  exec::host_loop(
+      machine, cfg.max_iterations,
+      [&](vgpu::HostCtx& h, int dev, int t) -> sim::Task {
+        vgpu::Stream& stream = *streams[static_cast<std::size_t>(dev)];
+        const RankState* st = &states[static_cast<std::size_t>(dev)];
+        const double pts = st->points();
+        const int blocks = std::max(
+            1, static_cast<int>(pts / cfg.threads_per_block) + 1);
+        vgpu::LaunchConfig lc;
+        lc.threads_per_block = cfg.threads_per_block;
+        lc.name = "cg_phase";
+        auto pq_partial = pq_partials[static_cast<std::size_t>(dev)];
+        auto rr_partial = rr_partials[static_cast<std::size_t>(dev)];
+        vgpu::Stream* const step_streams[] = {&stream};
+
+        // Halo exchange of p via host-issued memcpys, then host barrier.
+        CO_AWAIT(exec::staged_halo_exchange(
+            h, stream, dev, n, static_cast<double>(st->nx) * 8.0,
+            [&states, &p, st, dev,
+             functional = cfg.functional](bool to_top) -> std::function<void()> {
+              if (!functional) return {};
+              if (to_top) {
+                const RankState* up = &states[static_cast<std::size_t>(dev - 1)];
+                return [&p, st, up, dev] {
+                  auto dst = p.on(dev - 1);
+                  auto src = p.on(dev);
+                  for (std::size_t j = 0; j < st->nx; ++j) {
+                    dst[up->idx(up->rows + 1, j)] = src[st->idx(1, j)];
+                  }
+                };
+              }
+              const RankState* down = &states[static_cast<std::size_t>(dev + 1)];
+              return [&p, st, down, dev] {
+                auto dst = p.on(dev + 1);
+                auto src = p.on(dev);
+                for (std::size_t j = 0; j < st->nx; ++j) {
+                  dst[down->idx(0, j)] = src[st->idx(st->rows, j)];
+                }
+              };
+            }));
+        co_await exec::end_host_step(h, exec::SyncPolicy::kHostBarrier,
+                                     step_streams);
+
+        // SpMV + dot(p, q); the host needs the scalar: stream sync after.
+        std::function<void()> f1;
         if (cfg.functional) {
-          const RankState* up = &states[static_cast<std::size_t>(dev - 1)];
-          del = [&p, st, up, dev] {
-            auto dst = p.on(dev - 1);
-            auto src = p.on(dev);
-            for (std::size_t j = 0; j < st->nx; ++j) {
-              dst[up->idx(up->rows + 1, j)] = src[st->idx(1, j)];
-            }
+          f1 = [st, &p, &q, dev, pq_partial] {
+            st->spmv(p.on(dev), q.on(dev));
+            *pq_partial = st->dot(p.on(dev), q.on(dev));
           };
         }
-        CO_AWAIT(h.memcpy_peer_async(stream, dev - 1, dev,
-                                     static_cast<double>(st->nx) * 8.0,
-                                     "halo_up", std::move(del)));
-      }
-      if (dev + 1 < n) {
-        std::function<void()> del;
+        {
+          auto body = [pts, f = std::move(f1)](vgpu::KernelCtx& k) -> sim::Task {
+            std::function<void()> fn = f;
+            co_await k.compute(pts * (kSpmvBytes + kDotBytes), 1.0, "spmv+dot",
+                               std::move(fn));
+          };
+          std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+          CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+        }
+        CO_AWAIT(h.sync_stream(stream));
+        co_await h.api("memcpy_dtoh_scalar");
+        CO_AWAIT(exec::host_allreduce(comm, h, dev, n, /*tag=*/0, *pq_partial,
+                                      pq_box, cfg.functional));
+        const double pq = cfg.functional ? combine(*pq_box) : 1.0;
+        const double alpha =
+            cfg.functional ? rz_state[static_cast<std::size_t>(dev)] / pq : 0.0;
+
+        // AXPY updates + dot(r, r); sync again for the scalar.
+        std::function<void()> f2;
         if (cfg.functional) {
-          const RankState* down = &states[static_cast<std::size_t>(dev + 1)];
-          del = [&p, st, down, dev] {
-            auto dst = p.on(dev + 1);
-            auto src = p.on(dev);
-            for (std::size_t j = 0; j < st->nx; ++j) {
-              dst[down->idx(0, j)] = src[st->idx(st->rows, j)];
-            }
+          f2 = [st, alpha, &p, &q, &x, &r, dev, rr_partial] {
+            st->axpy2(alpha, p.on(dev), q.on(dev), x.on(dev), r.on(dev));
+            *rr_partial = st->dot(r.on(dev), r.on(dev));
           };
         }
-        CO_AWAIT(h.memcpy_peer_async(stream, dev + 1, dev,
-                                     static_cast<double>(st->nx) * 8.0,
-                                     "halo_down", std::move(del)));
-      }
-      CO_AWAIT(h.sync_stream(stream));
-      co_await h.barrier();
+        {
+          auto body = [pts, f = std::move(f2)](vgpu::KernelCtx& k) -> sim::Task {
+            std::function<void()> fn = f;
+            co_await k.compute(pts * (kAxpy2Bytes + kDotBytes), 1.0, "axpy+dot",
+                               std::move(fn));
+          };
+          std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+          CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+        }
+        CO_AWAIT(h.sync_stream(stream));
+        co_await h.api("memcpy_dtoh_scalar");
+        CO_AWAIT(exec::host_allreduce(comm, h, dev, n, /*tag=*/1, *rr_partial,
+                                      rr_box, cfg.functional));
+        const double rr = cfg.functional ? combine(*rr_box) : 1.0;
 
-      // SpMV + dot(p, q); the host needs the scalar: stream sync after.
-      std::function<void()> f1;
-      if (cfg.functional) {
-        f1 = [st, &p, &q, dev, pq_partial] {
-          st->spmv(p.on(dev), q.on(dev));
-          *pq_partial = st->dot(p.on(dev), q.on(dev));
-        };
-      }
-      {
-        auto body = [pts, f = std::move(f1)](vgpu::KernelCtx& k) -> sim::Task {
-          std::function<void()> fn = f;
-          co_await k.compute(pts * (kSpmvBytes + kDotBytes), 1.0, "spmv+dot",
-                             std::move(fn));
-        };
-        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-      }
-      CO_AWAIT(h.sync_stream(stream));
-      co_await h.api("memcpy_dtoh_scalar");
-      CO_AWAIT(host_allreduce(h, dev, /*tag=*/0, *pq_partial, pq_box,
-                              cfg.functional));
-      const double pq = cfg.functional ? combine(*pq_box) : 1.0;
-      const double alpha = cfg.functional ? rz / pq : 0.0;
+        if (dev == 0) {
+          if (cfg.functional) history->push_back(rr);
+          *iterations_run = t;
+          *final_rr = rr;
+        }
+        if (cfg.functional && rr < cfg.tolerance) {
+          converged[static_cast<std::size_t>(dev)] = 1;
+          co_return;
+        }
 
-      // AXPY updates + dot(r, r); sync again for the scalar.
-      std::function<void()> f2;
-      if (cfg.functional) {
-        f2 = [st, alpha, &p, &q, &x, &r, dev, rr_partial] {
-          st->axpy2(alpha, p.on(dev), q.on(dev), x.on(dev), r.on(dev));
-          *rr_partial = st->dot(r.on(dev), r.on(dev));
-        };
-      }
-      {
-        auto body = [pts, f = std::move(f2)](vgpu::KernelCtx& k) -> sim::Task {
-          std::function<void()> fn = f;
-          co_await k.compute(pts * (kAxpy2Bytes + kDotBytes), 1.0, "axpy+dot",
-                             std::move(fn));
-        };
-        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-      }
-      CO_AWAIT(h.sync_stream(stream));
-      co_await h.api("memcpy_dtoh_scalar");
-      CO_AWAIT(host_allreduce(h, dev, /*tag=*/1, *rr_partial, rr_box,
-                              cfg.functional));
-      const double rr = cfg.functional ? combine(*rr_box) : 1.0;
-
-      if (dev == 0) {
-        if (cfg.functional) history->push_back(rr);
-        *iterations_run = t;
-        *final_rr = rr;
-      }
-      if (cfg.functional && rr < cfg.tolerance) co_return;
-
-      const double beta = cfg.functional ? rr / rz : 0.0;
-      if (cfg.functional) rz = rr;
-      std::function<void()> f3;
-      if (cfg.functional) {
-        f3 = [st, beta, &r, &p, dev] { st->p_update(beta, r.on(dev), p.on(dev)); };
-      }
-      {
-        auto body = [pts, f = std::move(f3)](vgpu::KernelCtx& k) -> sim::Task {
-          std::function<void()> fn = f;
-          co_await k.compute(pts * kPUpdateBytes, 1.0, "p_update",
-                             std::move(fn));
-        };
-        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-      }
-      CO_AWAIT(h.sync_stream(stream));
-      co_await h.barrier();
-    }
-  });
+        const double beta =
+            cfg.functional ? rr / rz_state[static_cast<std::size_t>(dev)] : 0.0;
+        if (cfg.functional) rz_state[static_cast<std::size_t>(dev)] = rr;
+        std::function<void()> f3;
+        if (cfg.functional) {
+          f3 = [st, beta, &r, &p, dev] { st->p_update(beta, r.on(dev), p.on(dev)); };
+        }
+        {
+          auto body = [pts, f = std::move(f3)](vgpu::KernelCtx& k) -> sim::Task {
+            std::function<void()> fn = f;
+            co_await k.compute(pts * kPUpdateBytes, 1.0, "p_update",
+                               std::move(fn));
+          };
+          std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+          CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+        }
+        co_await exec::end_host_step(h, exec::SyncPolicy::kHostBarrier,
+                                     step_streams);
+      },
+      [&converged](int dev) {
+        return converged[static_cast<std::size_t>(dev)] != 0;
+      });
 
   CgResult res;
   res.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),

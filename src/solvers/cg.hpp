@@ -37,7 +37,9 @@ struct CgConfig {
   bool functional = true;  // false: timing-only (no numerics, no verify)
   bool trace = true;
   int threads_per_block = 1024;
-  int persistent_blocks = 108;
+  /// Co-resident blocks for the persistent variant; 0 (default) derives one
+  /// block per SM from MachineSpec::sm_count at plan-build time.
+  int persistent_blocks = 0;
 };
 
 struct CgResult {

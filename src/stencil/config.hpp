@@ -64,9 +64,10 @@ struct StencilConfig {
   /// Record trace intervals (needed for comm/overlap metrics).
   bool trace = true;
   int threads_per_block = 1024;
-  /// Co-resident blocks for persistent variants ("one block of 1024 threads
-  /// on each SM", §6.1.2).
-  int persistent_blocks = 108;
+  /// Co-resident blocks for persistent variants. 0 (default) derives "one
+  /// block of 1024 threads on each SM" (§6.1.2) from MachineSpec::sm_count
+  /// at plan-build time; a positive value overrides it.
+  int persistent_blocks = 0;
   /// Boundary/inner thread-block allocation policy (CPU-Free variants).
   TbPolicy tb_policy = TbPolicy::kProportional;
   /// Scope of device-initiated puts: block-cooperative (paper's choice) or

@@ -1,511 +1,149 @@
-// The six evaluated code variants (paper §6.1.1), implemented over the
-// generic SlabStencil engine:
+// The evaluated code variants (paper §6.1.1) as execution-policy triples.
 //
-//  * Baseline Copy     — CPU time loop; one kernel per step; host-issued
-//    async halo memcpys in the same stream; stream sync + host barrier.
-//  * Baseline Overlap  — boundary kernel + halo memcpys in a comm stream
-//    concurrent with the inner kernel in a comp stream; host syncs both.
-//  * Baseline P2P      — one kernel per step writes halos directly into
-//    neighbour memory (device-initiated stores); host still synchronizes.
-//  * Baseline NVSHMEM  — one compute kernel per step with device-side
-//    signaled puts plus a dedicated neighbour-sync kernel; both launched by
-//    the CPU every step (no host barrier).
-//  * CPU-Free          — one persistent cooperative kernel per device for the
-//    entire run: specialized boundary/comm thread-block groups + inner
-//    group, iteration-flag signaling, grid.sync() per step (Listing 4.1).
+// Every variant is a (launch, comm, sync) composition from the exec layer:
+//
+//  * Baseline Copy     — (host_loop,       staged_copy,     host_barrier)
+//  * Baseline Overlap  — (host_loop,       overlap_streams, host_barrier)
+//  * Baseline P2P      — (host_loop,       peer_store,      host_barrier)
+//  * Baseline NVSHMEM  — (host_loop,       signaled_put,    stream_sync)
+//  * CPU-Free          — (persistent,      signaled_put,    iteration_flags)
 //  * CPU-Free PERKS    — CPU-Free with the PERKS cached inner kernel
-//    (reduced DRAM traffic, near-optimal software tiling).
+//  * CPU-Free 2-kernel — (persistent_pair, signaled_put,    iteration_flags)
+//
+// This header only maps a Variant to its exec::Plan and packages the
+// SlabStencil geometry/cost hooks into an exec::SlabProgram; all per-variant
+// loop bodies live in exec::run_slab.
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <memory>
-#include <vector>
 
-#include "cpufree/halo.hpp"
-#include "cpufree/launch.hpp"
 #include "cpufree/metrics.hpp"
 #include "cpufree/partition.hpp"
 #include "cpufree/perks.hpp"
+#include "exec/policy.hpp"
+#include "exec/slab.hpp"
 #include "stencil/config.hpp"
 #include "stencil/slab.hpp"
-#include "vgpu/host.hpp"
-#include "vgpu/kernel.hpp"
 
 namespace stencil {
 
+/// The (launch, comm, sync) triple a variant composes (§6.1.1 ↔ §4.1).
+[[nodiscard]] constexpr exec::Plan plan_for(Variant v) {
+  using exec::CommPolicy;
+  using exec::LaunchPolicy;
+  using exec::SyncPolicy;
+  switch (v) {
+    case Variant::kBaselineCopy:
+      return {LaunchPolicy::kHostLoop, CommPolicy::kStagedCopy,
+              SyncPolicy::kHostBarrier, "stencil"};
+    case Variant::kBaselineOverlap:
+      return {LaunchPolicy::kHostLoop, CommPolicy::kOverlapStreams,
+              SyncPolicy::kHostBarrier, "stencil"};
+    case Variant::kBaselineP2P:
+      return {LaunchPolicy::kHostLoop, CommPolicy::kPeerStore,
+              SyncPolicy::kHostBarrier, "stencil_p2p"};
+    case Variant::kBaselineNvshmem:
+      return {LaunchPolicy::kHostLoop, CommPolicy::kSignaledPut,
+              SyncPolicy::kStreamSync, "stencil_nvshmem"};
+    case Variant::kCpuFree:
+      return {LaunchPolicy::kPersistent, CommPolicy::kSignaledPut,
+              SyncPolicy::kIterationFlags, "cpu_free"};
+    case Variant::kCpuFreePerks:
+      return {LaunchPolicy::kPersistent, CommPolicy::kSignaledPut,
+              SyncPolicy::kIterationFlags, "cpu_free_perks"};
+    case Variant::kCpuFreeTwoKernels:
+      return {LaunchPolicy::kPersistentPair, CommPolicy::kSignaledPut,
+              SyncPolicy::kIterationFlags, "cpu_free"};
+  }
+  return {};
+}
+
 namespace detail {
 
-/// Blocks for a discrete (non-cooperative) launch covering `points` points.
-inline int discrete_blocks(double points, int threads_per_block) {
-  const double b = points / threads_per_block;
-  int blocks = static_cast<int>(b);
-  if (static_cast<double>(blocks) < b) ++blocks;
-  return blocks < 1 ? 1 : blocks;
-}
-
-/// Kernel body: one compute phase of `bytes` DRAM traffic at `bw_fraction`,
-/// running `fnl` (the functional numerics) at phase start.
-inline std::function<sim::Task(vgpu::KernelCtx&)> compute_only_body(
-    double bytes, double bw_fraction, const char* label,
-    std::function<void()> fnl) {
-  return [bytes, bw_fraction, label,
-          fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
-    std::function<void()> body = fnl;
-    co_await k.compute(bytes, bw_fraction, label, std::move(body));
+/// Packages the SlabStencil's geometry, cost and functional hooks as the
+/// type-erased problem view exec::run_slab consumes.
+template <class P>
+exec::SlabProgram make_program(SlabStencil<P>& S) {
+  exec::SlabProgram prog;
+  prog.machine = &S.machine();
+  prog.world = &S.world();
+  prog.n_pes = S.n_pes();
+  prog.plane = S.plane();
+  prog.halo_bytes = S.halo_bytes();
+  prog.rows = [&S](int dev) { return S.rows(dev); };
+  prog.local_points = [&S](int dev) { return S.local_points(dev); };
+  prog.compute_bytes = [&S](double nslabs) { return S.compute_bytes(nslabs); };
+  prog.update_body = [&S](int dev, int t, std::size_t r0, std::size_t r1) {
+    return S.update_body(dev, t, r0, r1);
   };
+  prog.halo_deliver = [&S](int dev, bool to_top, int t) {
+    return S.halo_deliver(dev, to_top, t);
+  };
+  prog.buffer = [&S](int parity) -> vshmem::Sym<double>& {
+    return S.buffer(parity);
+  };
+  prog.send_offset = [&S](int pe, bool to_top) {
+    return S.send_offset(pe, to_top);
+  };
+  prog.recv_offset = [&S](int neighbor, bool to_top) {
+    return S.recv_offset(neighbor, to_top);
+  };
+  return prog;
 }
 
+/// Boundary/inner block split. The single-kernel CPU-Free variants honour
+/// the configured TbPolicy ablation; the two-kernel design always splits
+/// proportionally (the paper's formula, §4.1.2).
 template <class P>
-void run_baseline_copy(SlabStencil<P>& S) {
-  vgpu::Machine& m = S.machine();
-  const StencilConfig& cfg = S.config();
-  const int n = m.num_devices();
-  std::vector<vgpu::Stream*> st;
-  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
-  m.run_host_threads([&S, &m, &st, &cfg, n](int dev) -> sim::Task {
-    vgpu::HostCtx h(m, dev);
-    vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
-    const std::size_t rows = S.rows(dev);
-    const int blocks =
-        discrete_blocks(S.local_points(dev), cfg.threads_per_block);
-    vgpu::LaunchConfig lc;
-    lc.threads_per_block = cfg.threads_per_block;
-    lc.name = "stencil";
-    for (int t = 1; t <= cfg.iterations; ++t) {
-      auto fnl = S.update_body(dev, t, 1, rows + 1);
-      auto body = compute_only_body(S.compute_bytes(static_cast<double>(rows)),
-                                    1.0, "stencil", std::move(fnl));
-      CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body)));
-      if (dev > 0) {
-        auto del = S.halo_deliver(dev, /*to_top=*/true, t);
-        CO_AWAIT(h.memcpy_peer_async(stream, dev - 1, dev, S.halo_bytes(),
-                                     "halo_up", std::move(del)));
-      }
-      if (dev + 1 < n) {
-        auto del = S.halo_deliver(dev, /*to_top=*/false, t);
-        CO_AWAIT(h.memcpy_peer_async(stream, dev + 1, dev, S.halo_bytes(),
-                                     "halo_down", std::move(del)));
-      }
-      CO_AWAIT(h.sync_stream(stream));
-      co_await h.barrier();
-    }
-  });
-}
-
-template <class P>
-void run_baseline_overlap(SlabStencil<P>& S) {
-  vgpu::Machine& m = S.machine();
-  const StencilConfig& cfg = S.config();
-  const int n = m.num_devices();
-  std::vector<vgpu::Stream*> comp, comm;
-  for (int d = 0; d < n; ++d) {
-    comp.push_back(&m.device(d).create_stream());
-    comm.push_back(&m.device(d).create_stream());
-  }
-  m.run_host_threads([&S, &m, &comp, &comm, &cfg, n](int dev) -> sim::Task {
-    vgpu::HostCtx h(m, dev);
-    vgpu::Stream& comp_s = *comp[static_cast<std::size_t>(dev)];
-    vgpu::Stream& comm_s = *comm[static_cast<std::size_t>(dev)];
-    const std::size_t rows = S.rows(dev);
-    const int inner_blocks =
-        discrete_blocks(S.local_points(dev), cfg.threads_per_block);
-    const int bnd_blocks =
-        discrete_blocks(2.0 * static_cast<double>(S.plane()),
-                        cfg.threads_per_block);
-    vgpu::LaunchConfig lci;
-    lci.threads_per_block = cfg.threads_per_block;
-    lci.name = "inner";
-    vgpu::LaunchConfig lcb;
-    lcb.threads_per_block = cfg.threads_per_block;
-    lcb.name = "boundary";
-    for (int t = 1; t <= cfg.iterations; ++t) {
-      // Boundary rows + halo pushes in the comm stream...
-      auto fnl_top = S.update_body(dev, t, 1, 2);
-      auto fnl_bot = S.update_body(dev, t, rows, rows + 1);
-      auto fnl_bnd = [f1 = std::move(fnl_top), f2 = std::move(fnl_bot)] {
-        if (f1) f1();
-        if (f2) f2();
-      };
-      auto bnd_body = compute_only_body(S.compute_bytes(2.0), 1.0, "boundary",
-                                        std::move(fnl_bnd));
-      CO_AWAIT(h.launch_single(comm_s, lcb, bnd_blocks, std::move(bnd_body)));
-      // ...overlapped with the inner kernel in the comp stream.
-      auto fnl_in = S.update_body(dev, t, 2, rows);
-      auto in_body = compute_only_body(
-          S.compute_bytes(static_cast<double>(rows) - 2.0), 1.0, "inner",
-          std::move(fnl_in));
-      CO_AWAIT(h.launch_single(comp_s, lci, inner_blocks, std::move(in_body)));
-      if (dev > 0) {
-        auto del = S.halo_deliver(dev, true, t);
-        CO_AWAIT(h.memcpy_peer_async(comm_s, dev - 1, dev, S.halo_bytes(),
-                                     "halo_up", std::move(del)));
-      }
-      if (dev + 1 < n) {
-        auto del = S.halo_deliver(dev, false, t);
-        CO_AWAIT(h.memcpy_peer_async(comm_s, dev + 1, dev, S.halo_bytes(),
-                                     "halo_down", std::move(del)));
-      }
-      CO_AWAIT(h.sync_stream(comm_s));
-      CO_AWAIT(h.sync_stream(comp_s));
-      co_await h.barrier();
-    }
-  });
-}
-
-template <class P>
-void run_baseline_p2p(SlabStencil<P>& S) {
-  vgpu::Machine& m = S.machine();
-  const StencilConfig& cfg = S.config();
-  const int n = m.num_devices();
-  m.enable_all_peer_access();
-  std::vector<vgpu::Stream*> st;
-  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
-  m.run_host_threads([&S, &m, &st, &cfg, n](int dev) -> sim::Task {
-    vgpu::HostCtx h(m, dev);
-    vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
-    const std::size_t rows = S.rows(dev);
-    const int blocks =
-        discrete_blocks(S.local_points(dev), cfg.threads_per_block);
-    vgpu::LaunchConfig lc;
-    lc.threads_per_block = cfg.threads_per_block;
-    lc.name = "stencil_p2p";
-    for (int t = 1; t <= cfg.iterations; ++t) {
-      auto fnl = S.update_body(dev, t, 1, rows + 1);
-      auto body = [&S, dev, t, n, rows,
-                   fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
-        static_cast<void>(rows);
-        std::function<void()> f = fnl;
-        co_await k.compute(S.compute_bytes(static_cast<double>(S.rows(dev))),
-                           1.0, "stencil", std::move(f));
-        // Device-initiated halo stores straight into neighbour memory.
-        if (dev > 0) {
-          auto del = S.halo_deliver(dev, true, t);
-          co_await k.peer_put(dev - 1, S.halo_bytes(), "p2p_up", std::move(del));
-        }
-        if (dev + 1 < n) {
-          auto del = S.halo_deliver(dev, false, t);
-          co_await k.peer_put(dev + 1, S.halo_bytes(), "p2p_down",
-                              std::move(del));
-        }
-      };
-      std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-      CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-      CO_AWAIT(h.sync_stream(stream));
-      co_await h.barrier();  // host-side synchronization (P2P baseline)
-    }
-  });
-}
-
-template <class P>
-void run_baseline_nvshmem(SlabStencil<P>& S) {
-  vgpu::Machine& m = S.machine();
-  vshmem::World& w = S.world();
-  const StencilConfig& cfg = S.config();
-  const int n = m.num_devices();
-  auto sig = w.alloc_signals(4);
-  for (int pe = 0; pe < n; ++pe) {
-    sig->at(pe, cpufree::kTopHaloReady).set(1);
-    sig->at(pe, cpufree::kBottomHaloReady).set(1);
-  }
-  std::vector<vgpu::Stream*> st;
-  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
-  vshmem::SignalSet* sigp = sig.get();
-  m.run_host_threads([&S, &m, &w, &st, &cfg, sigp, n](int dev) -> sim::Task {
-    vgpu::HostCtx h(m, dev);
-    vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
-    const std::size_t rows = S.rows(dev);
-    const int blocks =
-        discrete_blocks(S.local_points(dev), cfg.threads_per_block);
-    vgpu::LaunchConfig lc;
-    lc.threads_per_block = cfg.threads_per_block;
-    lc.name = "stencil_nvshmem";
-    vgpu::LaunchConfig lsync;
-    lsync.threads_per_block = 32;
-    lsync.name = "neighbor_sync";
-    for (int t = 1; t <= cfg.iterations; ++t) {
-      auto fnl = S.update_body(dev, t, 1, rows + 1);
-      auto body = [&S, &w, sigp, dev, t, n,
-                   fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
-        std::function<void()> f = fnl;
-        co_await k.compute(S.compute_bytes(static_cast<double>(S.rows(dev))),
-                           1.0, "stencil", std::move(f));
-        // Device-side signaled puts of the fresh boundary slabs.
-        if (dev > 0) {
-          co_await w.putmem_signal_nbi(
-              k, S.buffer(t & 1), S.send_offset(dev, true),
-              S.recv_offset(dev - 1, true), S.plane(), *sigp,
-              cpufree::kBottomHaloReady, t + 1, vshmem::SignalOp::kSet,
-              dev - 1);
-        }
-        if (dev + 1 < n) {
-          co_await w.putmem_signal_nbi(
-              k, S.buffer(t & 1), S.send_offset(dev, false),
-              S.recv_offset(dev + 1, false), S.plane(), *sigp,
-              cpufree::kTopHaloReady, t + 1, vshmem::SignalOp::kSet, dev + 1);
-        }
-      };
-      std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-      CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-      // Dedicated kernel that synchronizes with the two neighbours only
-      // (avoids redundantly synchronizing all PEs, §6.1.1).
-      auto sync_body = [&w, sigp, dev, t, n](vgpu::KernelCtx& k) -> sim::Task {
-        if (dev > 0) {
-          co_await w.signal_wait_until(k, *sigp, cpufree::kTopHaloReady,
-                                       sim::Cmp::kGe, t + 1);
-        }
-        if (dev + 1 < n) {
-          co_await w.signal_wait_until(k, *sigp, cpufree::kBottomHaloReady,
-                                       sim::Cmp::kGe, t + 1);
-        }
-        co_await w.quiet(k);
-      };
-      std::function<sim::Task(vgpu::KernelCtx&)> sync_fn = std::move(sync_body);
-      CO_AWAIT(h.launch_single(stream, lsync, 1, std::move(sync_fn)));
-      CO_AWAIT(h.sync_stream(stream));
-      // No host barrier: synchronization already happened on the devices.
-    }
-  });
-}
-
-template <class P>
-void run_cpu_free(SlabStencil<P>& S, bool perks) {
-  vgpu::Machine& m = S.machine();
-  vshmem::World& w = S.world();
-  const StencilConfig& cfg = S.config();
-  const int n = m.num_devices();
-  auto sig = w.alloc_signals(4);
-  for (int pe = 0; pe < n; ++pe) {
-    sig->at(pe, cpufree::kTopHaloReady).set(1);
-    sig->at(pe, cpufree::kBottomHaloReady).set(1);
-  }
-  vshmem::SignalSet* sigp = sig.get();
-
-  const cpufree::PerksModel perks_model;
-  std::vector<cpufree::DeviceGroups> groups(static_cast<std::size_t>(n));
-  for (int dev = 0; dev < n; ++dev) {
+std::function<cpufree::TbPartition(int, int)> make_partition(SlabStencil<P>& S,
+                                                             Variant v) {
+  const TbPolicy policy = (v == Variant::kCpuFree || v == Variant::kCpuFreePerks)
+                              ? S.config().tb_policy
+                              : TbPolicy::kProportional;
+  return [&S, policy](int dev, int tb_total) {
     const std::size_t rows = S.rows(dev);
     const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
     cpufree::TbPartition part;
-    switch (cfg.tb_policy) {
+    switch (policy) {
       case TbPolicy::kProportional:
         part = cpufree::specialize_blocks(
-            cfg.persistent_blocks, static_cast<double>(S.plane()),
+            tb_total, static_cast<double>(S.plane()),
             inner_slabs * static_cast<double>(S.plane()));
         break;
       case TbPolicy::kSingleBlock:
         part.boundary_blocks = 1;
         part.num_boundaries = 2;
-        part.inner_blocks = cfg.persistent_blocks - 2;
+        part.inner_blocks = tb_total - 2;
         break;
       case TbPolicy::kEqualSplit:
-        part.boundary_blocks = cfg.persistent_blocks / 3;
+        part.boundary_blocks = tb_total / 3;
         part.num_boundaries = 2;
-        part.inner_blocks =
-            cfg.persistent_blocks - 2 * part.boundary_blocks;
+        part.inner_blocks = tb_total - 2 * part.boundary_blocks;
         break;
     }
-    const vgpu::DeviceSpec& dev_spec = m.device(dev).spec();
-    const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
-    const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
-
-    // Inner-kernel efficiency: PERKS caches the domain and tiles well; the
-    // plain persistent kernel pays the software-tiling penalty (§4.1.4).
-    double traffic_factor = 1.0;
-    double tiling = 1.0;
-    const int resident_threads = part.inner_blocks * cfg.threads_per_block;
-    if (perks) {
-      traffic_factor = perks_model.traffic_factor(S.local_points(dev) * 8.0,
-                                                  m.device(dev).spec());
-      tiling = perks_model.tiling_efficiency;
-    } else {
-      tiling = cpufree::software_tiling_efficiency(S.local_points(dev),
-                                                   resident_threads);
-    }
-
-    // One comm TB group per boundary (Listing 4.1 a/b).
-    auto comm_group = [&S, &w, sigp, dev, n, rows, bshare,
-                       &cfg](bool top_side) {
-      return [&S, &w, sigp, dev, n, rows, bshare, &cfg,
-              top_side](vgpu::KernelCtx& k) -> sim::Task {
-        const bool has_neighbor = top_side ? dev > 0 : dev + 1 < n;
-        const int neighbor = top_side ? dev - 1 : dev + 1;
-        const std::size_t slab = top_side ? 1 : rows;
-        const auto wait_flag = cpufree::HaloPlan1D::my_ready_flag(top_side);
-        const auto dest_flag =
-            cpufree::HaloPlan1D::ready_flag_at_neighbor(top_side);
-        for (int t = 1; t <= cfg.iterations; ++t) {
-          if (has_neighbor) {
-            // 1. Wait for the neighbour's halo of the previous step.
-            co_await w.signal_wait_until(k, *sigp, wait_flag, sim::Cmp::kGe, t);
-            // 2. Compute my boundary slab.
-            auto fnl = S.update_body(dev, t, slab, slab + 1);
-            std::function<void()> f = std::move(fnl);
-            co_await k.compute(S.compute_bytes(1.0), bshare, "boundary",
-                               std::move(f));
-            // 3+4. Commit it into the neighbour's halo and signal t+1.
-            co_await w.putmem_signal_nbi(
-                k, S.buffer(t & 1), S.send_offset(dev, top_side),
-                S.recv_offset(neighbor, top_side), S.plane(), *sigp, dest_flag,
-                t + 1, vshmem::SignalOp::kSet, neighbor, cfg.comm_scope);
-          }
-          // 5. Join all thread blocks before the next iteration.
-          co_await k.grid_sync();
-        }
-      };
-    };
-
-    auto inner_group = [&S, dev, rows, ishare, inner_slabs, traffic_factor,
-                        tiling, &cfg](vgpu::KernelCtx& k) -> sim::Task {
-      for (int t = 1; t <= cfg.iterations; ++t) {
-        auto fnl = S.update_body(dev, t, 2, rows);
-        std::function<void()> f = std::move(fnl);
-        const double bytes =
-            S.compute_bytes(inner_slabs) * traffic_factor / tiling;
-        co_await k.compute(bytes, ishare, "inner", std::move(f));
-        co_await k.grid_sync();
-      }
-    };
-
-    auto& dg = groups[static_cast<std::size_t>(dev)];
-    dg.push_back(vgpu::BlockGroup{"comm_top", part.boundary_blocks,
-                                  comm_group(true)});
-    dg.push_back(vgpu::BlockGroup{"comm_bottom", part.boundary_blocks,
-                                  comm_group(false)});
-    dg.push_back(vgpu::BlockGroup{"inner", part.inner_blocks, inner_group});
-  }
-  cpufree::PersistentConfig pc;
-  pc.threads_per_block = cfg.threads_per_block;
-  pc.name = perks ? "cpu_free_perks" : "cpu_free";
-  cpufree::launch_persistent_all(m, std::move(groups), pc);
+    return part;
+  };
 }
 
-/// The §4 alternative design: two co-resident persistent kernels per device
-/// in separate streams. The comm kernel (boundary TB groups) and the inner
-/// kernel synchronize once per iteration by busy-waiting on flags in local
-/// device memory — the "extra sync point between the local pairs of
-/// streams" the paper describes. Everything else matches run_cpu_free.
+/// Inner-kernel cost model: PERKS caches the domain and tiles well; the
+/// plain persistent kernel pays the software-tiling penalty (§4.1.4).
 template <class P>
-void run_cpu_free_two_kernels(SlabStencil<P>& S) {
-  vgpu::Machine& m = S.machine();
-  vshmem::World& w = S.world();
-  const StencilConfig& cfg = S.config();
-  const int n = m.num_devices();
-  auto sig = w.alloc_signals(4);
-  for (int pe = 0; pe < n; ++pe) {
-    sig->at(pe, cpufree::kTopHaloReady).set(1);
-    sig->at(pe, cpufree::kBottomHaloReady).set(1);
-  }
-  vshmem::SignalSet* sigp = sig.get();
-
-  // Local per-device flags (device memory): iteration counters.
-  std::deque<sim::Flag> inner_done;
-  std::deque<sim::Flag> comm_done;
-  for (int d = 0; d < n; ++d) {
-    inner_done.emplace_back(m.engine(), 0);
-    comm_done.emplace_back(m.engine(), 0);
-  }
-
-  std::vector<vgpu::Stream*> comm_streams, comp_streams;
-  for (int d = 0; d < n; ++d) {
-    comm_streams.push_back(&m.device(d).create_stream());
-    comp_streams.push_back(&m.device(d).create_stream());
-  }
-
-  m.run_host_threads([&S, &m, &w, sigp, &inner_done, &comm_done, &comm_streams,
-                      &comp_streams, &cfg, n](int dev) -> sim::Task {
-    vgpu::HostCtx h(m, dev);
-    const std::size_t rows = S.rows(dev);
-    const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
-    const cpufree::TbPartition part = cpufree::specialize_blocks(
-        cfg.persistent_blocks, static_cast<double>(S.plane()),
-        inner_slabs * static_cast<double>(S.plane()));
-    const vgpu::DeviceSpec& dev_spec = m.device(dev).spec();
-    // Both kernels must be co-resident simultaneously.
-    const int limit = dev_spec.max_cooperative_blocks(cfg.threads_per_block);
-    if (part.total() > limit) {
-      throw vgpu::CooperativeLaunchError(part.total(), limit);
+std::function<exec::InnerModel(int, int)> make_inner_model(SlabStencil<P>& S,
+                                                           Variant v) {
+  const bool perks = v == Variant::kCpuFreePerks;
+  return [&S, perks](int dev, int inner_resident_threads) {
+    exec::InnerModel im;
+    if (perks) {
+      const cpufree::PerksModel perks_model;
+      im.traffic_factor = perks_model.traffic_factor(
+          S.local_points(dev) * 8.0, S.machine().device(dev).spec());
+      im.tiling_efficiency = perks_model.tiling_efficiency;
+    } else {
+      im.tiling_efficiency = cpufree::software_tiling_efficiency(
+          S.local_points(dev), inner_resident_threads);
     }
-    const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
-    const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
-    const double tiling = cpufree::software_tiling_efficiency(
-        S.local_points(dev), part.inner_blocks * cfg.threads_per_block);
-
-    sim::Flag* my_inner_done = &inner_done[static_cast<std::size_t>(dev)];
-    sim::Flag* my_comm_done = &comm_done[static_cast<std::size_t>(dev)];
-
-    auto comm_group = [&S, &w, sigp, dev, n, rows, bshare, &cfg, my_inner_done,
-                       my_comm_done](bool top_side) {
-      return [&S, &w, sigp, dev, n, rows, bshare, &cfg, my_inner_done,
-              my_comm_done, top_side](vgpu::KernelCtx& k) -> sim::Task {
-        const bool has_neighbor = top_side ? dev > 0 : dev + 1 < n;
-        const int neighbor = top_side ? dev - 1 : dev + 1;
-        const std::size_t slab = top_side ? 1 : rows;
-        const auto wait_flag = cpufree::HaloPlan1D::my_ready_flag(top_side);
-        const auto dest_flag =
-            cpufree::HaloPlan1D::ready_flag_at_neighbor(top_side);
-        for (int t = 1; t <= cfg.iterations; ++t) {
-          if (has_neighbor) {
-            co_await w.signal_wait_until(k, *sigp, wait_flag, sim::Cmp::kGe, t);
-            auto fnl = S.update_body(dev, t, slab, slab + 1);
-            std::function<void()> f = std::move(fnl);
-            co_await k.compute(S.compute_bytes(1.0), bshare, "boundary",
-                               std::move(f));
-            co_await w.putmem_signal_nbi(
-                k, S.buffer(t & 1), S.send_offset(dev, top_side),
-                S.recv_offset(neighbor, top_side), S.plane(), *sigp, dest_flag,
-                t + 1, vshmem::SignalOp::kSet, neighbor, cfg.comm_scope);
-          }
-          // Join the two comm groups, then publish "comm done" (top group)
-          // and wait for the local inner kernel before the next iteration.
-          co_await k.grid_sync();
-          if (top_side) my_comm_done->set(t);
-          co_await k.spin_wait(*my_inner_done, sim::Cmp::kGe, t, "inner_done");
-          co_await k.busy(k.device().spec().local_flag_sync, sim::Cat::kSync,
-                          "local_handshake");
-        }
-      };
-    };
-
-    auto inner_group = [&S, dev, rows, ishare, inner_slabs, tiling, &cfg,
-                        my_inner_done,
-                        my_comm_done](vgpu::KernelCtx& k) -> sim::Task {
-      for (int t = 1; t <= cfg.iterations; ++t) {
-        auto fnl = S.update_body(dev, t, 2, rows);
-        std::function<void()> f = std::move(fnl);
-        co_await k.compute(S.compute_bytes(inner_slabs) / tiling, ishare,
-                           "inner", std::move(f));
-        my_inner_done->set(t);
-        co_await k.spin_wait(*my_comm_done, sim::Cmp::kGe, t, "comm_done");
-        co_await k.busy(k.device().spec().local_flag_sync, sim::Cat::kSync,
-                        "local_handshake");
-      }
-    };
-
-    vgpu::LaunchConfig lc_comm;
-    lc_comm.threads_per_block = cfg.threads_per_block;
-    lc_comm.cooperative = true;
-    lc_comm.name = "cpu_free_comm";
-    std::vector<vgpu::BlockGroup> cg;
-    cg.push_back(vgpu::BlockGroup{"comm_top", part.boundary_blocks,
-                                  comm_group(true)});
-    cg.push_back(vgpu::BlockGroup{"comm_bottom", part.boundary_blocks,
-                                  comm_group(false)});
-    CO_AWAIT(h.launch(*comm_streams[static_cast<std::size_t>(dev)], lc_comm,
-                      std::move(cg)));
-
-    vgpu::LaunchConfig lc_inner;
-    lc_inner.threads_per_block = cfg.threads_per_block;
-    lc_inner.cooperative = true;
-    lc_inner.name = "cpu_free_inner";
-    std::vector<vgpu::BlockGroup> ig;
-    ig.push_back(vgpu::BlockGroup{"inner", part.inner_blocks, inner_group});
-    CO_AWAIT(h.launch(*comp_streams[static_cast<std::size_t>(dev)], lc_inner,
-                      std::move(ig)));
-
-    CO_AWAIT(h.sync_stream(*comm_streams[static_cast<std::size_t>(dev)]));
-    CO_AWAIT(h.sync_stream(*comp_streams[static_cast<std::size_t>(dev)]));
-  });
+    return im;
+  };
 }
 
 }  // namespace detail
@@ -514,20 +152,23 @@ void run_cpu_free_two_kernels(SlabStencil<P>& S) {
 template <class P>
 StencilResult run_variant(SlabStencil<P>& S, Variant v) {
   vgpu::Machine& m = S.machine();
-  m.trace().set_enabled(S.config().trace);
-  switch (v) {
-    case Variant::kBaselineCopy: detail::run_baseline_copy(S); break;
-    case Variant::kBaselineOverlap: detail::run_baseline_overlap(S); break;
-    case Variant::kBaselineP2P: detail::run_baseline_p2p(S); break;
-    case Variant::kBaselineNvshmem: detail::run_baseline_nvshmem(S); break;
-    case Variant::kCpuFree: detail::run_cpu_free(S, false); break;
-    case Variant::kCpuFreePerks: detail::run_cpu_free(S, true); break;
-    case Variant::kCpuFreeTwoKernels: detail::run_cpu_free_two_kernels(S); break;
-  }
+  const StencilConfig& cfg = S.config();
+  m.trace().set_enabled(cfg.trace);
+
+  const exec::SlabProgram prog = detail::make_program(S);
+  exec::SlabExecParams params;
+  params.iterations = cfg.iterations;
+  params.threads_per_block = cfg.threads_per_block;
+  params.persistent_blocks = cfg.persistent_blocks;
+  params.comm_scope = cfg.comm_scope;
+  params.partition = detail::make_partition(S, v);
+  params.inner_model = detail::make_inner_model(S, v);
+  exec::run_slab(prog, plan_for(v), params);
+
   StencilResult r;
   r.metrics = cpufree::analyze_run(m.trace(), m.engine().now(),
-                                   S.config().iterations);
-  r.final_parity = S.config().iterations & 1;
+                                   cfg.iterations);
+  r.final_parity = cfg.iterations & 1;
   return r;
 }
 

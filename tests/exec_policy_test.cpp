@@ -1,0 +1,188 @@
+// Tests for the execution-policy layer: the plan vocabulary (validity rules,
+// variant mapping, persistent-block resolution, discrete grid sizing) and the
+// end-to-end guarantee the refactor rests on — every stencil variant is a
+// policy composition over the SAME numerics, so all seven produce
+// bit-identical grids on the same problem.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exec/launch.hpp"
+#include "exec/policy.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/slab.hpp"
+#include "stencil/variants.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using exec::CommPolicy;
+using exec::LaunchPolicy;
+using exec::Plan;
+using exec::SyncPolicy;
+using stencil::Variant;
+
+constexpr Variant kAllSeven[] = {
+    Variant::kBaselineCopy,    Variant::kBaselineOverlap,
+    Variant::kBaselineP2P,     Variant::kBaselineNvshmem,
+    Variant::kCpuFree,         Variant::kCpuFreePerks,
+    Variant::kCpuFreeTwoKernels};
+
+TEST(DiscreteBlocks, ExactIntegerCeilDiv) {
+  EXPECT_EQ(exec::discrete_blocks(0, 1024), 1);
+  EXPECT_EQ(exec::discrete_blocks(1, 1024), 1);
+  EXPECT_EQ(exec::discrete_blocks(1023, 1024), 1);
+  EXPECT_EQ(exec::discrete_blocks(1024, 1024), 1);
+  EXPECT_EQ(exec::discrete_blocks(1025, 1024), 2);
+  EXPECT_EQ(exec::discrete_blocks(7, 1), 7);
+  // Large domain: stays exact where a double round-trip could misround.
+  const std::size_t big = (std::size_t{1} << 40) + 1;
+  EXPECT_EQ(exec::discrete_blocks(big, 1024), (1 << 30) + 1);
+}
+
+TEST(ResolvePersistentBlocks, ExplicitWinsDefaultDerivesFromSmCount) {
+  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(4);
+  EXPECT_EQ(exec::resolve_persistent_blocks(12, spec), 12);
+  EXPECT_EQ(exec::resolve_persistent_blocks(0, spec), spec.device.sm_count);
+  vgpu::MachineSpec other = spec;
+  other.device.sm_count = 56;  // e.g. a V100-sized part
+  EXPECT_EQ(exec::resolve_persistent_blocks(0, other), 56);
+  EXPECT_EQ(exec::resolve_persistent_blocks(-1, other), 56);
+}
+
+TEST(PlanValidity, PersistentLaunchNeedsDeviceSideCommAndSync) {
+  EXPECT_TRUE(valid(Plan{LaunchPolicy::kPersistent, CommPolicy::kSignaledPut,
+                         SyncPolicy::kIterationFlags}));
+  EXPECT_TRUE(valid(Plan{LaunchPolicy::kPersistentPair,
+                         CommPolicy::kSignaledPut,
+                         SyncPolicy::kIterationFlags}));
+  EXPECT_FALSE(valid(Plan{LaunchPolicy::kPersistent, CommPolicy::kStagedCopy,
+                          SyncPolicy::kIterationFlags}));
+  EXPECT_FALSE(valid(Plan{LaunchPolicy::kPersistent, CommPolicy::kSignaledPut,
+                          SyncPolicy::kHostBarrier}));
+}
+
+TEST(PlanValidity, HostLoopCommSyncPairings) {
+  // Host-initiated (or unsignalled) comm must be fenced by a host barrier.
+  for (CommPolicy c : {CommPolicy::kStagedCopy, CommPolicy::kOverlapStreams,
+                       CommPolicy::kPeerStore}) {
+    EXPECT_TRUE(valid(Plan{LaunchPolicy::kHostLoop, c,
+                           SyncPolicy::kHostBarrier}));
+    EXPECT_FALSE(valid(Plan{LaunchPolicy::kHostLoop, c,
+                            SyncPolicy::kStreamSync}));
+    EXPECT_FALSE(valid(Plan{LaunchPolicy::kHostLoop, c,
+                            SyncPolicy::kIterationFlags}));
+  }
+  // Signalled puts carry their own arrival notification.
+  EXPECT_TRUE(valid(Plan{LaunchPolicy::kHostLoop, CommPolicy::kSignaledPut,
+                         SyncPolicy::kStreamSync}));
+  EXPECT_TRUE(valid(Plan{LaunchPolicy::kHostLoop, CommPolicy::kSignaledPut,
+                         SyncPolicy::kIterationFlags}));
+  EXPECT_FALSE(valid(Plan{LaunchPolicy::kHostLoop, CommPolicy::kSignaledPut,
+                          SyncPolicy::kHostBarrier}));
+}
+
+TEST(PlanMapping, EverySeedVariantIsAValidComposition) {
+  for (Variant v : kAllSeven) {
+    EXPECT_TRUE(valid(stencil::plan_for(v))) << stencil::variant_name(v);
+  }
+}
+
+TEST(PlanMapping, TriplesMatchThePaperTable) {
+  const Plan copy = stencil::plan_for(Variant::kBaselineCopy);
+  EXPECT_EQ(copy.launch, LaunchPolicy::kHostLoop);
+  EXPECT_EQ(copy.comm, CommPolicy::kStagedCopy);
+  EXPECT_EQ(copy.sync, SyncPolicy::kHostBarrier);
+
+  const Plan overlap = stencil::plan_for(Variant::kBaselineOverlap);
+  EXPECT_EQ(overlap.comm, CommPolicy::kOverlapStreams);
+
+  const Plan p2p = stencil::plan_for(Variant::kBaselineP2P);
+  EXPECT_EQ(p2p.comm, CommPolicy::kPeerStore);
+  EXPECT_EQ(p2p.sync, SyncPolicy::kHostBarrier);
+
+  const Plan nvshmem = stencil::plan_for(Variant::kBaselineNvshmem);
+  EXPECT_EQ(nvshmem.launch, LaunchPolicy::kHostLoop);
+  EXPECT_EQ(nvshmem.comm, CommPolicy::kSignaledPut);
+  EXPECT_EQ(nvshmem.sync, SyncPolicy::kStreamSync);
+
+  const Plan cpu_free = stencil::plan_for(Variant::kCpuFree);
+  EXPECT_EQ(cpu_free.launch, LaunchPolicy::kPersistent);
+  EXPECT_EQ(cpu_free.comm, CommPolicy::kSignaledPut);
+  EXPECT_EQ(cpu_free.sync, SyncPolicy::kIterationFlags);
+
+  const Plan perks = stencil::plan_for(Variant::kCpuFreePerks);
+  EXPECT_EQ(perks.launch, LaunchPolicy::kPersistent);
+  EXPECT_EQ(perks.kernel_name, "cpu_free_perks");
+
+  const Plan pair = stencil::plan_for(Variant::kCpuFreeTwoKernels);
+  EXPECT_EQ(pair.launch, LaunchPolicy::kPersistentPair);
+  EXPECT_EQ(pair.comm, CommPolicy::kSignaledPut);
+  EXPECT_EQ(pair.sync, SyncPolicy::kIterationFlags);
+}
+
+TEST(PolicyNames, AreStable) {
+  EXPECT_EQ(exec::name(LaunchPolicy::kHostLoop), "host_loop");
+  EXPECT_EQ(exec::name(LaunchPolicy::kPersistentPair), "persistent_pair");
+  EXPECT_EQ(exec::name(CommPolicy::kOverlapStreams), "overlap_streams");
+  EXPECT_EQ(exec::name(CommPolicy::kSignaledPut), "signaled_put");
+  EXPECT_EQ(exec::name(SyncPolicy::kIterationFlags), "iteration_flags");
+}
+
+// ---- The refactor's core guarantee ----------------------------------------
+
+/// Runs one variant on a fresh machine and gathers the final grid.
+std::vector<double> final_grid(Variant v, int devices, int iters) {
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(devices));
+  vshmem::World w(m);
+  stencil::Jacobi2D prob;
+  prob.nx = 24;
+  prob.ny = 24;
+  stencil::StencilConfig cfg;
+  cfg.iterations = iters;
+  cfg.persistent_blocks = 12;  // small domain: few co-resident blocks
+  stencil::SlabStencil<stencil::Jacobi2D> S(w, prob, cfg);
+  const stencil::StencilResult r = stencil::run_variant(S, v);
+  return S.gather(r.final_parity);
+}
+
+TEST(PolicyComposition, AllSevenVariantsProduceBitIdenticalGrids) {
+  for (int devices : {2, 4}) {
+    for (int iters : {2, 5}) {
+      const std::vector<double> ref =
+          final_grid(Variant::kBaselineCopy, devices, iters);
+      ASSERT_FALSE(ref.empty());
+      for (Variant v : kAllSeven) {
+        const std::vector<double> got = final_grid(v, devices, iters);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_EQ(got[i], ref[i])
+              << stencil::variant_name(v) << " devices=" << devices
+              << " iters=" << iters << " differs at point " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RunSlab, RejectsInvalidPlan) {
+  vgpu::Machine m(vgpu::MachineSpec::hgx_a100(2));
+  vshmem::World w(m);
+  stencil::Jacobi2D prob;
+  prob.nx = 8;
+  prob.ny = 8;
+  stencil::StencilConfig cfg;
+  cfg.iterations = 1;
+  stencil::SlabStencil<stencil::Jacobi2D> S(w, prob, cfg);
+  // Persistent launch with host-barrier sync can never compose.
+  const Plan bad{LaunchPolicy::kPersistent, CommPolicy::kSignaledPut,
+                 SyncPolicy::kHostBarrier};
+  exec::SlabExecParams params;
+  params.iterations = 1;
+  EXPECT_THROW(exec::run_slab(stencil::detail::make_program(S), bad, params),
+               std::invalid_argument);
+}
+
+}  // namespace
