@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-rev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("vgpu")
+subdirs("vshmem")
+subdirs("hostmpi")
+subdirs("cpufree")
+subdirs("exec")
+subdirs("sweep")
+subdirs("stencil")
+subdirs("dacelite")
+subdirs("solvers")

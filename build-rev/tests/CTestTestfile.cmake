@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-rev/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-rev/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/vgpu_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/gccbug_regression_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/vshmem_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/hostmpi_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/cpufree_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/dacelite_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/model_features_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/cg_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/exec_policy_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/golden_metrics_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[GoldenMetrics.EveryCaseMatchesTheSeedCaptureByteForByte]=]  /root/repo/build-rev/tests/golden_metrics_test [==[--gtest_filter=GoldenMetrics.EveryCaseMatchesTheSeedCaptureByteForByte]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenMetrics.EveryCaseMatchesTheSeedCaptureByteForByte]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-rev/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  golden_metrics_test_TESTS GoldenMetrics.EveryCaseMatchesTheSeedCaptureByteForByte)
