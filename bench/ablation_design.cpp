@@ -25,16 +25,18 @@ using stencil::StencilConfig;
 using stencil::TbPolicy;
 using stencil::Variant;
 
-sweep::RunResult run3d(TbPolicy policy, vshmem::Scope scope, int gpus) {
+sweep::RunResult run3d(TbPolicy policy, vshmem::Scope scope, int gpus,
+                       sim::Observer* obs = nullptr) {
   stencil::Jacobi3D p;
   p.nx = 512;
   p.ny = 256;
   p.nz = 16 * static_cast<std::size_t>(gpus);  // thin, unbalanced slabs
   StencilConfig cfg;
-  cfg.iterations = 50;
+  cfg.iterations = obs != nullptr ? 6 : 50;
   cfg.functional = false;
   cfg.tb_policy = policy;
   cfg.comm_scope = scope;
+  cfg.observer = obs;
   const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
   const auto out = stencil::run_jacobi3d(Variant::kCpuFree, spec, p, cfg);
   sweep::RunResult res;
@@ -60,11 +62,14 @@ sweep::RunResult run_stencil2d(Variant v, int gpus) {
   return res;
 }
 
-sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus) {
-  auto prog = dacelite::make_jacobi2d(2048, gpus, 50);
+sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus,
+                            sim::Observer* obs = nullptr) {
+  auto prog = dacelite::make_jacobi2d(obs != nullptr ? 128 : 2048, gpus,
+                                      obs != nullptr ? 8 : 50);
   dacelite::to_cpu_free(prog.sdfg);
   const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
   vgpu::Machine m(spec);
+  m.engine().set_observer(obs);
   vshmem::World w(m);
   dacelite::ProgramData data(w, prog.sdfg, false);
   dacelite::ExecOptions opt;
@@ -83,6 +88,31 @@ sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    // One case per ablation arm: every knob setting must stay race- and
+    // deadlock-free, not just the paper's default composition.
+    const std::vector<bench::CheckCase> cases = {
+        {"tb_proportional", [](sim::Observer* o) {
+           run3d(TbPolicy::kProportional, vshmem::Scope::kBlock, 2, o);
+         }},
+        {"tb_single_block", [](sim::Observer* o) {
+           run3d(TbPolicy::kSingleBlock, vshmem::Scope::kBlock, 2, o);
+         }},
+        {"tb_equal_split", [](sim::Observer* o) {
+           run3d(TbPolicy::kEqualSplit, vshmem::Scope::kBlock, 2, o);
+         }},
+        {"thread_scoped_puts", [](sim::Observer* o) {
+           run3d(TbPolicy::kProportional, vshmem::Scope::kThread, 2, o);
+         }},
+        {"dace_nbi_puts",
+         [](sim::Observer* o) { run_dace2d(false, false, 2, o); }},
+        {"dace_blocking_puts",
+         [](sim::Observer* o) { run_dace2d(true, false, 2, o); }},
+        {"dace_conservative_barriers",
+         [](sim::Observer* o) { run_dace2d(false, true, 2, o); }},
+    };
+    return bench::run_check(cases);
+  }
   bench::print_header("Ablations", "design choices called out in the paper");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
   const std::vector<int> gpus = {2, 4, 8};

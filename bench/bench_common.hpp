@@ -10,13 +10,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "check/detector.hpp"
 #include "exec/policy.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "sweep/emit.hpp"
@@ -114,6 +117,9 @@ struct Args {
   /// Sweep worker threads; 0 = all hardware threads, 1 = sequential.
   int threads = 0;
   bool progress = true;
+  /// --check: skip the sweep; run each variant once under the race/deadlock
+  /// checker (src/check/) on a small instance and print a verdict per case.
+  bool check = false;
   bool trace_dump = false;
   std::string trace_path = "trace.json";
   std::string out_json;  // --out PATH; default BENCH_<name>.json
@@ -129,6 +135,8 @@ struct Args {
         a.threads = std::atoi(argv[++i]);
       } else if (s == "--quiet") {
         a.progress = false;
+      } else if (s == "--check") {
+        a.check = true;
       } else if (s == "--out" && i + 1 < argc) {
         a.out_json = argv[++i];
       } else if (s == "--csv" && i + 1 < argc) {
@@ -149,6 +157,34 @@ struct Args {
     return o;
   }
 };
+
+/// One workload validated under --check. `run` must attach the observer to
+/// the engine it builds (e.g. via StencilConfig/CgConfig::observer, or
+/// machine.engine().set_observer) before allocating or launching anything.
+struct CheckCase {
+  std::string label;
+  std::function<void(sim::Observer*)> run;
+};
+
+/// Runs every case under a fresh happens-before race / deadlock detector
+/// and prints one PASS/RACE/DEADLOCK verdict per case. Returns the process
+/// exit code: 0 iff every case is clean.
+inline int run_check(const std::vector<CheckCase>& cases) {
+  int dirty = 0;
+  for (const CheckCase& c : cases) {
+    check::Detector det;
+    try {
+      c.run(&det);
+    } catch (const sim::DeadlockError&) {
+      // Already diagnosed: Engine::run publishes on_deadlock pre-throw.
+    }
+    std::printf("[%s] %s\n", c.label.c_str(), det.report_text().c_str());
+    if (!det.clean()) ++dirty;
+  }
+  std::printf("--check: %zu case(s), %d dirty -> %s\n", cases.size(), dirty,
+              dirty == 0 ? "PASS" : "FAIL");
+  return dirty == 0 ? 0 : 1;
+}
 
 /// Walks sweep records in submission order. The drivers queue jobs in the
 /// same nested-loop structure they later build tables in, so consuming the

@@ -56,6 +56,31 @@ std::vector<sweep::Param> params(const char* part, Variant v, int g) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    // Both parts of the figure: the no-compute communication skeleton and
+    // the computing run, per variant, on a small 2-GPU instance.
+    std::vector<bench::CheckCase> cases;
+    for (const bool compute : {false, true}) {
+      for (Variant v : {Variant::kBaselineCopy, Variant::kBaselineOverlap,
+                        Variant::kBaselineP2P, Variant::kBaselineNvshmem,
+                        Variant::kCpuFree}) {
+        cases.push_back({std::string(stencil::variant_name(v)) +
+                             (compute ? "/compute" : "/no_compute"),
+                         [v, compute](sim::Observer* obs) {
+                           StencilConfig cfg;
+                           cfg.iterations = 8;
+                           cfg.compute_enabled = compute;
+                           cfg.functional = compute;
+                           cfg.persistent_blocks = 12;
+                           cfg.observer = obs;
+                           (void)stencil::run_jacobi2d(
+                               v, vgpu::MachineSpec::hgx_a100(2),
+                               weak_scaled(64, 2), cfg);
+                         }});
+      }
+    }
+    return bench::run_check(cases);
+  }
   bench::print_header("Figure 2.2",
                       "communication overheads and overlap, small 2D domain");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));

@@ -56,6 +56,26 @@ constexpr DomainClass kClasses[] = {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    // Every stencil variant (including the §4 two-kernel design) on a small
+    // functional instance, under the race/deadlock checker.
+    std::vector<bench::CheckCase> cases;
+    std::vector<Variant> variants;
+    for (Variant v : stencil::kAllVariants) variants.push_back(v);
+    variants.push_back(Variant::kCpuFreeTwoKernels);
+    for (Variant v : variants) {
+      cases.push_back({std::string(stencil::variant_name(v)),
+                       [v](sim::Observer* obs) {
+                         StencilConfig cfg;
+                         cfg.iterations = 8;
+                         cfg.persistent_blocks = 12;
+                         cfg.observer = obs;
+                         (void)stencil::run_jacobi2d(v, vgpu::MachineSpec::hgx_a100(2),
+                                               weak_scaled(64, 2), cfg);
+                       }});
+    }
+    return bench::run_check(cases);
+  }
   bench::print_header("Figure 6.1", "2D Jacobi weak scaling, 6 variants");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
 

@@ -74,6 +74,21 @@ Jacobi3D domain_for(const Part& part, int gpus) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    std::vector<bench::CheckCase> cases;
+    for (Variant v : kVariants) {
+      cases.push_back({std::string(stencil::variant_name(v)),
+                       [v](sim::Observer* obs) {
+                         StencilConfig cfg;
+                         cfg.iterations = 6;
+                         cfg.persistent_blocks = 12;
+                         cfg.observer = obs;
+                         (void)stencil::run_jacobi3d(v, vgpu::MachineSpec::hgx_a100(2),
+                                               weak_scaled(16, 2), cfg);
+                       }});
+    }
+    return bench::run_check(cases);
+  }
   bench::print_header("Figure 6.2", "3D Jacobi weak/strong scaling");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
 

@@ -19,10 +19,12 @@
 
 namespace {
 
-sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters) {
+sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
+                        sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi1d(n, ranks, iters);
   const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
   vgpu::Machine m(spec);
+  m.engine().set_observer(obs);
   vshmem::World w(m);
   dacelite::ExecOptions opt;
   opt.functional = false;
@@ -47,10 +49,11 @@ sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters) {
 }
 
 sweep::RunResult run_2d(bool cpufree, std::size_t gx, std::size_t gy,
-                        int ranks, int iters) {
+                        int ranks, int iters, sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
   const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
   vgpu::Machine m(spec);
+  m.engine().set_observer(obs);
   vshmem::World w(m);
   dacelite::ExecOptions opt;
   opt.functional = false;
@@ -100,6 +103,19 @@ std::pair<std::size_t, std::size_t> weak_2d(std::size_t base, int ranks) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    const std::vector<bench::CheckCase> cases = {
+        {"jacobi1d/baseline_mpi",
+         [](sim::Observer* o) { run_1d(false, 4096, 2, 8, o); }},
+        {"jacobi1d/cpu_free_nvshmem",
+         [](sim::Observer* o) { run_1d(true, 4096, 2, 8, o); }},
+        {"jacobi2d/baseline_mpi",
+         [](sim::Observer* o) { run_2d(false, 64, 128, 2, 8, o); }},
+        {"jacobi2d/cpu_free_nvshmem",
+         [](sim::Observer* o) { run_2d(true, 64, 128, 2, 8, o); }},
+    };
+    return bench::run_check(cases);
+  }
   bench::print_header("Figure 6.3",
                       "DaCe-generated: discrete MPI vs CPU-Free (NVSHMEM)");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));

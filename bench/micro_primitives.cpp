@@ -68,6 +68,28 @@ sweep::RunResult measure(int repeats, double items_per_rep,
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    // The end-to-end workload of this bench, under the checker, with middle
+    // PEs present (4 GPUs) so both-neighbor protocols are exercised.
+    std::vector<bench::CheckCase> cases;
+    for (stencil::Variant v :
+         {stencil::Variant::kCpuFree, stencil::Variant::kBaselineCopy}) {
+      cases.push_back({std::string("full_stencil_run/") +
+                           std::string(stencil::variant_name(v)),
+                       [v](sim::Observer* o) {
+                         stencil::Jacobi2D p;
+                         p.nx = 128;
+                         p.ny = 128;
+                         stencil::StencilConfig cfg;
+                         cfg.iterations = 8;
+                         cfg.persistent_blocks = 12;
+                         cfg.observer = o;
+                         (void)stencil::run_jacobi2d(
+                             v, vgpu::MachineSpec::hgx_a100(4), p, cfg);
+                       }});
+    }
+    return bench::run_check(cases);
+  }
   bench::print_header("Micro", "simulator substrate wall-clock throughput");
   // The full-run workload exercises one composition end to end.
   bench::print_policies(

@@ -77,6 +77,32 @@ constexpr Variant kLargeVariants[] = {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.check) {
+    // The checker verdicts must be calibration-independent: a protocol is
+    // race-free by construction, not because the costs happen to order it.
+    std::vector<bench::CheckCase> cases;
+    for (const bool perturbed : {false, true}) {
+      for (Variant v : kSmallVariants) {
+        cases.push_back({std::string(stencil::variant_name(v)) +
+                             (perturbed ? "/half_link_bw" : "/default"),
+                         [v, perturbed](sim::Observer* o) {
+                           vgpu::MachineSpec spec =
+                               vgpu::MachineSpec::hgx_a100(2);
+                           if (perturbed) spec.link.bw_gbps *= 0.5;
+                           stencil::Jacobi2D p;
+                           p.nx = 128;
+                           p.ny = 128;
+                           StencilConfig cfg;
+                           cfg.iterations = 6;
+                           cfg.functional = false;
+                           cfg.persistent_blocks = 12;
+                           cfg.observer = o;
+                           (void)stencil::run_jacobi2d(v, spec, p, cfg);
+                         }});
+      }
+    }
+    return bench::run_check(cases);
+  }
   bench::print_header("Sensitivity",
                       "headline claims under cost-model perturbation");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));

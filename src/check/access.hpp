@@ -1,0 +1,110 @@
+// Shadow memory for the race detector.
+//
+// One AccessTable per allocation base. The table keeps disjoint byte
+// segments; each segment carries the last write (epoch + attribution) and
+// the reads since that write, at most one per timeline (a later read by the
+// same timeline subsumes the earlier one). An incoming access splits
+// existing segments at its boundaries, materializes empty segments over
+// uncovered bytes, and then checks/updates every segment it overlaps:
+//
+//  * any access races with an uncovered prior write (write->read /
+//    write->write);
+//  * a write additionally races with every uncovered prior read
+//    (read->write).
+//
+// Accesses published by the workloads are halo-region-granular, so segment
+// boundaries align after the first few touches and tables stay tiny.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/clock.hpp"
+
+namespace check {
+
+/// Attribution for one recorded access.
+struct AccessInfo {
+  Epoch epoch{};
+  std::string actor;  // "pe1/k0.g2(comm_top)", "wire0->1", ...
+  std::string what;   // "halo_read", "putmem_signal_nbi", ...
+};
+
+/// Shadow state for one allocation.
+class AccessTable {
+ public:
+  /// Records the access [lo, hi) and reports every conflicting prior access.
+  /// `vc` is the accessor's clock at the access; `report` is invoked as
+  /// report(prior, prior_is_write) for each race found.
+  template <typename Reporter>
+  void access(std::size_t lo, std::size_t hi, bool is_write,
+              const AccessInfo& cur, const VectorClock& vc,
+              Reporter&& report) {
+    if (hi <= lo) return;
+    split_at(lo);
+    split_at(hi);
+    // Cover gaps in [lo, hi) with fresh (history-free) segments. std::map
+    // iterators stay valid across emplace, and the inserted keys are behind
+    // the cursor, so the sweep is safe.
+    std::size_t cursor = lo;
+    for (auto it = segs_.lower_bound(lo); it != segs_.end() && it->first < hi;
+         ++it) {
+      if (it->first > cursor) segs_.emplace(cursor, Segment{it->first, {}, {}});
+      cursor = it->second.hi;
+    }
+    if (cursor < hi) segs_.emplace(cursor, Segment{hi, {}, {}});
+    for (auto it = segs_.lower_bound(lo); it != segs_.end() && it->first < hi;
+         ++it) {
+      apply(it->second, is_write, cur, vc, report);
+    }
+  }
+
+ private:
+  struct Segment {
+    std::size_t hi = 0;
+    AccessInfo write{};               // write.epoch.clk == 0: never written
+    std::vector<AccessInfo> reads{};  // at most one entry per timeline
+  };
+
+  template <typename Reporter>
+  static void apply(Segment& s, bool is_write, const AccessInfo& cur,
+                    const VectorClock& vc, Reporter&& report) {
+    if (s.write.epoch.valid() && !vc.covers(s.write.epoch)) {
+      report(s.write, /*prior_is_write=*/true);
+    }
+    if (is_write) {
+      for (const AccessInfo& r : s.reads) {
+        if (!vc.covers(r.epoch)) report(r, /*prior_is_write=*/false);
+      }
+      s.write = cur;
+      s.reads.clear();
+      return;
+    }
+    for (AccessInfo& r : s.reads) {
+      if (r.epoch.tid == cur.epoch.tid) {
+        r = cur;
+        return;
+      }
+    }
+    s.reads.push_back(cur);
+  }
+
+  /// Splits the segment straddling byte `p` so that `p` becomes a boundary.
+  void split_at(std::size_t p) {
+    auto it = segs_.upper_bound(p);
+    if (it == segs_.begin()) return;
+    --it;
+    if (it->first < p && p < it->second.hi) {
+      Segment tail = it->second;  // inherits write + reads
+      it->second.hi = p;
+      segs_.emplace(p, std::move(tail));
+    }
+  }
+
+  std::map<std::size_t, Segment> segs_;  // keyed by segment lo; disjoint
+};
+
+}  // namespace check

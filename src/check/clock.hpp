@@ -1,0 +1,60 @@
+// Vector clocks for the happens-before race detector.
+//
+// Timelines (check::Tid) are dense indices assigned by the Detector to
+// sim::Actor identities in order of first appearance. A VectorClock's
+// component i counts the events of timeline i known to happen-before the
+// clock owner's current point; an Epoch pins one event as (timeline, count).
+// clk == 0 is the "never happened" sentinel, so every real event ticks to a
+// value >= 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace check {
+
+using Tid = std::uint32_t;
+
+/// One event on one timeline.
+struct Epoch {
+  Tid tid = 0;
+  std::uint64_t clk = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return clk != 0; }
+};
+
+/// Dense vector clock with an implicit zero tail.
+class VectorClock {
+ public:
+  [[nodiscard]] std::uint64_t at(Tid tid) const noexcept {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+
+  /// Advances the owner's own component; returns the new value.
+  std::uint64_t tick(Tid tid) {
+    if (tid >= c_.size()) c_.resize(tid + 1, 0);
+    return ++c_[tid];
+  }
+
+  /// Pointwise maximum: acquires everything the other clock has seen.
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+    }
+  }
+
+  /// True when the epoch happens-before (or equals) this clock's point.
+  [[nodiscard]] bool covers(const Epoch& e) const noexcept {
+    return e.clk <= at(e.tid);
+  }
+
+  void clear() noexcept { c_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return c_.empty(); }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace check

@@ -1,0 +1,40 @@
+// Checker verdicts and race reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace check {
+
+enum class Verdict : std::uint8_t { kPass, kRace, kDeadlock };
+
+[[nodiscard]] constexpr const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "PASS";
+    case Verdict::kRace: return "RACE";
+    case Verdict::kDeadlock: return "DEADLOCK";
+  }
+  return "?";
+}
+
+/// One detected race: two accesses to overlapping bytes of one allocation,
+/// at least one a write, with no happens-before path between them. `cur` is
+/// the later access (the detection point), `prior` the recorded one.
+struct RaceReport {
+  std::string range;  // "u1@pe1 bytes [512, 1024)"
+  std::string cur_actor;
+  std::string cur_what;
+  bool cur_is_write = false;
+  std::string prior_actor;
+  std::string prior_what;
+  bool prior_is_write = false;
+
+  [[nodiscard]] std::string str() const {
+    return "race on " + range + ": " + cur_what +
+           (cur_is_write ? " (write) by " : " (read) by ") + cur_actor +
+           " not ordered after " + prior_what +
+           (prior_is_write ? " (write) by " : " (read) by ") + prior_actor;
+  }
+};
+
+}  // namespace check

@@ -15,10 +15,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cpufree/halo.hpp"
 #include "hostmpi/comm.hpp"
+#include "sim/observe.hpp"
 #include "sim/task.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/kernel.hpp"
@@ -29,35 +31,50 @@ namespace exec {
 /// Functional payload factory for one halo direction (nullable).
 using HaloDeliverFn = std::function<std::function<void()>(bool to_top)>;
 
+/// Checker-facing byte ranges of one halo push: {source boundary slab,
+/// destination halo slab}. Nullable; only consulted with a checker attached.
+using HaloRangeFn =
+    std::function<std::pair<sim::MemRange, sim::MemRange>(bool to_top)>;
+
 /// CommPolicy::kStagedCopy / kOverlapStreams: push both boundary slabs to
 /// the neighbours with host-issued async memcpys in `stream` (up first,
 /// then down — the order every baseline uses).
 inline sim::Task staged_halo_exchange(vgpu::HostCtx& h, vgpu::Stream& stream,
                                       int dev, int n_pes, double bytes,
-                                      HaloDeliverFn deliver) {
+                                      HaloDeliverFn deliver,
+                                      HaloRangeFn ranges = {}) {
   if (dev > 0) {
     auto del = deliver ? deliver(/*to_top=*/true) : std::function<void()>{};
+    const auto [rd, wr] = ranges ? ranges(/*to_top=*/true)
+                                 : std::pair<sim::MemRange, sim::MemRange>{};
     CO_AWAIT(h.memcpy_peer_async(stream, dev - 1, dev, bytes, "halo_up",
-                                 std::move(del)));
+                                 std::move(del), rd, wr));
   }
   if (dev + 1 < n_pes) {
     auto del = deliver ? deliver(/*to_top=*/false) : std::function<void()>{};
+    const auto [rd, wr] = ranges ? ranges(/*to_top=*/false)
+                                 : std::pair<sim::MemRange, sim::MemRange>{};
     CO_AWAIT(h.memcpy_peer_async(stream, dev + 1, dev, bytes, "halo_down",
-                                 std::move(del)));
+                                 std::move(del), rd, wr));
   }
 }
 
 /// CommPolicy::kPeerStore: store both boundary slabs straight into the
 /// neighbours' memory from inside the kernel (device-initiated).
 inline sim::Task peer_store_halos(vgpu::KernelCtx& k, int dev, int n_pes,
-                                  double bytes, HaloDeliverFn deliver) {
+                                  double bytes, HaloDeliverFn deliver,
+                                  HaloRangeFn ranges = {}) {
   if (dev > 0) {
     auto del = deliver ? deliver(/*to_top=*/true) : std::function<void()>{};
-    CO_AWAIT(k.peer_put(dev - 1, bytes, "p2p_up", std::move(del)));
+    const auto [rd, wr] = ranges ? ranges(/*to_top=*/true)
+                                 : std::pair<sim::MemRange, sim::MemRange>{};
+    CO_AWAIT(k.peer_put(dev - 1, bytes, "p2p_up", std::move(del), rd, wr));
   }
   if (dev + 1 < n_pes) {
     auto del = deliver ? deliver(/*to_top=*/false) : std::function<void()>{};
-    CO_AWAIT(k.peer_put(dev + 1, bytes, "p2p_down", std::move(del)));
+    const auto [rd, wr] = ranges ? ranges(/*to_top=*/false)
+                                 : std::pair<sim::MemRange, sim::MemRange>{};
+    CO_AWAIT(k.peer_put(dev + 1, bytes, "p2p_down", std::move(del), rd, wr));
   }
 }
 
@@ -86,6 +103,10 @@ inline sim::Task allreduce_put_wait(vshmem::World& world, vgpu::KernelCtx& k,
     co_await proto.wait_iteration(
         k, flag_base + static_cast<std::size_t>(peer), t);
   }
+  // The caller sums every peer's slot right after these waits.
+  k.obs_access(
+      sim::MemRange::of(slots.on(me), 0, static_cast<std::size_t>(n_pes)),
+      /*is_write=*/false, "allreduce_read");
 }
 
 /// Host-side all-to-all allreduce over MPI: each rank isends its partial to

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "exec/comm.hpp"
 #include "exec/launch.hpp"
 #include "exec/sync.hpp"
+#include "sim/observe.hpp"
 #include "sim/sync.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/kernel.hpp"
@@ -26,14 +28,58 @@ namespace exec {
 namespace {
 
 /// Kernel body: one compute phase of `bytes` DRAM traffic at `bw_fraction`,
-/// running `fnl` (the functional numerics) at phase start.
+/// running `fnl` (the functional numerics) at phase start. `observe`
+/// (nullable) publishes the phase's checker-visible accesses first.
 std::function<sim::Task(vgpu::KernelCtx&)> compute_only_body(
     double bytes, double bw_fraction, const char* label,
-    std::function<void()> fnl) {
-  return [bytes, bw_fraction, label,
-          fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+    std::function<void()> fnl,
+    std::function<void(vgpu::KernelCtx&)> observe = {}) {
+  return [bytes, bw_fraction, label, fnl = std::move(fnl),
+          observe = std::move(observe)](vgpu::KernelCtx& k) -> sim::Task {
+    if (observe) observe(k);
     std::function<void()> body = fnl;
     co_await k.compute(bytes, bw_fraction, label, std::move(body));
+  };
+}
+
+/// Publishes the halo-protocol accesses of updating `dev`'s `top_side`
+/// boundary slab at iteration `t`: the read of the neighbour-owned halo slab
+/// (parity t-1) and the write of the boundary slab that will travel to the
+/// neighbour (parity t). No-op without a neighbour on that side.
+void observe_boundary_update(const SlabProgram& P, vgpu::KernelCtx& k, int dev,
+                             bool top_side, int t) {
+  const bool has_neighbor = top_side ? dev > 0 : dev + 1 < P.n_pes;
+  if (!has_neighbor) return;
+  k.obs_access(sim::MemRange::of(P.buffer((t - 1) & 1).on(dev),
+                                 P.recv_offset(dev, !top_side), P.plane),
+               /*is_write=*/false, "halo_read");
+  k.obs_access(sim::MemRange::of(P.buffer(t & 1).on(dev),
+                                 P.send_offset(dev, top_side), P.plane),
+               /*is_write=*/true, "boundary_write");
+}
+
+/// Checker hook publishing both sides' boundary updates (null when no
+/// checker is attached, so disabled runs build nothing).
+std::function<void(vgpu::KernelCtx&)> observe_both_sides(const SlabProgram& P,
+                                                         int dev, int t) {
+  if (P.machine->engine().observer() == nullptr) return {};
+  return [&P, dev, t](vgpu::KernelCtx& k) {
+    observe_boundary_update(P, k, dev, /*top_side=*/true, t);
+    observe_boundary_update(P, k, dev, /*top_side=*/false, t);
+  };
+}
+
+/// Checker-facing byte ranges of `dev`'s iteration-`t` halo pushes for the
+/// host-staged / peer-store comm paths (null when no checker is attached).
+HaloRangeFn make_halo_ranges(const SlabProgram& P, int dev, int t) {
+  if (P.machine->engine().observer() == nullptr) return {};
+  return [&P, dev, t](bool to_top) {
+    const int neighbor = to_top ? dev - 1 : dev + 1;
+    auto& buf = P.buffer(t & 1);
+    return std::pair{
+        sim::MemRange::of(buf.on(dev), P.send_offset(dev, to_top), P.plane),
+        sim::MemRange::of(buf.on(neighbor), P.recv_offset(neighbor, to_top),
+                          P.plane)};
   };
 }
 
@@ -71,12 +117,14 @@ void run_host_staged(const SlabProgram& P, const Plan& plan,
               auto fnl = P.update_body(dev, t, 1, rows + 1);
               auto body = compute_only_body(
                   P.compute_bytes(static_cast<double>(rows)), 1.0, "stencil",
-                  std::move(fnl));
+                  std::move(fnl), observe_both_sides(P, dev, t));
               CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body)));
               CO_AWAIT(staged_halo_exchange(
-                  h, stream, dev, n, P.halo_bytes, [&P, dev, t](bool to_top) {
+                  h, stream, dev, n, P.halo_bytes,
+                  [&P, dev, t](bool to_top) {
                     return P.halo_deliver(dev, to_top, t);
-                  }));
+                  },
+                  make_halo_ranges(P, dev, t)));
               vgpu::Stream* const streams[] = {&stream};
               co_await end_host_step(h, plan.sync, streams);
             });
@@ -120,7 +168,8 @@ void run_host_overlap(const SlabProgram& P, const Plan& plan,
                 if (f2) f2();
               };
               auto bnd_body = compute_only_body(P.compute_bytes(2.0), 1.0,
-                                                "boundary", std::move(fnl_bnd));
+                                                "boundary", std::move(fnl_bnd),
+                                                observe_both_sides(P, dev, t));
               CO_AWAIT(
                   h.launch_single(comm_s, lcb, bnd_blocks, std::move(bnd_body)));
               // ...overlapped with the inner kernel in the comp stream.
@@ -131,9 +180,11 @@ void run_host_overlap(const SlabProgram& P, const Plan& plan,
               CO_AWAIT(h.launch_single(comp_s, lci, inner_blocks,
                                        std::move(in_body)));
               CO_AWAIT(staged_halo_exchange(
-                  h, comm_s, dev, n, P.halo_bytes, [&P, dev, t](bool to_top) {
+                  h, comm_s, dev, n, P.halo_bytes,
+                  [&P, dev, t](bool to_top) {
                     return P.halo_deliver(dev, to_top, t);
-                  }));
+                  },
+                  make_halo_ranges(P, dev, t)));
               vgpu::Stream* const streams[] = {&comm_s, &comp_s};
               co_await end_host_step(h, plan.sync, streams);
             });
@@ -162,14 +213,20 @@ void run_host_peer_store(const SlabProgram& P, const Plan& plan,
         auto fnl = P.update_body(dev, t, 1, rows + 1);
         auto body = [&P, dev, t, n, rows,
                      fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+          if (k.engine().observer() != nullptr) {
+            observe_boundary_update(P, k, dev, /*top_side=*/true, t);
+            observe_boundary_update(P, k, dev, /*top_side=*/false, t);
+          }
           std::function<void()> f = fnl;
           co_await k.compute(P.compute_bytes(static_cast<double>(rows)), 1.0,
                              "stencil", std::move(f));
           // Device-initiated halo stores straight into neighbour memory.
-          CO_AWAIT(peer_store_halos(k, dev, n, P.halo_bytes,
-                                    [&P, dev, t](bool to_top) {
-                                      return P.halo_deliver(dev, to_top, t);
-                                    }));
+          CO_AWAIT(peer_store_halos(
+              k, dev, n, P.halo_bytes,
+              [&P, dev, t](bool to_top) {
+                return P.halo_deliver(dev, to_top, t);
+              },
+              make_halo_ranges(P, dev, t)));
         };
         std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
         CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
@@ -209,6 +266,10 @@ void run_host_signaled(const SlabProgram& P, const Plan& plan,
         auto body = [&P, &w, &prm, sigp, dev, t, n,
                      fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
           cpufree::IterationProtocol proto(w, *sigp);
+          if (k.engine().observer() != nullptr) {
+            observe_boundary_update(P, k, dev, /*top_side=*/true, t);
+            observe_boundary_update(P, k, dev, /*top_side=*/false, t);
+          }
           std::function<void()> f = fnl;
           co_await k.compute(P.compute_bytes(static_cast<double>(P.rows(dev))),
                              1.0, "stencil", std::move(f));
@@ -271,6 +332,11 @@ std::function<sim::Task(vgpu::KernelCtx&)> make_comm_group(
       if (has_neighbor) {
         // 1. Wait for the neighbour's halo of the previous step.
         co_await proto.wait_iteration(k, wait_flag, t);
+        // The halo read is only safe AFTER that wait: publish it here so a
+        // protocol that skips the wait is flagged.
+        if (k.engine().observer() != nullptr) {
+          observe_boundary_update(P, k, dev, top_side, t);
+        }
         // 2. Compute my boundary slab.
         auto fnl = P.update_body(dev, t, slab, slab + 1);
         std::function<void()> f = std::move(fnl);
@@ -394,6 +460,11 @@ void run_persistent_pair(const SlabProgram& P, const Plan& plan,
   for (int d = 0; d < n; ++d) {
     inner_done.emplace_back(m.engine(), 0);
     comm_done.emplace_back(m.engine(), 0);
+    if (sim::Observer* o = m.engine().observer()) {
+      o->on_flag_name(&inner_done.back(),
+                      "inner_done@pe" + std::to_string(d));
+      o->on_flag_name(&comm_done.back(), "comm_done@pe" + std::to_string(d));
+    }
   }
 
   std::vector<vgpu::Stream*> comm_streams, comp_streams;
@@ -428,13 +499,21 @@ void run_persistent_pair(const SlabProgram& P, const Plan& plan,
     auto comm_end = [my_inner_done, my_comm_done](
                         vgpu::KernelCtx& k, bool top_side, int t) -> sim::Task {
       co_await k.grid_sync();
-      if (top_side) my_comm_done->set(t);
+      if (top_side) {
+        my_comm_done->set(t);
+        if (sim::Observer* o = k.engine().observer()) {
+          o->on_signal_update(k.obs_actor(), my_comm_done, t, "comm_done");
+        }
+      }
       co_await local_pair_handshake(k, *my_inner_done, t, "inner_done");
     };
     // The inner kernel publishes "inner done" and handshakes back.
     auto inner_end = [my_inner_done, my_comm_done](vgpu::KernelCtx& k,
                                                    int t) -> sim::Task {
       my_inner_done->set(t);
+      if (sim::Observer* o = k.engine().observer()) {
+        o->on_signal_update(k.obs_actor(), my_inner_done, t, "inner_done");
+      }
       co_await local_pair_handshake(k, *my_comm_done, t, "comm_done");
     };
 

@@ -41,7 +41,8 @@ struct SlabProgram {
   /// Functional payload of a host/peer halo copy (nullable).
   std::function<std::function<void()>(int dev, bool to_top, int t)>
       halo_deliver;
-  /// Symmetric double buffer of parity `t & 1` (signaled-put comm only).
+  /// Symmetric double buffer of parity `t & 1` (signaled-put comm, and the
+  /// checker's halo-range publication under every comm policy).
   std::function<vshmem::Sym<double>&(int parity)> buffer;
   /// Element offsets of the sent boundary slab / the receiving halo slab.
   std::function<std::size_t(int pe, bool to_top)> send_offset;

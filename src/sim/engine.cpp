@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/observe.hpp"
+
 namespace sim {
 
 std::coroutine_handle<> Task::FinalAwaiter::await_suspend(Handle h) noexcept {
@@ -68,6 +70,9 @@ void Engine::run() {
     }
   }
   if (live_roots_ != 0) {
+    // Give an attached checker the chance to turn the bare hang into a
+    // wait-for diagnosis before the exception unwinds everything.
+    if (observer_ != nullptr) observer_->on_deadlock(live_roots_);
     throw DeadlockError(live_roots_);
   }
 }

@@ -19,6 +19,8 @@
 
 namespace sim {
 
+class Observer;
+
 /// Thrown by Engine::run() when the event queue drains while spawned root
 /// tasks are still suspended (e.g. waiting on a flag nobody will ever set).
 class DeadlockError : public std::runtime_error {
@@ -71,6 +73,12 @@ class Engine {
   [[nodiscard]] Trace& trace() noexcept { return trace_; }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
 
+  /// Attaches (or detaches, with nullptr) an execution observer. The
+  /// observer receives the events published by the vgpu/vshmem/exec layers;
+  /// it never affects simulated time.
+  void set_observer(Observer* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] Observer* observer() const noexcept { return observer_; }
+
  private:
   friend struct Task::FinalAwaiter;
   void on_root_done(Task::Handle h);
@@ -89,6 +97,7 @@ class Engine {
   std::vector<Task::Handle> finished_;
   std::exception_ptr error_;
   Trace trace_;
+  Observer* observer_ = nullptr;
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_roots_ = 0;

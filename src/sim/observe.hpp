@@ -1,0 +1,216 @@
+// Execution-observer interface for dynamic checking.
+//
+// An Observer attached to an Engine receives a stream of synchronization and
+// memory events from the vgpu/vshmem/exec layers: actor lifecycles, stream
+// ordering, barrier arrivals, signal updates and waits, put issue/delivery,
+// quiet/fence, and application-level memory accesses at halo-region
+// granularity. The checker subsystem (src/check/) implements this interface
+// to run a vector-clock happens-before race detector and a deadlock
+// analyzer; a null observer costs one pointer test per event site and the
+// observer NEVER influences simulated time — publication happens strictly
+// between timed awaits.
+//
+// Identity conventions:
+//  * Actors are sequential timelines. Host threads, streams, kernel block
+//    groups, and directed inter-device links ("wires") each get one. A wire
+//    is a valid sequential actor because Machine::transfer serializes
+//    same-link transfers in issue order.
+//  * MemRange identifies a span of an allocation by the allocation's data
+//    pointer plus LOGICAL byte offsets. The base pointer is never
+//    dereferenced — timing-only runs allocate one element per symmetric
+//    array but keep full logical offsets, so raw addresses would alias
+//    across allocations while (base, offset) ranges stay exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sim/sync.hpp"
+
+namespace sim {
+
+/// One sequential timeline participating in the happens-before order.
+struct Actor {
+  enum class Kind : std::uint8_t {
+    kNone,         // "no actor": disables publication for this site
+    kHost,         // the host thread driving device `a`
+    kStream,       // stream `b` of device `a`
+    kKernelGroup,  // block group `c` of the kernel on stream `b`, device `a`
+    kWire,         // the directed link `a` -> `b`
+  };
+
+  Kind kind = Kind::kNone;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+
+  [[nodiscard]] static constexpr Actor host(int dev) {
+    return Actor{Kind::kHost, dev, -1, -1};
+  }
+  [[nodiscard]] static constexpr Actor stream(int dev, int lane) {
+    return Actor{Kind::kStream, dev, lane, -1};
+  }
+  [[nodiscard]] static constexpr Actor group(int dev, int lane, int g) {
+    return Actor{Kind::kKernelGroup, dev, lane, g};
+  }
+  [[nodiscard]] static constexpr Actor wire(int src, int dst) {
+    return Actor{Kind::kWire, src, dst, -1};
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return kind != Kind::kNone;
+  }
+
+  friend constexpr bool operator==(const Actor&, const Actor&) = default;
+  friend constexpr auto operator<=>(const Actor&, const Actor&) = default;
+
+  /// Human-readable identity for reports: "host0", "pe1/s0", "pe1/k0.g2",
+  /// "wire0->1".
+  [[nodiscard]] std::string str() const {
+    switch (kind) {
+      case Kind::kHost:
+        return "host" + std::to_string(a);
+      case Kind::kStream:
+        return "pe" + std::to_string(a) + "/s" + std::to_string(b);
+      case Kind::kKernelGroup:
+        return "pe" + std::to_string(a) + "/k" + std::to_string(b) + ".g" +
+               std::to_string(c);
+      case Kind::kWire:
+        return "wire" + std::to_string(a) + "->" + std::to_string(b);
+      case Kind::kNone:
+        break;
+    }
+    return "<none>";
+  }
+};
+
+/// A byte range of one allocation: identity pointer + logical offsets.
+/// Ranges on different bases never overlap; `base` is never dereferenced.
+struct MemRange {
+  std::uintptr_t base = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return base == 0 || hi <= lo;
+  }
+
+  /// Range covering `count` elements starting at element `off` of the
+  /// allocation whose storage `s` views. Offsets are logical: `s` may be a
+  /// 1-element placeholder in timing-only runs.
+  template <typename T>
+  [[nodiscard]] static MemRange of(std::span<T> s, std::size_t off,
+                                   std::size_t count) {
+    return MemRange{reinterpret_cast<std::uintptr_t>(s.data()),
+                    off * sizeof(T), (off + count) * sizeof(T)};
+  }
+};
+
+/// Checker-facing description of one Machine::transfer. A default-constructed
+/// TransferObs (invalid actor) publishes nothing.
+struct TransferObs {
+  Actor actor{};     // the issuing timeline
+  MemRange read{};   // source bytes the transfer reads (optional)
+  MemRange write{};  // destination bytes the transfer writes (optional)
+  /// True for operations whose completion the issuer observes directly
+  /// (blocking gets, host/stream copies): delivery joins the wire clock back
+  /// into the issuer. False for NVSHMEM-style nonblocking puts: the issuer
+  /// learns of completion only through quiet()/fence() or a delivered
+  /// signal.
+  bool rejoin = true;
+};
+
+/// Event sink. All callbacks default to no-ops; implementations override the
+/// subset they need. Callbacks run synchronously at publication sites and
+/// must not re-enter the engine.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  // --- naming (attribution only; no ordering effect) ---
+  virtual void on_mem_block(const void* base, std::size_t bytes,
+                            std::string_view name) {
+    (void)base, (void)bytes, (void)name;
+  }
+  virtual void on_flag_name(const void* flag, std::string_view name) {
+    (void)flag, (void)name;
+  }
+
+  // --- actor lifecycle ---
+  virtual void on_actor_begin(const Actor& actor, const Actor& parent,
+                              std::string_view name) {
+    (void)actor, (void)parent, (void)name;
+  }
+  virtual void on_actor_end(const Actor& actor, const Actor& parent) {
+    (void)actor, (void)parent;
+  }
+
+  // --- stream FIFO order ---
+  virtual void on_stream_enqueue(const Actor& enqueuer, const Actor& stream,
+                                 std::int64_t ticket) {
+    (void)enqueuer, (void)stream, (void)ticket;
+  }
+  virtual void on_stream_op_begin(const Actor& stream, std::int64_t ticket) {
+    (void)stream, (void)ticket;
+  }
+  virtual void on_stream_op_end(const Actor& stream, std::int64_t ticket) {
+    (void)stream, (void)ticket;
+  }
+  virtual void on_stream_sync(const Actor& waiter, const Actor& stream) {
+    (void)waiter, (void)stream;
+  }
+
+  // --- barriers (keyed by the barrier object's address) ---
+  virtual void on_barrier_arrive(const Actor& actor, const void* key,
+                                 std::size_t parties, std::string_view what) {
+    (void)actor, (void)key, (void)parties, (void)what;
+  }
+  virtual void on_barrier_resume(const Actor& actor, const void* key) {
+    (void)actor, (void)key;
+  }
+
+  // --- signals/flags (keyed by the Flag object's address) ---
+  virtual void on_signal_update(const Actor& actor, const void* flag,
+                                std::int64_t value, std::string_view what) {
+    (void)actor, (void)flag, (void)value, (void)what;
+  }
+  virtual void on_signal_wait_begin(const Actor& actor, const void* flag,
+                                    Cmp cmp, std::int64_t rhs,
+                                    std::string_view what) {
+    (void)actor, (void)flag, (void)cmp, (void)rhs, (void)what;
+  }
+  virtual void on_signal_wait_end(const Actor& actor, const void* flag) {
+    (void)actor, (void)flag;
+  }
+
+  // --- transfers (puts, gets, copies; op_id pairs issue with delivery) ---
+  virtual void on_put_issue(std::uint64_t op_id, const Actor& issuer,
+                            const Actor& wire, const MemRange& read,
+                            const MemRange& write, bool rejoin,
+                            std::string_view what) {
+    (void)op_id, (void)issuer, (void)wire, (void)read, (void)write,
+        (void)rejoin, (void)what;
+  }
+  virtual void on_put_deliver(std::uint64_t op_id, const Actor& wire) {
+    (void)op_id, (void)wire;
+  }
+  /// quiet()/fence() completion point for `actor`'s outstanding nonblocking
+  /// puts issued from PE `pe`. `what` is "quiet" or "fence".
+  virtual void on_quiet(const Actor& actor, int pe, std::string_view what) {
+    (void)actor, (void)pe, (void)what;
+  }
+
+  // --- application memory accesses (halo-region granularity) ---
+  virtual void on_access(const Actor& actor, const MemRange& range,
+                         bool is_write, std::string_view what) {
+    (void)actor, (void)range, (void)is_write, (void)what;
+  }
+
+  // --- terminal diagnosis ---
+  /// Published by Engine::run() immediately before throwing DeadlockError.
+  virtual void on_deadlock(std::size_t stuck_tasks) { (void)stuck_tasks; }
+};
+
+}  // namespace sim

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cpufree/halo.hpp"
@@ -231,6 +232,7 @@ CgResult cg_reference(const CgConfig& cfg, int ranks) {
 
 CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   vgpu::Machine machine(spec);
+  machine.engine().set_observer(cfg.observer);
   vshmem::World world(machine);
   world.set_functional(cfg.functional);
   machine.trace().set_enabled(cfg.trace);
@@ -338,6 +340,18 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
         if (dev + 1 < n) {
           co_await proto.wait_iteration(k, kBottomHalo, t);
         }
+        // The SpMV's halo-row reads are only safe after those waits.
+        if (k.engine().observer() != nullptr) {
+          if (dev > 0) {
+            k.obs_access(sim::MemRange::of(p.on(dev), st->idx(0, 0), st->nx),
+                         /*is_write=*/false, "p_halo_read");
+          }
+          if (dev + 1 < n) {
+            k.obs_access(
+                sim::MemRange::of(p.on(dev), st->idx(st->rows + 1, 0), st->nx),
+                /*is_write=*/false, "p_halo_read");
+          }
+        }
         std::function<void()> f_spmv;
         if (cfg.functional) {
           f_spmv = [st, &p, &q, dev] { st->spmv(p.on(dev), q.on(dev)); };
@@ -433,6 +447,7 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
 
 CgResult run_cg_baseline(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   vgpu::Machine machine(spec);
+  machine.engine().set_observer(cfg.observer);
   vshmem::World world(machine);  // allocation convenience only
   world.set_functional(cfg.functional);
   hostmpi::Comm comm(machine);
@@ -509,6 +524,23 @@ CgResult run_cg_baseline(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
         auto rr_partial = rr_partials[static_cast<std::size_t>(dev)];
         vgpu::Stream* const step_streams[] = {&stream};
 
+        // Checker-facing byte ranges of the p halo pushes.
+        exec::HaloRangeFn p_ranges;
+        if (machine.engine().observer() != nullptr) {
+          p_ranges = [&states, &p, st,
+                      dev](bool to_top) -> std::pair<sim::MemRange,
+                                                     sim::MemRange> {
+            if (to_top) {
+              const RankState* up = &states[static_cast<std::size_t>(dev - 1)];
+              return {sim::MemRange::of(p.on(dev), st->idx(1, 0), st->nx),
+                      sim::MemRange::of(p.on(dev - 1), up->idx(up->rows + 1, 0),
+                                        st->nx)};
+            }
+            const RankState* down = &states[static_cast<std::size_t>(dev + 1)];
+            return {sim::MemRange::of(p.on(dev), st->idx(st->rows, 0), st->nx),
+                    sim::MemRange::of(p.on(dev + 1), down->idx(0, 0), st->nx)};
+          };
+        }
         // Halo exchange of p via host-issued memcpys, then host barrier.
         CO_AWAIT(exec::staged_halo_exchange(
             h, stream, dev, n, static_cast<double>(st->nx) * 8.0,
@@ -533,7 +565,8 @@ CgResult run_cg_baseline(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
                   dst[down->idx(0, j)] = src[st->idx(st->rows, j)];
                 }
               };
-            }));
+            },
+            p_ranges));
         co_await exec::end_host_step(h, exec::SyncPolicy::kHostBarrier,
                                      step_streams);
 
@@ -546,7 +579,21 @@ CgResult run_cg_baseline(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
           };
         }
         {
-          auto body = [pts, f = std::move(f1)](vgpu::KernelCtx& k) -> sim::Task {
+          auto body = [pts, f = std::move(f1), st, &p, dev,
+                       n](vgpu::KernelCtx& k) -> sim::Task {
+            if (k.engine().observer() != nullptr) {
+              if (dev > 0) {
+                k.obs_access(
+                    sim::MemRange::of(p.on(dev), st->idx(0, 0), st->nx),
+                    /*is_write=*/false, "p_halo_read");
+              }
+              if (dev + 1 < n) {
+                k.obs_access(sim::MemRange::of(p.on(dev),
+                                               st->idx(st->rows + 1, 0),
+                                               st->nx),
+                             /*is_write=*/false, "p_halo_read");
+              }
+            }
             std::function<void()> fn = f;
             co_await k.compute(pts * (kSpmvBytes + kDotBytes), 1.0, "spmv+dot",
                                std::move(fn));

@@ -26,6 +26,10 @@
 #include "cpufree/metrics.hpp"
 #include "vgpu/costmodel.hpp"
 
+namespace sim {
+class Observer;
+}
+
 namespace solvers {
 
 struct CgConfig {
@@ -40,6 +44,9 @@ struct CgConfig {
   /// Co-resident blocks for the persistent variant; 0 (default) derives one
   /// block per SM from MachineSpec::sm_count at plan-build time.
   int persistent_blocks = 0;
+  /// Optional execution observer (race/deadlock checker); attached to the
+  /// engine before any allocation or launch. Never affects simulated time.
+  sim::Observer* observer = nullptr;
 };
 
 struct CgResult {

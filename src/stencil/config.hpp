@@ -7,6 +7,10 @@
 #include "cpufree/metrics.hpp"
 #include "vshmem/world.hpp"
 
+namespace sim {
+class Observer;
+}
+
 namespace stencil {
 
 /// The code variants evaluated in the paper (§6.1.1).
@@ -73,6 +77,9 @@ struct StencilConfig {
   /// Scope of device-initiated puts: block-cooperative (paper's choice) or
   /// thread-scoped (ablation; what a single thread can sustain).
   vshmem::Scope comm_scope = vshmem::Scope::kBlock;
+  /// Optional execution observer (race/deadlock checker); attached to the
+  /// engine before any allocation or launch. Never affects simulated time.
+  sim::Observer* observer = nullptr;
 };
 
 struct StencilResult {

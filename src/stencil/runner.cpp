@@ -14,6 +14,7 @@ template <class P>
 RunOutput run_any(Variant v, const vgpu::MachineSpec& spec, P problem,
                   StencilConfig config) {
   vgpu::Machine machine(spec);
+  machine.engine().set_observer(config.observer);
   vshmem::World world(machine);
   SlabStencil<P> stencil(world, problem, config);
   RunOutput out;

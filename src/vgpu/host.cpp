@@ -22,6 +22,11 @@ sim::Task host_busy(Machine& m, int host_lane, sim::Nanos cost,
                    std::move(label));
 }
 
+/// Checker identity of `stream`.
+sim::Actor stream_actor(Stream& stream) {
+  return sim::Actor::stream(stream.device().id(), stream.lane());
+}
+
 }  // namespace
 
 sim::Task HostCtx::api(std::string_view name) {
@@ -36,6 +41,9 @@ sim::Task HostCtx::launch(Stream& stream, LaunchConfig config,
                           std::vector<BlockGroup> groups) {
   co_await host_busy(*machine_, device_, costs().kernel_launch,
                      "launch:", config.name);
+  if (sim::Observer* o = engine().observer()) {
+    o->on_stream_enqueue(obs_actor(), stream_actor(stream), stream.enqueued());
+  }
   auto shared_groups =
       std::make_shared<std::vector<BlockGroup>>(std::move(groups));
   Machine* m = machine_;
@@ -60,25 +68,45 @@ sim::Task HostCtx::launch_single(Stream& stream, LaunchConfig config, int blocks
 sim::Task HostCtx::memcpy_peer_async(Stream& stream, int dst_device,
                                      int src_device, double bytes,
                                      std::string_view name,
-                                     std::function<void()> deliver) {
+                                     std::function<void()> deliver,
+                                     sim::MemRange obs_read,
+                                     sim::MemRange obs_write) {
   co_await host_busy(*machine_, device_, costs().memcpy_issue,
                      "memcpy_issue:", name);
+  sim::TransferObs obs;
+  if (sim::Observer* o = engine().observer()) {
+    o->on_stream_enqueue(obs_actor(), stream_actor(stream), stream.enqueued());
+    // The copy executes as a stream op; the stream observes its completion.
+    obs.actor = stream_actor(stream);
+    obs.read = obs_read;
+    obs.write = obs_write;
+    obs.rejoin = true;
+  }
   Machine* m = machine_;
   const int lane = stream.lane();
   auto shared_deliver = std::make_shared<std::function<void()>>(std::move(deliver));
-  stream.enqueue([m, dst_device, src_device, bytes, lane, name,
+  stream.enqueue([m, dst_device, src_device, bytes, lane, name, obs,
                   shared_deliver]() -> sim::Task {
     co_await m->transfer(src_device, dst_device, bytes,
                          TransferKind::kHostInitiated, lane, name,
-                         *shared_deliver);
+                         *shared_deliver, sim::Cat::kComm, obs);
   });
 }
 
 sim::Task HostCtx::record_event(Stream& stream, Event& event) {
   co_await host_busy(*machine_, device_, costs().event_record, "event_record");
+  if (sim::Observer* o = engine().observer()) {
+    o->on_stream_enqueue(obs_actor(), stream_actor(stream), stream.enqueued());
+  }
   const std::int64_t ticket = event.issue_record();
   Event* ev = &event;
-  stream.enqueue([ev, ticket]() -> sim::Task {
+  const sim::Actor sa = stream_actor(stream);
+  sim::Engine* eng = &engine();
+  stream.enqueue([ev, ticket, sa, eng]() -> sim::Task {
+    // The publication carries the stream's history to whoever waits on it.
+    if (sim::Observer* o = eng->observer()) {
+      o->on_signal_update(sa, &ev->published(), ticket, "event_record");
+    }
     ev->publish(ticket);
     co_return;
   });
@@ -87,17 +115,37 @@ sim::Task HostCtx::record_event(Stream& stream, Event& event) {
 sim::Task HostCtx::stream_wait_event(Stream& stream, Event& event) {
   co_await host_busy(*machine_, device_, costs().stream_wait_event,
                      "stream_wait_event");
+  if (sim::Observer* o = engine().observer()) {
+    o->on_stream_enqueue(obs_actor(), stream_actor(stream), stream.enqueued());
+  }
   const std::int64_t target = event.records();
   Event* ev = &event;
-  stream.enqueue([ev, target]() -> sim::Task {
+  const sim::Actor sa = stream_actor(stream);
+  sim::Engine* eng = &engine();
+  stream.enqueue([ev, target, sa, eng]() -> sim::Task {
+    sim::Observer* const o = eng->observer();
+    if (o != nullptr) {
+      o->on_signal_wait_begin(sa, &ev->published(), sim::Cmp::kGe, target,
+                              "stream_wait_event");
+    }
     co_await ev->published().wait_geq(target);
+    if (o != nullptr) o->on_signal_wait_end(sa, &ev->published());
   });
 }
 
 sim::Task HostCtx::sync_stream(Stream& stream) {
   const std::int64_t target = stream.enqueued();
   const sim::Nanos t0 = engine().now();
+  sim::Observer* const o = engine().observer();
+  if (o != nullptr) {
+    o->on_signal_wait_begin(obs_actor(), &stream.completed(), sim::Cmp::kGe,
+                            target, "stream_sync");
+  }
   co_await stream.completed().wait_geq(target);
+  if (o != nullptr) {
+    o->on_signal_wait_end(obs_actor(), &stream.completed());
+    o->on_stream_sync(obs_actor(), stream_actor(stream));
+  }
   co_await engine().delay(costs().stream_sync);
   machine_->trace().record(sim::Cat::kHostApi, -1, device_, t0, engine().now(),
                            "stream_sync");
@@ -106,10 +154,26 @@ sim::Task HostCtx::sync_stream(Stream& stream) {
 sim::Task HostCtx::sync_event(Event& event) {
   const std::int64_t target = event.records();
   const sim::Nanos t0 = engine().now();
+  sim::Observer* const o = engine().observer();
+  if (o != nullptr) {
+    o->on_signal_wait_begin(obs_actor(), &event.published(), sim::Cmp::kGe,
+                            target, "event_sync");
+  }
   co_await event.published().wait_geq(target);
+  if (o != nullptr) o->on_signal_wait_end(obs_actor(), &event.published());
   co_await engine().delay(costs().event_sync);
   machine_->trace().record(sim::Cat::kHostApi, -1, device_, t0, engine().now(),
                            "event_sync");
+}
+
+sim::Task HostCtx::barrier() {
+  sim::Observer* const o = engine().observer();
+  sim::Barrier& b = machine_->host_barrier_sync();
+  if (o != nullptr) {
+    o->on_barrier_arrive(obs_actor(), &b, b.parties(), "host_barrier");
+  }
+  co_await machine_->host_barrier();
+  if (o != nullptr) o->on_barrier_resume(obs_actor(), &b);
 }
 
 }  // namespace vgpu

@@ -48,9 +48,12 @@ class HostCtx {
 
   /// cudaMemcpyPeerAsync: host issues, stream executes, the interconnect
   /// charges host-initiated latency; `deliver` runs at payload arrival.
+  /// `obs_read`/`obs_write` describe the copied bytes to an attached checker.
   sim::Task memcpy_peer_async(Stream& stream, int dst_device, int src_device,
                               double bytes, std::string_view name,
-                              std::function<void()> deliver = {});
+                              std::function<void()> deliver = {},
+                              sim::MemRange obs_read = {},
+                              sim::MemRange obs_write = {});
 
   /// cudaEventRecord on `stream`.
   sim::Task record_event(Stream& stream, Event& event);
@@ -66,7 +69,12 @@ class HostCtx {
   sim::Task sync_event(Event& event);
 
   /// Host-wide OpenMP/MPI-style barrier across all per-device host threads.
-  sim::Task barrier() { return machine_->host_barrier(); }
+  sim::Task barrier();
+
+  /// This host thread's checker identity.
+  [[nodiscard]] sim::Actor obs_actor() const noexcept {
+    return sim::Actor::host(device_);
+  }
 
  private:
   Machine* machine_;

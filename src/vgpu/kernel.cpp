@@ -32,26 +32,45 @@ sim::Task KernelCtx::grid_sync() {
     throw std::logic_error("grid_sync() in a non-cooperative kernel");
   }
   const sim::Nanos t0 = now();
+  sim::Observer* const obs = engine().observer();
+  if (obs != nullptr) {
+    obs->on_barrier_arrive(obs_actor(), grid_barrier_,
+                           grid_barrier_->parties(), "grid_sync");
+  }
   co_await grid_barrier_->arrive_and_wait();
+  if (obs != nullptr) obs->on_barrier_resume(obs_actor(), grid_barrier_);
   co_await engine().delay(device_->spec().grid_sync);
   machine_->trace().record(sim::Cat::kSync, device_id(),
                            lane_ * 16 + group_index_, t0, now(), "grid_sync");
 }
 
 sim::Task KernelCtx::peer_put(int dst_device, double bytes, std::string_view name,
-                              std::function<void()> deliver) {
+                              std::function<void()> deliver,
+                              sim::MemRange obs_read, sim::MemRange obs_write) {
+  sim::TransferObs obs;
+  if (engine().observer() != nullptr) {
+    obs.actor = obs_actor();
+    obs.read = obs_read;
+    obs.write = obs_write;
+    obs.rejoin = true;  // the storing group observes its own store complete
+  }
   // `deliver` is a named lvalue here, so the nested co_await carries no
   // non-trivial prvalue (see CO_AWAIT note in sim/task.hpp).
   co_await machine_->transfer(device_id(), dst_device, bytes,
                               TransferKind::kDeviceInitiated,
                               lane_ * 16 + group_index_, name,
-                              std::move(deliver));
+                              std::move(deliver), sim::Cat::kComm, obs);
 }
 
 sim::Task KernelCtx::spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
                                std::string_view name) {
   const sim::Nanos t0 = now();
+  sim::Observer* const obs = engine().observer();
+  if (obs != nullptr) {
+    obs->on_signal_wait_begin(obs_actor(), &flag, cmp, rhs, name);
+  }
   co_await flag.wait(cmp, rhs);
+  if (obs != nullptr) obs->on_signal_wait_end(obs_actor(), &flag);
   co_await engine().delay(device_->spec().spin_poll);
   machine_->trace().record(sim::Cat::kSync, device_id(),
                            lane_ * 16 + group_index_, t0, now(), std::string(name));
@@ -60,8 +79,15 @@ sim::Task KernelCtx::spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
 namespace {
 
 sim::Task run_group(std::shared_ptr<KernelCtx> ctx,
-                    std::function<sim::Task(KernelCtx&)> fn) {
+                    std::function<sim::Task(KernelCtx&)> fn,
+                    std::string_view gname) {
+  // The group timeline starts from the launching stream's point in the
+  // happens-before order (stream FIFO serializes successive launches).
+  sim::Observer* const obs = ctx->engine().observer();
+  const sim::Actor parent = sim::Actor::stream(ctx->device_id(), ctx->lane());
+  if (obs != nullptr) obs->on_actor_begin(ctx->obs_actor(), parent, gname);
   co_await fn(*ctx);
+  if (obs != nullptr) obs->on_actor_end(ctx->obs_actor(), parent);
 }
 
 }  // namespace
@@ -86,7 +112,7 @@ sim::Task run_kernel(Machine& machine, Device& device, int lane,
     auto ctx = std::make_shared<KernelCtx>(machine, device, lane,
                                            static_cast<int>(i), groups[i].blocks,
                                            blocks, grid_barrier.get());
-    tasks.push_back(run_group(std::move(ctx), groups[i].fn));
+    tasks.push_back(run_group(std::move(ctx), groups[i].fn, groups[i].name));
   }
   co_await sim::when_all(machine.engine(), std::move(tasks));
   machine.trace().record(sim::Cat::kKernel, device.id(), lane, t0,

@@ -93,13 +93,30 @@ class KernelCtx {
 
   /// Device-initiated peer store of `bytes` to `dst_device` (UVA P2P path).
   /// `deliver` runs when the payload lands in the destination memory.
+  /// `obs_read`/`obs_write` describe the moved bytes to an attached checker;
+  /// the store is synchronous from the group's perspective, so completion
+  /// rejoins the group's timeline.
   sim::Task peer_put(int dst_device, double bytes, std::string_view name,
-                     std::function<void()> deliver = {});
+                     std::function<void()> deliver = {},
+                     sim::MemRange obs_read = {}, sim::MemRange obs_write = {});
 
   /// Spin-waits until `flag <cmp> rhs`, charging the device poll granularity
   /// once the condition becomes true; records a kSync interval.
   sim::Task spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
                       std::string_view name);
+
+  /// This group's checker identity.
+  [[nodiscard]] sim::Actor obs_actor() const noexcept {
+    return sim::Actor::group(device_->id(), lane_, group_index_);
+  }
+  /// Publishes an application memory access (halo-region granularity) to an
+  /// attached checker; no-op when none is attached.
+  void obs_access(const sim::MemRange& range, bool is_write,
+                  std::string_view what) {
+    if (sim::Observer* o = machine_->engine().observer()) {
+      o->on_access(obs_actor(), range, is_write, what);
+    }
+  }
 
  private:
   Machine* machine_;

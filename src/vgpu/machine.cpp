@@ -34,7 +34,11 @@ MemBlock& Machine::alloc_block(int device, std::size_t bytes, std::string name) 
     throw std::out_of_range("alloc_block: bad device " + std::to_string(device));
   }
   blocks_.emplace_back(device, bytes, std::move(name));
-  return blocks_.back();
+  MemBlock& b = blocks_.back();
+  if (sim::Observer* o = engine_.observer()) {
+    o->on_mem_block(b.as<std::byte>().data(), bytes, b.name());
+  }
+  return b;
 }
 
 void Machine::enable_peer_access(int src, int dst) {
@@ -55,12 +59,25 @@ bool Machine::peer_enabled(int src, int dst) const {
 
 sim::Task Machine::transfer(int src, int dst, double bytes, TransferKind kind,
                             int lane, std::string_view name,
-                            std::function<void()> deliver, sim::Cat cat) {
+                            std::function<void()> deliver, sim::Cat cat,
+                            sim::TransferObs obs) {
+  // Publication is pure observation: the checker sees the issue before any
+  // timed await and the delivery at the arrival instant, with no effect on
+  // the charged costs.
+  sim::Observer* const obs_sink =
+      obs.actor.valid() ? engine_.observer() : nullptr;
+  const std::uint64_t op_id = obs_sink != nullptr ? ++obs_op_seq_ : 0;
+  const sim::Actor wire = sim::Actor::wire(src, dst);
+  if (obs_sink != nullptr) {
+    obs_sink->on_put_issue(op_id, obs.actor, wire, obs.read, obs.write,
+                           obs.rejoin, name);
+  }
   if (src == dst) {
     // Local copy: charge DRAM time only (read + write).
     const sim::Nanos dur = spec_.device.dram_time(2.0 * bytes);
     const sim::Nanos t0 = engine_.now();
     co_await engine_.delay(dur);
+    if (obs_sink != nullptr) obs_sink->on_put_deliver(op_id, wire);
     if (deliver) deliver();
     trace().record(cat, src, lane, t0, engine_.now(), std::string(name));
     co_return;
@@ -85,6 +102,7 @@ sim::Task Machine::transfer(int src, int dst, double bytes, TransferKind kind,
   busy_until = wire_start + wire_time;
   const sim::Nanos done_at = wire_start + wire_time + latency;
   co_await engine_.delay(done_at - t0);
+  if (obs_sink != nullptr) obs_sink->on_put_deliver(op_id, wire);
   if (deliver) deliver();
   trace().record(cat, src, lane, t0, engine_.now(), std::string(name));
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/observe.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "vgpu/costmodel.hpp"
@@ -138,13 +139,21 @@ class Machine {
   /// simulated arrival instant, and records a kComm trace interval on the
   /// source device. Same-device "transfers" only run the payload and charge
   /// DRAM time.
+  /// `obs` describes the transfer to an attached checker (issuing actor,
+  /// byte ranges, completion semantics); a default TransferObs is silent.
   sim::Task transfer(int src, int dst, double bytes, TransferKind kind, int lane,
                      std::string_view name, std::function<void()> deliver = {},
-                     sim::Cat cat = sim::Cat::kComm);
+                     sim::Cat cat = sim::Cat::kComm,
+                     sim::TransferObs obs = {});
 
   /// Host-side barrier across the per-device host threads (OpenMP/MPI style);
   /// charges HostApiCosts::host_barrier after the rendezvous.
   sim::Task host_barrier();
+
+  /// The barrier object behind host_barrier() (identity key for checkers).
+  [[nodiscard]] sim::Barrier& host_barrier_sync() noexcept {
+    return *host_barrier_;
+  }
 
   /// Spawns one host-thread coroutine per device (factory receives the
   /// device id) and runs the simulation to completion.
@@ -159,6 +168,7 @@ class Machine {
   std::vector<std::vector<bool>> peer_;
   std::map<std::pair<int, int>, sim::Nanos> link_busy_until_;
   std::unique_ptr<sim::Barrier> host_barrier_;
+  std::uint64_t obs_op_seq_ = 0;  // transfer op ids for issue/deliver pairing
 };
 
 }  // namespace vgpu

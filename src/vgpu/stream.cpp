@@ -15,7 +15,11 @@ void Stream::enqueue(OpFn op) {
 sim::Task Stream::run_op(Stream* s, std::int64_t ticket, OpFn op) {
   // FIFO: wait for all previously enqueued ops to have completed.
   co_await s->completed_.wait_geq(ticket);
+  sim::Observer* const obs = s->device_->machine().engine().observer();
+  const sim::Actor me = sim::Actor::stream(s->device_->id(), s->lane_);
+  if (obs != nullptr) obs->on_stream_op_begin(me, ticket);
   co_await op();
+  if (obs != nullptr) obs->on_stream_op_end(me, ticket);
   s->completed_.add(1);
 }
 

@@ -7,20 +7,26 @@ World::World(vgpu::Machine& machine)
   // nvshmem_init establishes the all-to-all PGAS domain over NVLink.
   machine_->enable_all_peer_access();
   pe_.resize(static_cast<std::size_t>(n_pes_));
-  for (auto& st : pe_) {
-    st.completed = std::make_unique<sim::Flag>(machine_->engine(), 0);
+  sim::Observer* const o = machine_->engine().observer();
+  for (std::size_t i = 0; i < pe_.size(); ++i) {
+    pe_[i].completed = std::make_unique<sim::Flag>(machine_->engine(), 0);
+    if (o != nullptr) {
+      o->on_flag_name(pe_[i].completed.get(),
+                      "nbi_completed@pe" + std::to_string(i));
+    }
   }
 }
 
 sim::Task World::do_put(int src_pe, int dst_pe, double bytes,
                         double bw_fraction, int lane, std::string_view label,
-                        std::function<void()> deliver, sim::Cat cat) {
+                        std::function<void()> deliver, sim::Cat cat,
+                        sim::TransferObs obs) {
   // Bandwidth fraction below 1.0 models ops that cannot saturate the wire
   // (thread-scoped or element-wise strided): stretch the payload time.
   const double effective_bytes = bw_fraction > 0.0 ? bytes / bw_fraction : bytes;
   co_await machine_->transfer(src_pe, dst_pe, effective_bytes,
                               vgpu::TransferKind::kDeviceInitiated, lane, label,
-                              std::move(deliver), cat);
+                              std::move(deliver), cat, obs);
 }
 
 sim::Task World::run_nbi(sim::Task t, sim::Flag& completed) {
@@ -29,12 +35,20 @@ sim::Task World::run_nbi(sim::Task t, sim::Flag& completed) {
 }
 
 void World::apply_signal(SignalSet& sig, std::size_t idx, std::int64_t value,
-                         SignalOp op, int dst_pe) {
+                         SignalOp op, int dst_pe, int src_pe) {
   sim::Flag& f = sig.at(dst_pe, idx);
   if (op == SignalOp::kSet) {
     f.set(value);
   } else {
     f.add(value);
+  }
+  // Attributed to the delivering wire: whoever waits on this flag inherits
+  // the wire's history (including the payload a put_signal just landed), not
+  // the issuer's current state. Woken waiters resume later via the engine
+  // queue, so they observe this publication.
+  if (sim::Observer* o = machine_->engine().observer()) {
+    o->on_signal_update(sim::Actor::wire(src_pe, dst_pe), &f, f.value(),
+                        "signal");
   }
 }
 
@@ -43,15 +57,22 @@ sim::Task World::signal_op(vgpu::KernelCtx& ctx, SignalSet& sig,
                            int dst_pe) {
   World* self = this;
   SignalSet* sigp = &sig;
-  std::function<void()> deliver = [self, sigp, sig_idx, value, op, dst_pe]() {
-    self->apply_signal(*sigp, sig_idx, value, op, dst_pe);
+  const int src_pe = ctx.device_id();
+  std::function<void()> deliver = [self, sigp, sig_idx, value, op, dst_pe,
+                                   src_pe]() {
+    self->apply_signal(*sigp, sig_idx, value, op, dst_pe, src_pe);
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.rejoin = false;  // remote visibility is the delivery itself
+  }
   const sim::Nanos extra = machine_->spec().link.small_op_overhead;
   co_await machine_->engine().delay(extra);
   // A lone signal update is synchronization, not data movement: account it
   // under kSync so communication-latency metrics match the paper's notion.
-  co_await do_put(ctx.device_id(), dst_pe, 8.0, 1.0, ctx.lane(), "signal_op",
-                  std::move(deliver), sim::Cat::kSync);
+  co_await do_put(src_pe, dst_pe, 8.0, 1.0, ctx.lane(), "signal_op",
+                  std::move(deliver), sim::Cat::kSync, obs);
 }
 
 sim::Task World::signal_wait_until(vgpu::KernelCtx& ctx, SignalSet& sig,
@@ -65,15 +86,29 @@ sim::Task World::quiet(vgpu::KernelCtx& ctx) {
   PeState& st = pe_.at(static_cast<std::size_t>(ctx.device_id()));
   const std::int64_t target = st.issued;
   const sim::Nanos t0 = machine_->engine().now();
+  sim::Observer* const o = machine_->engine().observer();
+  if (o != nullptr) {
+    o->on_signal_wait_begin(ctx.obs_actor(), st.completed.get(), sim::Cmp::kGe,
+                            target, "quiet");
+  }
   co_await st.completed->wait_geq(target);
+  if (o != nullptr) {
+    o->on_signal_wait_end(ctx.obs_actor(), st.completed.get());
+    o->on_quiet(ctx.obs_actor(), ctx.device_id(), "quiet");
+  }
   machine_->trace().record(sim::Cat::kSync, ctx.device_id(), ctx.lane(), t0,
                            machine_->engine().now(), "quiet");
 }
 
 sim::Task World::fence(vgpu::KernelCtx& ctx) {
   // Same-destination transfers already complete in issue order on our links.
+  // For the checker, fence is over-approximated as quiet over the ops
+  // delivered so far — sound for the same-destination ordering it provides
+  // (FIFO links), see DESIGN.md.
+  if (sim::Observer* o = machine_->engine().observer()) {
+    o->on_quiet(ctx.obs_actor(), ctx.device_id(), "fence");
+  }
   co_await machine_->engine().delay(machine_->spec().link.device_put_issue);
-  static_cast<void>(ctx);
 }
 
 namespace {
@@ -98,7 +133,13 @@ sim::Task World::sync_all(vgpu::KernelCtx& ctx) {
                                               static_cast<std::size_t>(n_pes_));
   }
   const sim::Nanos t0 = machine_->engine().now();
+  sim::Observer* const o = machine_->engine().observer();
+  if (o != nullptr) {
+    o->on_barrier_arrive(ctx.obs_actor(), barrier_.get(),
+                         static_cast<std::size_t>(n_pes_), "sync_all");
+  }
   co_await barrier_->arrive_and_wait();
+  if (o != nullptr) o->on_barrier_resume(ctx.obs_actor(), barrier_.get());
   co_await machine_->engine().delay(barrier_cost(machine_->spec(), n_pes_));
   machine_->trace().record(sim::Cat::kSync, ctx.device_id(), ctx.lane(), t0,
                            machine_->engine().now(), "sync_all");

@@ -121,9 +121,21 @@ class World {
     return Sym<T>(std::move(inst));
   }
 
-  /// Allocates `count` symmetric signal variables.
-  [[nodiscard]] std::unique_ptr<SignalSet> alloc_signals(std::size_t count) {
-    return std::make_unique<SignalSet>(machine_->engine(), n_pes_, count);
+  /// Allocates `count` symmetric signal variables. `name` labels them for
+  /// checker diagnostics ("<name><idx>@pe<pe>").
+  [[nodiscard]] std::unique_ptr<SignalSet> alloc_signals(
+      std::size_t count, std::string_view name = "sig") {
+    auto s = std::make_unique<SignalSet>(machine_->engine(), n_pes_, count);
+    if (sim::Observer* o = machine_->engine().observer()) {
+      for (int pe = 0; pe < n_pes_; ++pe) {
+        for (std::size_t i = 0; i < count; ++i) {
+          o->on_flag_name(&s->at(pe, i), std::string(name) +
+                                             std::to_string(i) + "@pe" +
+                                             std::to_string(pe));
+        }
+      }
+    }
+    return s;
   }
 
   // --- Contiguous data movement -------------------------------------------
@@ -223,13 +235,13 @@ class World {
   /// The wire movement common to all put flavours; completes at delivery.
   sim::Task do_put(int src_pe, int dst_pe, double bytes, double bw_fraction,
                    int lane, std::string_view label, std::function<void()> deliver,
-                   sim::Cat cat = sim::Cat::kComm);
+                   sim::Cat cat = sim::Cat::kComm, sim::TransferObs obs = {});
 
   /// Runs `t` detached and bumps the PE's completion counter when done.
   static sim::Task run_nbi(sim::Task t, sim::Flag& completed);
 
   void apply_signal(SignalSet& sig, std::size_t idx, std::int64_t value,
-                    SignalOp op, int dst_pe);
+                    SignalOp op, int dst_pe, int src_pe);
 
   [[nodiscard]] double scope_fraction(Scope s) const {
     return s == Scope::kBlock ? 1.0
@@ -245,6 +257,26 @@ class World {
 
 // ---- template implementations ----------------------------------------------
 
+namespace detail {
+
+/// Conservative byte hull over a strided element index set (checker ranges).
+template <typename T>
+[[nodiscard]] inline sim::MemRange strided_range(std::span<T> s,
+                                                 std::size_t off,
+                                                 std::ptrdiff_t stride,
+                                                 std::size_t count) {
+  if (count == 0) return {};
+  const auto o = static_cast<std::ptrdiff_t>(off);
+  const std::ptrdiff_t last =
+      o + static_cast<std::ptrdiff_t>(count - 1) * stride;
+  const std::ptrdiff_t lo = std::min(o, last);
+  const std::ptrdiff_t hi = std::max(o, last) + 1;
+  return sim::MemRange::of(s, static_cast<std::size_t>(lo),
+                           static_cast<std::size_t>(hi - lo));
+}
+
+}  // namespace detail
+
 template <typename T>
 sim::Task World::putmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
                         std::size_t dst_off, std::size_t count, int dst_pe,
@@ -258,9 +290,18 @@ sim::Task World::putmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
     auto dst = arr.on(dst_pe).subspan(dst_off, count);
     std::copy(src.begin(), src.end(), dst.begin());
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = sim::MemRange::of(arr.on(src_pe), src_off, count);
+    obs.write = sim::MemRange::of(arr.on(dst_pe), dst_off, count);
+    // NVSHMEM blocking puts guarantee source reuse, not remote visibility:
+    // the issuer still learns of delivery only via quiet/fence or a signal.
+    obs.rejoin = false;
+  }
   co_await do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
                   scope_fraction(scope), ctx.lane(), "putmem",
-                  std::move(deliver));
+                  std::move(deliver), sim::Cat::kComm, obs);
 }
 
 template <typename T>
@@ -276,11 +317,18 @@ sim::Task World::putmem_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
     auto dst = arr.on(dst_pe).subspan(dst_off, count);
     std::copy(src.begin(), src.end(), dst.begin());
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = sim::MemRange::of(arr.on(src_pe), src_off, count);
+    obs.write = sim::MemRange::of(arr.on(dst_pe), dst_off, count);
+    obs.rejoin = false;  // nbi: completion only via quiet()
+  }
   PeState& st = pe_.at(static_cast<std::size_t>(src_pe));
   ++st.issued;
   sim::Task move = do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
                           scope_fraction(scope), ctx.lane(), "putmem_nbi",
-                          std::move(deliver));
+                          std::move(deliver), sim::Cat::kComm, obs);
   machine_->engine().spawn(run_nbi(std::move(move), *st.completed));
   // The issuing thread only pays the descriptor cost.
   co_await machine_->engine().delay(machine_->spec().link.device_put_issue);
@@ -303,13 +351,20 @@ sim::Task World::putmem_signal_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
       std::copy(src.begin(), src.end(), dst.begin());
     }
     // Signal becomes visible only after the payload landed.
-    self->apply_signal(*sigp, sig_idx, sig_val, op, dst_pe);
+    self->apply_signal(*sigp, sig_idx, sig_val, op, dst_pe, src_pe);
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = sim::MemRange::of(arr.on(src_pe), src_off, count);
+    obs.write = sim::MemRange::of(arr.on(dst_pe), dst_off, count);
+    obs.rejoin = false;  // nbi: completion only via quiet() or the signal
+  }
   PeState& st = pe_.at(static_cast<std::size_t>(src_pe));
   ++st.issued;
   sim::Task move = do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
                           scope_fraction(scope), ctx.lane(), "putmem_signal_nbi",
-                          std::move(deliver));
+                          std::move(deliver), sim::Cat::kComm, obs);
   machine_->engine().spawn(run_nbi(std::move(move), *st.completed));
   co_await machine_->engine().delay(machine_->spec().link.device_put_issue);
 }
@@ -335,10 +390,19 @@ sim::Task World::iput(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
       dst[di] = src[si];
     }
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = detail::strided_range(arr.on(src_pe), src_off, src_stride, count);
+    obs.write = detail::strided_range(arr.on(dst_pe), dst_off, dst_stride, count);
+    // iput has no completion signal: remote visibility needs quiet() —
+    // forgetting it is exactly the §5.3.1 bug class the checker targets.
+    obs.rejoin = false;
+  }
   // Element-wise remote stores: strided efficiency of the link, thread scope.
   const double frac = machine_->spec().link.strided_efficiency;
   co_await do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)), frac,
-                  ctx.lane(), "iput", std::move(deliver));
+                  ctx.lane(), "iput", std::move(deliver), sim::Cat::kComm, obs);
 }
 
 template <typename T>
@@ -350,10 +414,16 @@ sim::Task World::p(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t dst_off,
     if (!self->functional_) return;
     arr.on(dst_pe)[dst_off] = value;
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.write = sim::MemRange::of(arr.on(dst_pe), dst_off, 1);
+    obs.rejoin = false;  // like iput: pair with signal_op + quiet
+  }
   const sim::Nanos extra = machine_->spec().link.small_op_overhead;
   co_await machine_->engine().delay(extra);
   co_await do_put(src_pe, dst_pe, static_cast<double>(sizeof(T)), 1.0,
-                  ctx.lane(), "p", std::move(deliver));
+                  ctx.lane(), "p", std::move(deliver), sim::Cat::kComm, obs);
 }
 
 template <typename T>
@@ -373,9 +443,16 @@ sim::Task World::getmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
     auto dst = arr.on(me).subspan(dst_off, count);
     std::copy(src.begin(), src.end(), dst.begin());
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = sim::MemRange::of(arr.on(src_pe), src_off, count);
+    obs.write = sim::MemRange::of(arr.on(me), dst_off, count);
+    obs.rejoin = true;  // blocking get: the caller observes the data arrive
+  }
   co_await do_put(src_pe, me, static_cast<double>(count * sizeof(T)),
                   scope_fraction(scope), ctx.lane(), "getmem",
-                  std::move(deliver));
+                  std::move(deliver), sim::Cat::kComm, obs);
 }
 
 template <typename T>
@@ -401,9 +478,16 @@ sim::Task World::iget(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
       dst[di] = src[si];
     }
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = detail::strided_range(arr.on(src_pe), src_off, src_stride, count);
+    obs.write = detail::strided_range(arr.on(me), dst_off, dst_stride, count);
+    obs.rejoin = true;
+  }
   const double frac = machine_->spec().link.strided_efficiency;
   co_await do_put(src_pe, me, static_cast<double>(count * sizeof(T)), frac,
-                  ctx.lane(), "iget", std::move(deliver));
+                  ctx.lane(), "iget", std::move(deliver), sim::Cat::kComm, obs);
 }
 
 template <typename T>
@@ -419,8 +503,14 @@ sim::Task World::g(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
   std::function<void()> deliver = [self, &arr, src_pe, src_off, outp]() {
     *outp = self->functional() ? arr.on(src_pe)[src_off] : T{};
   };
+  sim::TransferObs obs;
+  if (machine_->engine().observer() != nullptr) {
+    obs.actor = ctx.obs_actor();
+    obs.read = sim::MemRange::of(arr.on(src_pe), src_off, 1);
+    obs.rejoin = true;  // the fetched value lands in a local variable
+  }
   co_await do_put(src_pe, me, static_cast<double>(sizeof(T)), 1.0, ctx.lane(),
-                  "g", std::move(deliver));
+                  "g", std::move(deliver), sim::Cat::kComm, obs);
 }
 
 }  // namespace vshmem

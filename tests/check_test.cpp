@@ -1,0 +1,392 @@
+// Tests for the src/check/ happens-before race & deadlock checker.
+//
+// Three groups:
+//   * seeded-bug fixtures: tiny hand-written kernels with a known
+//     synchronization defect (dropped signal wait, nbi source reuse without
+//     quiet, missing barrier participant, mutual signal wait) must be flagged
+//     with the right verdict and attribution — no false negatives;
+//   * clean suite: every shipping stencil/CG/dacelite variant runs clean
+//     under the checker — no false positives;
+//   * non-perturbation: attaching the checker never changes simulated time;
+//     metrics serialize byte-for-byte identically with it on and off.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/detector.hpp"
+#include "dacelite/exec.hpp"
+#include "dacelite/frontend.hpp"
+#include "dacelite/transforms.hpp"
+#include "hostmpi/comm.hpp"
+#include "sim/engine.hpp"
+#include "solvers/cg.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/runner.hpp"
+#include "stencil/variants.hpp"
+#include "vgpu/kernel.hpp"
+#include "vgpu/machine.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using check::Detector;
+using check::Verdict;
+using sim::Cmp;
+using sim::Task;
+using vgpu::KernelCtx;
+using vgpu::LaunchConfig;
+using vgpu::Machine;
+using vgpu::MachineSpec;
+using vshmem::SignalOp;
+using vshmem::Sym;
+using vshmem::World;
+
+/// Runs one single-block kernel body per (device, fn) pair concurrently.
+void run_on_devices(
+    Machine& m,
+    std::vector<std::pair<int, std::function<Task(KernelCtx&)>>> bodies) {
+  for (auto& [dev, fn] : bodies) {
+    std::vector<vgpu::BlockGroup> groups;
+    groups.push_back(vgpu::BlockGroup{"test", 1, std::move(fn)});
+    m.engine().spawn(vgpu::run_kernel(m, m.device(dev), 0, LaunchConfig{},
+                                      std::move(groups)));
+  }
+  m.engine().run();
+}
+
+// --- seeded bugs: races --------------------------------------------------------
+
+/// One signaled halo exchange, PE0 -> PE1. When `receiver_waits` the receiver
+/// follows the paper's protocol (signal_wait_until before touching the halo);
+/// otherwise it reads the inbox immediately — the classic dropped-wait bug.
+Verdict run_halo_exchange(bool receiver_waits, std::string* report) {
+  Machine m(MachineSpec::hgx_a100(2));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  Sym<double> box = w.alloc<double>(2, "box");  // [0] inbox, [1] outbox
+  auto sig = w.alloc_signals(1, "halo_ready");
+  auto sender = [&](KernelCtx& k) -> Task {
+    box.on(0)[1] = 7.0;
+    k.obs_access(sim::MemRange::of(box.on(0), 1, 1), /*is_write=*/true,
+                 "pack_outbox");
+    co_await w.putmem_signal_nbi(k, box, /*src_off=*/1, /*dst_off=*/0,
+                                 /*count=*/1, *sig, 0, 1, SignalOp::kSet, 1);
+  };
+  auto receiver = [&, receiver_waits](KernelCtx& k) -> Task {
+    if (receiver_waits) {
+      co_await w.signal_wait_until(k, *sig, 0, Cmp::kGe, 1);
+    }
+    k.obs_access(sim::MemRange::of(box.on(1), 0, 1), /*is_write=*/false,
+                 "read_inbox");
+    co_return;
+  };
+  run_on_devices(m, {{0, sender}, {1, receiver}});
+  if (report != nullptr) *report = det.report_text();
+  return det.verdict();
+}
+
+TEST(CheckRace, DroppedSignalWaitIsFlagged) {
+  std::string report;
+  EXPECT_EQ(run_halo_exchange(/*receiver_waits=*/false, &report),
+            Verdict::kRace);
+  // Attribution names the buffer and both sides of the conflict.
+  EXPECT_NE(report.find("box"), std::string::npos) << report;
+  EXPECT_NE(report.find("read_inbox"), std::string::npos) << report;
+}
+
+TEST(CheckRace, SignalWaitOrdersHaloRead) {
+  std::string report;
+  EXPECT_EQ(run_halo_exchange(/*receiver_waits=*/true, &report),
+            Verdict::kPass)
+      << report;
+}
+
+/// Non-blocking put, then the issuer reuses the SOURCE buffer. Without an
+/// intervening quiet the payload may still be on the wire — a race the real
+/// NVSHMEM spec also calls out.
+Verdict run_source_reuse(bool with_quiet, std::string* report) {
+  Machine m(MachineSpec::hgx_a100(2));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  Sym<double> a = w.alloc<double>(16, "staging");
+  auto body = [&, with_quiet](KernelCtx& k) -> Task {
+    k.obs_access(sim::MemRange::of(a.on(0), 0, 4), /*is_write=*/true,
+                 "fill_source");
+    co_await w.putmem_nbi(k, a, /*src_off=*/0, /*dst_off=*/8, /*count=*/4, 1);
+    if (with_quiet) co_await w.quiet(k);
+    k.obs_access(sim::MemRange::of(a.on(0), 0, 4), /*is_write=*/true,
+                 "reuse_source");
+  };
+  run_on_devices(m, {{0, body}});
+  if (report != nullptr) *report = det.report_text();
+  return det.verdict();
+}
+
+TEST(CheckRace, NbiSourceReuseWithoutQuietIsFlagged) {
+  std::string report;
+  EXPECT_EQ(run_source_reuse(/*with_quiet=*/false, &report), Verdict::kRace);
+  EXPECT_NE(report.find("staging"), std::string::npos) << report;
+  EXPECT_NE(report.find("reuse_source"), std::string::npos) << report;
+}
+
+TEST(CheckRace, QuietMakesSourceReuseSafe) {
+  std::string report;
+  EXPECT_EQ(run_source_reuse(/*with_quiet=*/true, &report), Verdict::kPass)
+      << report;
+}
+
+/// Strided `iput` of a column paired with a `signal_op` but no `quiet()`.
+/// The receiver side is safe in-model (same-wire ops are FIFO, so the signal
+/// covers the payload — see DESIGN §8 on this over-approximation), but the
+/// SENDER has acquired nothing: rewriting the just-sent column races with
+/// the wire still reading it. `quiet()` between iput and reuse fixes it.
+Verdict run_iput_signal(bool with_quiet, std::string* report) {
+  Machine m(MachineSpec::hgx_a100(2));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  Sym<double> grid = w.alloc<double>(16, "grid");  // 4x4 row-major
+  auto sig = w.alloc_signals(1, "col_ready");
+  auto sender = [&, with_quiet](KernelCtx& k) -> Task {
+    co_await w.iput(k, grid, /*src_off=*/1, /*src_stride=*/4, /*dst_off=*/2,
+                    /*dst_stride=*/4, /*count=*/4, 1);
+    co_await w.signal_op(k, *sig, 0, 1, SignalOp::kSet, 1);
+    if (with_quiet) co_await w.quiet(k);
+    k.obs_access(sim::MemRange::of(grid.on(0), 1, 1), /*is_write=*/true,
+                 "rewrite_sent_column");
+  };
+  auto receiver = [&](KernelCtx& k) -> Task {
+    co_await w.signal_wait_until(k, *sig, 0, Cmp::kGe, 1);
+    k.obs_access(sim::MemRange::of(grid.on(1), 2, 1), /*is_write=*/false,
+                 "read_halo_column");
+  };
+  run_on_devices(m, {{0, sender}, {1, receiver}});
+  if (report != nullptr) *report = det.report_text();
+  return det.verdict();
+}
+
+TEST(CheckRace, IputWithSignalButNoQuietIsFlagged) {
+  std::string report;
+  EXPECT_EQ(run_iput_signal(/*with_quiet=*/false, &report), Verdict::kRace);
+  EXPECT_NE(report.find("grid"), std::string::npos) << report;
+  EXPECT_NE(report.find("rewrite_sent_column"), std::string::npos) << report;
+}
+
+TEST(CheckRace, QuietAfterIputMakesColumnReuseSafe) {
+  std::string report;
+  EXPECT_EQ(run_iput_signal(/*with_quiet=*/true, &report), Verdict::kPass)
+      << report;
+}
+
+// --- seeded bugs: deadlocks ----------------------------------------------------
+
+TEST(CheckDeadlock, MissingBarrierParticipantIsCounted) {
+  Machine m(MachineSpec::hgx_a100(3));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  auto arriver = [&](KernelCtx& k) -> Task { co_await w.sync_all(k); };
+  auto absent = [](KernelCtx&) -> Task { co_return; };
+  for (auto& [dev, fn] :
+       std::vector<std::pair<int, std::function<Task(KernelCtx&)>>>{
+           {0, arriver}, {1, arriver}, {2, absent}}) {
+    std::vector<vgpu::BlockGroup> groups;
+    groups.push_back(vgpu::BlockGroup{"test", 1, std::move(fn)});
+    m.engine().spawn(vgpu::run_kernel(m, m.device(dev), 0, LaunchConfig{},
+                                      std::move(groups)));
+  }
+  EXPECT_THROW(m.engine().run(), sim::DeadlockError);
+  EXPECT_EQ(det.verdict(), Verdict::kDeadlock);
+  const std::string report = det.report_text();
+  EXPECT_NE(report.find("2 of 3 arrived"), std::string::npos) << report;
+  EXPECT_NE(report.find("sync_all"), std::string::npos) << report;
+}
+
+TEST(CheckDeadlock, MutualSignalWaitCycleIsAttributed) {
+  Machine m(MachineSpec::hgx_a100(2));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  auto sig = w.alloc_signals(1, "turn");
+  auto body = [&](int me) {
+    return [&, me](KernelCtx& k) -> Task {
+      const int other = 1 - me;
+      // Round 1 completes: each PE signals its peer, so the analyzer learns
+      // who produces each flag. Round 2's signals are never sent.
+      co_await w.signal_op(k, *sig, 0, 1, SignalOp::kSet, other);
+      co_await w.signal_wait_until(k, *sig, 0, Cmp::kGe, 1);
+      co_await w.signal_wait_until(k, *sig, 0, Cmp::kGe, 2);
+    };
+  };
+  for (int d : {0, 1}) {
+    std::vector<vgpu::BlockGroup> groups;
+    groups.push_back(vgpu::BlockGroup{"test", 1, body(d)});
+    m.engine().spawn(vgpu::run_kernel(m, m.device(d), 0, LaunchConfig{},
+                                      std::move(groups)));
+  }
+  EXPECT_THROW(m.engine().run(), sim::DeadlockError);
+  EXPECT_EQ(det.verdict(), Verdict::kDeadlock);
+  const std::string report = det.report_text();
+  EXPECT_NE(report.find("wait-for cycle"), std::string::npos) << report;
+  EXPECT_NE(report.find("turn"), std::string::npos) << report;
+}
+
+TEST(CheckDeadlock, LostSignalIsCalledOut) {
+  Machine m(MachineSpec::hgx_a100(2));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  auto sig = w.alloc_signals(1, "never_sent");
+  auto waiter = [&](KernelCtx& k) -> Task {
+    co_await w.signal_wait_until(k, *sig, 0, Cmp::kGe, 1);
+  };
+  std::vector<vgpu::BlockGroup> groups;
+  groups.push_back(vgpu::BlockGroup{"test", 1, waiter});
+  m.engine().spawn(
+      vgpu::run_kernel(m, m.device(1), 0, LaunchConfig{}, std::move(groups)));
+  EXPECT_THROW(m.engine().run(), sim::DeadlockError);
+  const std::string report = det.report_text();
+  EXPECT_NE(report.find("never updated by anyone"), std::string::npos)
+      << report;
+}
+
+// --- clean suite: no false positives on shipping code --------------------------
+
+constexpr stencil::Variant kAllSeven[] = {
+    stencil::Variant::kBaselineCopy,    stencil::Variant::kBaselineOverlap,
+    stencil::Variant::kBaselineP2P,     stencil::Variant::kBaselineNvshmem,
+    stencil::Variant::kCpuFree,         stencil::Variant::kCpuFreePerks,
+    stencil::Variant::kCpuFreeTwoKernels};
+
+TEST(CheckClean, AllStencilVariantsRunClean) {
+  for (stencil::Variant v : kAllSeven) {
+    Detector det;
+    stencil::Jacobi2D p;
+    p.nx = 64;
+    p.ny = 64;
+    stencil::StencilConfig cfg;
+    cfg.iterations = 6;
+    cfg.persistent_blocks = 12;
+    cfg.observer = &det;
+    (void)stencil::run_jacobi2d(v, MachineSpec::hgx_a100(2), p, cfg);
+    EXPECT_TRUE(det.clean())
+        << stencil::variant_name(v) << ": " << det.report_text();
+  }
+}
+
+TEST(CheckClean, BothCgVariantsRunClean) {
+  for (const bool cpu_free : {false, true}) {
+    Detector det;
+    solvers::CgConfig cfg;
+    cfg.nx = 24;
+    cfg.ny = 24;
+    cfg.max_iterations = 20;
+    cfg.persistent_blocks = 12;
+    cfg.observer = &det;
+    const auto spec = MachineSpec::hgx_a100(2);
+    (void)(cpu_free ? solvers::run_cg_cpufree(spec, cfg)
+                    : solvers::run_cg_baseline(spec, cfg));
+    EXPECT_TRUE(det.clean()) << (cpu_free ? "cpufree" : "baseline") << ": "
+                             << det.report_text();
+  }
+}
+
+TEST(CheckClean, DaceliteBackendsRunClean) {
+  for (const bool cpu_free : {false, true}) {
+    Detector det;
+    auto prog = dacelite::make_jacobi1d(1u << 12, 2, 8);
+    Machine m(MachineSpec::hgx_a100(2));
+    m.engine().set_observer(&det);
+    World w(m);
+    dacelite::ExecOptions opt;
+    if (cpu_free) {
+      dacelite::to_cpu_free(prog.sdfg);
+      dacelite::ProgramData data(w, prog.sdfg, true);
+      (void)dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+    } else {
+      dacelite::apply_gpu_transform(prog.sdfg);
+      hostmpi::Comm comm(m);
+      dacelite::ProgramData data(w, prog.sdfg, true);
+      (void)dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+    }
+    EXPECT_TRUE(det.clean()) << (cpu_free ? "persistent" : "discrete") << ": "
+                             << det.report_text();
+  }
+}
+
+// --- non-perturbation -----------------------------------------------------------
+
+TEST(CheckNonPerturbation, StencilMetricsBitIdenticalWithCheckerAttached) {
+  for (stencil::Variant v :
+       {stencil::Variant::kCpuFree, stencil::Variant::kBaselineOverlap}) {
+    auto run = [v](sim::Observer* obs) {
+      stencil::Jacobi2D p;
+      p.nx = 64;
+      p.ny = 64;
+      stencil::StencilConfig cfg;
+      cfg.iterations = 10;
+      cfg.persistent_blocks = 12;
+      cfg.observer = obs;
+      return stencil::run_jacobi2d(v, MachineSpec::hgx_a100(2), p, cfg);
+    };
+    const auto off = run(nullptr);
+    Detector det;
+    const auto on = run(&det);
+    EXPECT_TRUE(det.clean()) << det.report_text();
+    EXPECT_EQ(cpufree::to_json(off.result.metrics),
+              cpufree::to_json(on.result.metrics))
+        << stencil::variant_name(v)
+        << ": attaching the checker changed simulated behaviour";
+    EXPECT_EQ(off.result.final_parity, on.result.final_parity);
+    EXPECT_EQ(off.verified, on.verified);
+  }
+}
+
+TEST(CheckNonPerturbation, CgMetricsBitIdenticalWithCheckerAttached) {
+  auto run = [](sim::Observer* obs) {
+    solvers::CgConfig cfg;
+    cfg.nx = 24;
+    cfg.ny = 24;
+    cfg.max_iterations = 20;
+    cfg.persistent_blocks = 12;
+    cfg.observer = obs;
+    return solvers::run_cg_cpufree(MachineSpec::hgx_a100(2), cfg);
+  };
+  const auto off = run(nullptr);
+  Detector det;
+  const auto on = run(&det);
+  EXPECT_TRUE(det.clean()) << det.report_text();
+  EXPECT_EQ(cpufree::to_json(off.metrics), cpufree::to_json(on.metrics));
+  EXPECT_EQ(off.final_rr, on.final_rr);
+  EXPECT_EQ(off.iterations_run, on.iterations_run);
+}
+
+TEST(CheckNonPerturbation, DaceliteDiscreteBitIdenticalWithCheckerAttached) {
+  // The discrete backend drives host streams, events and hostmpi — the
+  // densest instrumentation paths — so it is the most likely place for an
+  // observer hook to accidentally cost simulated time.
+  auto run = [](sim::Observer* obs) {
+    auto prog = dacelite::make_jacobi1d(1u << 12, 2, 8);
+    dacelite::apply_gpu_transform(prog.sdfg);
+    Machine m(MachineSpec::hgx_a100(2));
+    m.engine().set_observer(obs);
+    World w(m);
+    hostmpi::Comm comm(m);
+    dacelite::ExecOptions opt;
+    dacelite::ProgramData data(w, prog.sdfg, true);
+    return dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+  };
+  const auto off = run(nullptr);
+  Detector det;
+  const auto on = run(&det);
+  EXPECT_TRUE(det.clean()) << det.report_text();
+  EXPECT_EQ(cpufree::to_json(off.metrics), cpufree::to_json(on.metrics));
+  EXPECT_EQ(off.iterations, on.iterations);
+}
+
+}  // namespace
