@@ -88,6 +88,10 @@ sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus,
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
+    return 0;
+  }
   if (args.check) {
     // One case per ablation arm: every knob setting must stay race- and
     // deadlock-free, not just the paper's default composition.

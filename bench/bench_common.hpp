@@ -24,6 +24,7 @@
 #include "sim/time.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/executor.hpp"
+#include "topo/router.hpp"
 #include "vgpu/costmodel.hpp"
 
 namespace bench {
@@ -54,6 +55,55 @@ inline void print_calibration(const vgpu::MachineSpec& spec) {
       sim::to_usec(spec.link.device_put_issue),
       sim::to_usec(spec.link.device_initiated_latency),
       sim::to_usec(spec.link.host_initiated_latency));
+}
+
+/// Dumps the machine's interconnect graph (nodes, links) and the fixed route
+/// the Router picked for every ordered device pair. Backs the --topo flag:
+/// every bench driver prints this for its machine and exits, so a reader can
+/// see exactly which wires each transfer will be charged on.
+inline void print_topology(const vgpu::MachineSpec& spec,
+                           std::string_view label) {
+  const topo::Topology t = vgpu::resolve_topology(spec);
+  const topo::Router router(t);
+  std::printf("topology: %.*s (%d device(s), %zu node(s), %zu link(s))\n",
+              static_cast<int>(label.size()), label.data(), t.num_devices(),
+              t.nodes.size(), t.links.size());
+  std::printf("nodes:\n");
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    const char* kind = "?";
+    switch (t.nodes[i].kind) {
+      case topo::NodeKind::kDevice: kind = "device"; break;
+      case topo::NodeKind::kSwitch: kind = "switch"; break;
+      case topo::NodeKind::kNic: kind = "nic"; break;
+      case topo::NodeKind::kHostBridge: kind = "host-bridge"; break;
+    }
+    std::printf("  [%2zu] %-12s %s\n", i, kind, t.nodes[i].name.c_str());
+  }
+  std::printf("links:\n");
+  for (std::size_t i = 0; i < t.links.size(); ++i) {
+    const topo::Link& l = t.links[i];
+    std::printf("  [%2zu] %-24s %s -> %s  %.0f GB/s  +%.1f us  %s\n", i,
+                l.name.c_str(),
+                t.nodes[static_cast<std::size_t>(l.src)].name.c_str(),
+                t.nodes[static_cast<std::size_t>(l.dst)].name.c_str(),
+                l.bw_gbps, sim::to_usec(l.extra_latency), topo::name(l.policy));
+  }
+  std::printf("routes (per ordered device pair):\n");
+  for (int s = 0; s < t.num_devices(); ++s) {
+    for (int d = 0; d < t.num_devices(); ++d) {
+      if (s == d) continue;
+      const topo::Route& r = router.route(s, d);
+      std::string path;
+      for (int link_id : r.links) {
+        if (!path.empty()) path += " -> ";
+        path += t.links[static_cast<std::size_t>(link_id)].name;
+      }
+      std::printf("  %d -> %d: %s  (bottleneck %.0f GB/s, +%.1f us%s)\n", s, d,
+                  path.c_str(), r.min_bw, sim::to_usec(r.extra_latency),
+                  r.contended ? ", contended" : "");
+    }
+  }
+  std::printf("\n");
 }
 
 /// A named (launch, comm, sync) composition to list in the report header.
@@ -120,6 +170,9 @@ struct Args {
   /// --check: skip the sweep; run each variant once under the race/deadlock
   /// checker (src/check/) on a small instance and print a verdict per case.
   bool check = false;
+  /// --topo: print the machine's interconnect graph and every device-pair
+  /// route, then exit without sweeping.
+  bool topo = false;
   bool trace_dump = false;
   std::string trace_path = "trace.json";
   std::string out_json;  // --out PATH; default BENCH_<name>.json
@@ -137,6 +190,8 @@ struct Args {
         a.progress = false;
       } else if (s == "--check") {
         a.check = true;
+      } else if (s == "--topo") {
+        a.topo = true;
       } else if (s == "--out" && i + 1 < argc) {
         a.out_json = argv[++i];
       } else if (s == "--csv" && i + 1 < argc) {

@@ -56,6 +56,10 @@ std::vector<sweep::Param> params(const char* part, Variant v, int g) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
+    return 0;
+  }
   if (args.check) {
     // Both parts of the figure: the no-compute communication skeleton and
     // the computing run, per variant, on a small 2-GPU instance.

@@ -56,6 +56,10 @@ constexpr DomainClass kClasses[] = {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
+    return 0;
+  }
   if (args.check) {
     // Every stencil variant (including the §4 two-kernel design) on a small
     // functional instance, under the race/deadlock checker.

@@ -74,6 +74,10 @@ Jacobi3D domain_for(const Part& part, int gpus) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
+    return 0;
+  }
   if (args.check) {
     std::vector<bench::CheckCase> cases;
     for (Variant v : kVariants) {

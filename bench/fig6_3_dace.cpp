@@ -103,6 +103,10 @@ std::pair<std::size_t, std::size_t> weak_2d(std::size_t base, int ranks) {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
+    return 0;
+  }
   if (args.check) {
     const std::vector<bench::CheckCase> cases = {
         {"jacobi1d/baseline_mpi",

@@ -68,6 +68,10 @@ sweep::RunResult measure(int repeats, double items_per_rep,
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(4), "hgx_a100(4)");
+    return 0;
+  }
   if (args.check) {
     // The end-to-end workload of this bench, under the checker, with middle
     // PEs present (4 GPUs) so both-neighbor protocols are exercised.

@@ -77,6 +77,10 @@ constexpr Variant kLargeVariants[] = {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  if (args.topo) {
+    bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
+    return 0;
+  }
   if (args.check) {
     // The checker verdicts must be calibration-independent: a protocol is
     // race-free by construction, not because the costs happen to order it.

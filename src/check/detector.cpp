@@ -53,6 +53,13 @@ std::string Detector::report_text() const {
       if (c == '\n') out += "  ";
     }
   }
+  // Contended links only (exclusive FIFO lanes always report concurrent 1).
+  for (const auto& [name, s] : link_stats_) {
+    if (s.max_concurrent <= 1) continue;
+    out += "\n  link " + name + ": " + std::to_string(s.flights) +
+           " flight(s), peak sharing " + std::to_string(s.max_concurrent) +
+           ", queued " + std::to_string(s.queued_ns) + " ns";
+  }
   return out;
 }
 
@@ -248,6 +255,22 @@ void Detector::on_quiet(const sim::Actor& actor, int pe,
   (void)what;  // "quiet" and "fence" get the same (over-approximated) edge
   auto it = quiet_clock_.find(pe);
   if (it != quiet_clock_.end()) vc(tid(actor)).join(it->second);
+}
+
+// --- link occupancy ----------------------------------------------------------
+
+void Detector::on_link_busy(std::uint64_t flight, std::string_view link,
+                            int concurrent, sim::Nanos queued_ns,
+                            std::string_view what) {
+  (void)flight, (void)what;  // diagnostic tally only, no ordering effect
+  auto it = link_stats_.find(link);
+  if (it == link_stats_.end()) {
+    it = link_stats_.emplace(std::string(link), LinkStats{}).first;
+  }
+  LinkStats& s = it->second;
+  ++s.flights;
+  if (concurrent > s.max_concurrent) s.max_concurrent = concurrent;
+  s.queued_ns += queued_ns;
 }
 
 // --- application accesses ----------------------------------------------------

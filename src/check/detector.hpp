@@ -99,9 +99,23 @@ class Detector final : public sim::Observer {
                     std::string_view what) override;
   void on_put_deliver(std::uint64_t op_id, const sim::Actor& wire) override;
   void on_quiet(const sim::Actor& actor, int pe, std::string_view what) override;
+  void on_link_busy(std::uint64_t flight, std::string_view link, int concurrent,
+                    sim::Nanos queued_ns, std::string_view what) override;
   void on_access(const sim::Actor& actor, const sim::MemRange& range,
                  bool is_write, std::string_view what) override;
   void on_deadlock(std::size_t stuck_tasks) override;
+
+  /// Per-link occupancy accounting from the topology ledger's event stream
+  /// (not part of the happens-before state; purely diagnostic).
+  struct LinkStats {
+    std::uint64_t flights = 0;    // transfers that crossed the link
+    int max_concurrent = 1;       // peak simultaneous flights
+    sim::Nanos queued_ns = 0;     // total time spent waiting for the wire
+  };
+  [[nodiscard]] const std::map<std::string, LinkStats, std::less<>>&
+  link_stats() const {
+    return link_stats_;
+  }
 
  private:
   struct PutRec {
@@ -150,6 +164,8 @@ class Detector final : public sim::Observer {
   // quiet()/fence() joins this (monotone, never cleared: a later quiet by
   // another actor on the PE must still acquire them).
   std::map<int, VectorClock> quiet_clock_;
+
+  std::map<std::string, LinkStats, std::less<>> link_stats_;
 
   std::vector<RaceReport> races_;
   // (base, cur tid, prior tid, cur write?, prior write?) dedup key

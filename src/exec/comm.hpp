@@ -12,6 +12,7 @@
 //  * host_allreduce       — the CPU-controlled equivalent over MPI.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -22,11 +23,30 @@
 #include "hostmpi/comm.hpp"
 #include "sim/observe.hpp"
 #include "sim/task.hpp"
+#include "topo/router.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/kernel.hpp"
+#include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
 
 namespace exec {
+
+/// Topology-aware issue order for the two 1D halo neighbours of `dev`: the
+/// costlier route (higher hop latency, then more hops, then narrower
+/// bottleneck) is issued first so the long-haul transfer overlaps the cheap
+/// one. Equal-cost routes — every pair on a flat single-node machine — keep
+/// the historical up-then-down order. Missing neighbours are -1.
+[[nodiscard]] inline std::array<int, 2> halo_neighbor_order(
+    const vgpu::Machine& machine, int dev, int n_pes) {
+  const int up = dev > 0 ? dev - 1 : -1;
+  const int down = dev + 1 < n_pes ? dev + 1 : -1;
+  if (up >= 0 && down >= 0 &&
+      topo::costlier(machine.router().route(dev, down),
+                     machine.router().route(dev, up))) {
+    return {down, up};
+  }
+  return {up, down};
+}
 
 /// Functional payload factory for one halo direction (nullable).
 using HaloDeliverFn = std::function<std::function<void()>(bool to_top)>;
@@ -37,44 +57,41 @@ using HaloRangeFn =
     std::function<std::pair<sim::MemRange, sim::MemRange>(bool to_top)>;
 
 /// CommPolicy::kStagedCopy / kOverlapStreams: push both boundary slabs to
-/// the neighbours with host-issued async memcpys in `stream` (up first,
-/// then down — the order every baseline uses).
+/// the neighbours with host-issued async memcpys in `stream`, in
+/// halo_neighbor_order (up first on flat machines — the order every
+/// baseline uses; costlier route first on non-flat topologies).
 inline sim::Task staged_halo_exchange(vgpu::HostCtx& h, vgpu::Stream& stream,
                                       int dev, int n_pes, double bytes,
                                       HaloDeliverFn deliver,
                                       HaloRangeFn ranges = {}) {
-  if (dev > 0) {
-    auto del = deliver ? deliver(/*to_top=*/true) : std::function<void()>{};
-    const auto [rd, wr] = ranges ? ranges(/*to_top=*/true)
-                                 : std::pair<sim::MemRange, sim::MemRange>{};
-    CO_AWAIT(h.memcpy_peer_async(stream, dev - 1, dev, bytes, "halo_up",
-                                 std::move(del), rd, wr));
-  }
-  if (dev + 1 < n_pes) {
-    auto del = deliver ? deliver(/*to_top=*/false) : std::function<void()>{};
-    const auto [rd, wr] = ranges ? ranges(/*to_top=*/false)
-                                 : std::pair<sim::MemRange, sim::MemRange>{};
-    CO_AWAIT(h.memcpy_peer_async(stream, dev + 1, dev, bytes, "halo_down",
+  const std::array<int, 2> order = halo_neighbor_order(h.machine(), dev, n_pes);
+  for (int peer : order) {
+    if (peer < 0) continue;
+    const bool to_top = peer < dev;
+    auto del = deliver ? deliver(to_top) : std::function<void()>{};
+    const auto [rd, wr] =
+        ranges ? ranges(to_top) : std::pair<sim::MemRange, sim::MemRange>{};
+    CO_AWAIT(h.memcpy_peer_async(stream, peer, dev, bytes,
+                                 to_top ? "halo_up" : "halo_down",
                                  std::move(del), rd, wr));
   }
 }
 
 /// CommPolicy::kPeerStore: store both boundary slabs straight into the
-/// neighbours' memory from inside the kernel (device-initiated).
+/// neighbours' memory from inside the kernel (device-initiated), in
+/// halo_neighbor_order.
 inline sim::Task peer_store_halos(vgpu::KernelCtx& k, int dev, int n_pes,
                                   double bytes, HaloDeliverFn deliver,
                                   HaloRangeFn ranges = {}) {
-  if (dev > 0) {
-    auto del = deliver ? deliver(/*to_top=*/true) : std::function<void()>{};
-    const auto [rd, wr] = ranges ? ranges(/*to_top=*/true)
-                                 : std::pair<sim::MemRange, sim::MemRange>{};
-    CO_AWAIT(k.peer_put(dev - 1, bytes, "p2p_up", std::move(del), rd, wr));
-  }
-  if (dev + 1 < n_pes) {
-    auto del = deliver ? deliver(/*to_top=*/false) : std::function<void()>{};
-    const auto [rd, wr] = ranges ? ranges(/*to_top=*/false)
-                                 : std::pair<sim::MemRange, sim::MemRange>{};
-    CO_AWAIT(k.peer_put(dev + 1, bytes, "p2p_down", std::move(del), rd, wr));
+  const std::array<int, 2> order = halo_neighbor_order(k.machine(), dev, n_pes);
+  for (int peer : order) {
+    if (peer < 0) continue;
+    const bool to_top = peer < dev;
+    auto del = deliver ? deliver(to_top) : std::function<void()>{};
+    const auto [rd, wr] =
+        ranges ? ranges(to_top) : std::pair<sim::MemRange, sim::MemRange>{};
+    CO_AWAIT(k.peer_put(peer, bytes, to_top ? "p2p_up" : "p2p_down",
+                        std::move(del), rd, wr));
   }
 }
 

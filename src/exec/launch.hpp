@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cpufree/launch.hpp"
+#include "sim/intmath.hpp"
 #include "sim/task.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/machine.hpp"
@@ -20,12 +21,11 @@
 namespace exec {
 
 /// Blocks for a discrete (non-cooperative) launch covering `points` points:
-/// exact integer ceil-div, at least one block. (Integer arithmetic on
-/// purpose — a double round-trip silently misrounds huge domains.)
+/// exact integer ceil-div (sim::ceil_div), at least one block.
 [[nodiscard]] constexpr int discrete_blocks(std::size_t points,
                                             int threads_per_block) {
-  const std::size_t tpb = static_cast<std::size_t>(threads_per_block);
-  const std::size_t blocks = (points + tpb - 1) / tpb;
+  const std::size_t blocks =
+      sim::ceil_div(points, static_cast<std::size_t>(threads_per_block));
   return blocks < 1 ? 1 : static_cast<int>(blocks);
 }
 

@@ -40,8 +40,8 @@ sim::Task Comm::transport(int src, int dst, int tag, double bytes,
     co_await eng.delay(static_cast<sim::Nanos>(type.block_count) *
                        link.vector_per_block_overhead);
     co_await eng.delay(dev.dram_time(2.0 * pack_extra_bytes));
-    co_await eng.delay(link.host_staging_latency +
-                       link.staging_time(pack_extra_bytes));
+    co_await machine_->staging_transfer(src, pack_extra_bytes,
+                                        /*to_host=*/true, "mpi_stage_down");
   }
   // The functional copy is deferred to match time (MPI buffers the eager
   // payload internally); the wire charges only the movement cost here.
@@ -50,8 +50,8 @@ sim::Task Comm::transport(int src, int dst, int tag, double bytes,
                               "mpi_payload");
   if (strided) {
     // Host-to-device staging plus unpack on the receiver.
-    co_await eng.delay(link.host_staging_latency +
-                       link.staging_time(pack_extra_bytes));
+    co_await machine_->staging_transfer(dst, pack_extra_bytes,
+                                        /*to_host=*/false, "mpi_stage_up");
     co_await eng.delay(dev.dram_time(2.0 * pack_extra_bytes));
   }
   sent->set(1);

@@ -29,7 +29,13 @@ Engine::~Engine() {
 }
 
 void Engine::schedule(std::coroutine_handle<> h, Nanos delay) {
-  queue_.push(Event{now_ + delay, next_seq_++, h});
+  queue_.push(Event{now_ + delay, next_seq_++, h, nullptr, nullptr});
+}
+
+TimerToken Engine::schedule_callback(std::function<void()> fn, Nanos delay) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{now_ + delay, next_seq_++, nullptr, std::move(fn), alive});
+  return TimerToken{std::move(alive)};
 }
 
 void Engine::spawn(Task t) {
@@ -61,8 +67,17 @@ void Engine::run() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
+    if (ev.alive && !*ev.alive) {
+      // Cancelled timer: drop it without touching the clock, so rescheduling
+      // a timer earlier leaves no trace on simulated time.
+      continue;
+    }
     now_ = ev.at;
-    ev.handle.resume();
+    if (ev.callback) {
+      ev.callback();
+    } else {
+      ev.handle.resume();
+    }
     reap_finished();
     if (error_) {
       std::exception_ptr e = std::exchange(error_, nullptr);

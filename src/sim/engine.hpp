@@ -9,8 +9,11 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -32,6 +35,24 @@ class DeadlockError : public std::runtime_error {
   std::size_t stuck_tasks;
 };
 
+/// Cancellation handle for Engine::schedule_callback. Cancelling keeps the
+/// queue entry but marks it dead: when popped it is discarded WITHOUT
+/// advancing simulated time, so a rescheduled timer leaves no trace on the
+/// clock. Default-constructed tokens are inert.
+class TimerToken {
+ public:
+  TimerToken() = default;
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool armed() const noexcept { return alive_ != nullptr && *alive_; }
+
+ private:
+  friend class Engine;
+  explicit TimerToken(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -44,6 +65,15 @@ class Engine {
 
   /// Schedules a raw coroutine resumption `delay` ns from now.
   void schedule(std::coroutine_handle<> h, Nanos delay = 0);
+
+  /// Schedules a plain callback `delay` ns from now and returns a token that
+  /// can cancel it. Cancelled entries are dropped when popped without
+  /// advancing the clock — the primitive behind re-schedulable timers (the
+  /// link ledger moves its next-completion wake both earlier and later as
+  /// transfers start and finish). Callbacks run at (time, seq) order like
+  /// coroutine resumptions and may schedule further work, but must not call
+  /// Engine::run().
+  TimerToken schedule_callback(std::function<void()> fn, Nanos delay);
 
   /// Detaches `t` as a root process; it starts at the current simulated time
   /// (after already-queued events with the same timestamp).
@@ -86,7 +116,9 @@ class Engine {
   struct Event {
     Nanos at;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;
+    std::coroutine_handle<> handle;  // null for callback events
+    std::function<void()> callback;
+    std::shared_ptr<bool> alive;  // null (always live) for resumptions
     friend bool operator>(const Event& a, const Event& b) {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }

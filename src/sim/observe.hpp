@@ -202,6 +202,22 @@ class Observer {
     (void)actor, (void)pe, (void)what;
   }
 
+  // --- link occupancy (topology ledger; timing-neutral bookkeeping) ---
+  /// A transfer (`flight`, the ledger's admission id) started occupying
+  /// `link`; `concurrent` counts flights now on the link (including this
+  /// one) and `queued_ns` is how long the transfer waited behind earlier
+  /// traffic before its wire time began.
+  virtual void on_link_busy(std::uint64_t flight, std::string_view link,
+                            int concurrent, Nanos queued_ns,
+                            std::string_view what) {
+    (void)flight, (void)link, (void)concurrent, (void)queued_ns, (void)what;
+  }
+  /// Flight `flight` released `link`; `concurrent` counts flights remaining.
+  virtual void on_link_release(std::uint64_t flight, std::string_view link,
+                               int concurrent) {
+    (void)flight, (void)link, (void)concurrent;
+  }
+
   // --- application memory accesses (halo-region granularity) ---
   virtual void on_access(const Actor& actor, const MemRange& range,
                          bool is_write, std::string_view what) {

@@ -1,0 +1,255 @@
+#include "topo/ledger.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/intmath.hpp"
+#include "sim/observe.hpp"
+
+namespace topo {
+
+namespace {
+
+// Bytes below this are "drained" (absorbs float error from rate * dt folds).
+constexpr double kEpsBytes = 1e-6;
+// Transient rate markers used inside one recompute() pass.
+constexpr double kUnfrozen = -1.0;
+constexpr double kPending = -2.0;
+
+}  // namespace
+
+LinkLedger::LinkLedger(sim::Engine& engine, const Topology& topo)
+    : engine_(&engine),
+      topo_(&topo),
+      exclusive_busy_until_(topo.links.size(), 0) {}
+
+sim::Nanos LinkLedger::reserve_exclusive(const Route& route, double bytes,
+                                         sim::Nanos earliest_start,
+                                         std::string_view what) {
+  sim::Nanos start = earliest_start;
+  for (int li : route.links) {
+    if (topo_->links[static_cast<std::size_t>(li)].policy ==
+        LinkPolicy::kExclusive) {
+      start = std::max(start, exclusive_busy_until_[static_cast<std::size_t>(li)]);
+    }
+  }
+  const sim::Nanos dur =
+      bytes <= 0.0 ? 0 : sim::ceil_nanos(bytes / route.min_bw);
+  const sim::Nanos end = start + dur;
+  for (int li : route.links) {
+    if (topo_->links[static_cast<std::size_t>(li)].policy ==
+        LinkPolicy::kExclusive) {
+      exclusive_busy_until_[static_cast<std::size_t>(li)] = end;
+    }
+  }
+  if (sim::Observer* o = engine_->observer()) {
+    const std::uint64_t id = next_id_++;
+    for (int li : route.links) {
+      o->on_link_busy(id, topo_->links[static_cast<std::size_t>(li)].name,
+                      /*concurrent=*/1, start - earliest_start, what);
+    }
+    // The release is pure observation at the wire end; the caller's own
+    // completion delay always reaches or passes that instant, so simulated
+    // time is unaffected.
+    engine_->schedule_callback(
+        [this, id, links = route.links] {
+          if (sim::Observer* obs = engine_->observer()) {
+            for (int li : links) {
+              obs->on_link_release(
+                  id, topo_->links[static_cast<std::size_t>(li)].name,
+                  /*concurrent=*/0);
+            }
+          }
+        },
+        end - engine_->now());
+  }
+  return end;
+}
+
+sim::Task LinkLedger::wire_shared(const Route& route, double bytes,
+                                  sim::Nanos issue_delay,
+                                  std::string_view what) {
+  co_await engine_->delay(issue_delay);
+  if (bytes <= 0.0) co_return;
+  const sim::Nanos now = engine_->now();
+  fold(now);
+  auto f = std::make_shared<Flight>(*engine_);
+  f->id = next_id_++;
+  f->route = &route;
+  f->remaining = bytes;
+  for (int li : route.links) {
+    const Link& l = topo_->links[static_cast<std::size_t>(li)];
+    if (l.policy == LinkPolicy::kUnlimited &&
+        (f->cap == 0.0 || l.bw_gbps < f->cap)) {
+      f->cap = l.bw_gbps;
+    }
+  }
+  flights_.emplace(f->id, f);
+  if (sim::Observer* o = engine_->observer()) {
+    for (int li : route.links) {
+      o->on_link_busy(f->id, topo_->links[static_cast<std::size_t>(li)].name,
+                      flights_on_link(li), /*queued_ns=*/0, what);
+    }
+  }
+  recompute(now);
+  reschedule(now);
+  co_await f->done.wait_geq(1);
+}
+
+int LinkLedger::flights_on_link(int li) const {
+  int n = 0;
+  for (const auto& [id, f] : flights_) {
+    for (int rl : f->route->links) {
+      if (rl == li) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void LinkLedger::fold(sim::Nanos now) {
+  const double dt = static_cast<double>(now - last_fold_);
+  if (dt > 0.0) {
+    for (auto& [id, f] : flights_) {
+      f->remaining = std::max(0.0, f->remaining - f->rate * dt);
+    }
+  }
+  last_fold_ = now;
+}
+
+void LinkLedger::recompute(sim::Nanos now) {
+  // Max-min water-filling over flights that still have bytes on the wire.
+  std::vector<Flight*> draining;
+  for (auto& [id, f] : flights_) {
+    if (f->remaining > kEpsBytes) {
+      f->rate = kUnfrozen;
+      draining.push_back(f.get());
+    } else {
+      f->rate = 0.0;
+    }
+  }
+  // Contended capacity per link (kShared; kExclusive treated the same on the
+  // rare mixed route) and its draining users. std::map iterates in link-id
+  // order, which fixes every tie-break below.
+  std::map<int, double> residual;
+  std::map<int, std::vector<Flight*>> users;
+  for (Flight* f : draining) {
+    for (int li : f->route->links) {
+      if (topo_->links[static_cast<std::size_t>(li)].policy ==
+          LinkPolicy::kUnlimited) {
+        continue;
+      }
+      residual.emplace(li, topo_->links[static_cast<std::size_t>(li)].bw_gbps);
+      users[li].push_back(f);
+    }
+  }
+  std::size_t unfrozen = draining.size();
+  while (unfrozen > 0) {
+    // The next bottleneck: smallest equal-split share over any contended
+    // link, or the smallest per-flight kUnlimited cap, whichever binds first.
+    double share = std::numeric_limits<double>::infinity();
+    for (const auto& [li, fl] : users) {
+      int cnt = 0;
+      for (Flight* f : fl) cnt += f->rate == kUnfrozen ? 1 : 0;
+      if (cnt > 0) share = std::min(share, residual[li] / cnt);
+    }
+    for (Flight* f : draining) {
+      if (f->rate == kUnfrozen && f->cap > 0.0) share = std::min(share, f->cap);
+    }
+    // Freeze every flight pinned by a constraint at the bottleneck share.
+    const double lim = share * (1.0 + 1e-12);
+    std::vector<Flight*> freeze;
+    auto mark = [&freeze](Flight* f) {
+      if (f->rate == kUnfrozen) {
+        f->rate = kPending;
+        freeze.push_back(f);
+      }
+    };
+    for (const auto& [li, fl] : users) {
+      int cnt = 0;
+      for (Flight* f : fl) {
+        cnt += (f->rate == kUnfrozen || f->rate == kPending) ? 1 : 0;
+      }
+      if (cnt > 0 && residual[li] / cnt <= lim) {
+        for (Flight* f : fl) mark(f);
+      }
+    }
+    for (Flight* f : draining) {
+      if (f->rate == kUnfrozen && f->cap > 0.0 && f->cap <= lim) mark(f);
+    }
+    if (freeze.empty()) {
+      // Numerical backstop; unreachable for exact-arithmetic inputs.
+      for (Flight* f : draining) mark(f);
+    }
+    for (Flight* f : freeze) {
+      f->rate = share;
+      for (int li : f->route->links) {
+        auto it = residual.find(li);
+        if (it != residual.end()) it->second = std::max(0.0, it->second - share);
+      }
+      --unfrozen;
+    }
+  }
+  // Finish times, clamped FIFO per ordered (src, dst) pair in admission
+  // order: a later transfer of a pair never lands before an earlier one.
+  std::map<std::pair<int, int>, sim::Nanos> pair_fin;
+  for (auto& [id, f] : flights_) {
+    sim::Nanos fin = now;
+    if (f->remaining > kEpsBytes) {
+      fin = now + sim::ceil_nanos(f->remaining / f->rate);
+    } else {
+      f->remaining = 0.0;
+    }
+    sim::Nanos& last = pair_fin[{f->route->src, f->route->dst}];
+    fin = std::max(fin, last);
+    last = fin;
+    f->finish_at = fin;
+  }
+}
+
+void LinkLedger::reschedule(sim::Nanos now) {
+  if (flights_.empty()) {
+    wake_.cancel();
+    wake_at_ = -1;
+    return;
+  }
+  sim::Nanos next = std::numeric_limits<sim::Nanos>::max();
+  for (const auto& [id, f] : flights_) next = std::min(next, f->finish_at);
+  if (wake_.armed() && wake_at_ == next) return;
+  wake_.cancel();
+  wake_ = engine_->schedule_callback([this] { on_wake(); }, next - now);
+  wake_at_ = next;
+}
+
+void LinkLedger::on_wake() {
+  const sim::Nanos now = engine_->now();
+  wake_at_ = -1;
+  fold(now);
+  std::vector<std::shared_ptr<Flight>> landed;
+  for (auto it = flights_.begin(); it != flights_.end();) {
+    if (it->second->finish_at <= now) {
+      landed.push_back(it->second);
+      it = flights_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (sim::Observer* o = engine_->observer()) {
+    for (const auto& f : landed) {
+      for (int li : f->route->links) {
+        o->on_link_release(f->id,
+                           topo_->links[static_cast<std::size_t>(li)].name,
+                           flights_on_link(li));
+      }
+    }
+  }
+  recompute(now);
+  reschedule(now);
+  // Wake the transfers last, with the ledger already consistent; they resume
+  // through the event queue at the current instant, in admission order.
+  for (const auto& f : landed) f->done.set(1);
+}
+
+}  // namespace topo

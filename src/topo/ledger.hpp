@@ -1,0 +1,112 @@
+// Link occupancy accounting: who is on which wire, at what rate, until when.
+//
+// The ledger charges every transfer a fair share of every link on its route.
+// Two disciplines, selected by the route:
+//
+//  * Routes with no kShared link (`Route::contended == false`) take the
+//    closed-form path `reserve_exclusive`: each kExclusive link is a FIFO
+//    wire — the transfer starts when every such link is free and holds them
+//    all for ceil(bytes / min_bw) ns (kUnlimited links never serialize).
+//    This is computed synchronously at issue time and the caller sleeps
+//    exactly once, which keeps the event sequence — and therefore the
+//    simulated timeline — bit-identical to the historical flat model on the
+//    crossbar topologies that re-express it.
+//
+//  * Routes crossing at least one kShared link go through `wire_shared`:
+//    progressive filling. Every in-flight transfer gets a max-min fair share
+//    of each shared link's bandwidth, recomputed only at transfer start and
+//    finish events (deterministic: admission order breaks all ties, no
+//    randomness). kUnlimited links on such routes cap a flight's individual
+//    rate without contending; kExclusive links on such routes are treated as
+//    shared capacity (none of the shipped builders produce that mix).
+//
+// Delivery on a route is FIFO per ordered (src, dst) pair: a later-admitted
+// transfer never completes before an earlier one of the same pair, even if
+// fair sharing would drain its bytes first. vshmem::fence and the checker's
+// wire actors rely on this.
+//
+// Determinism: the ledger's only event source is Engine::schedule_callback
+// timers, rescheduled (cancel + re-arm) whenever the earliest completion
+// moves. Cancelled timers are dropped without advancing the clock, so
+// rescheduling leaves no trace on simulated time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "topo/router.hpp"
+#include "topo/topology.hpp"
+
+namespace topo {
+
+class LinkLedger {
+ public:
+  /// Both references must outlive the ledger; routes passed to the charge
+  /// calls must point into structures that outlive their transfers (the
+  /// Router owns them for the machine's lifetime).
+  LinkLedger(sim::Engine& engine, const Topology& topo);
+
+  /// Closed-form reservation for an uncontended route. The wire slot starts
+  /// at `earliest_start` or when every kExclusive link on the route is free,
+  /// whichever is later, and lasts ceil(bytes / route.min_bw) ns (0 for
+  /// zero bytes — which still claims the slot, like the flat model).
+  /// Returns the wire end time; the caller owns sleeping until it.
+  sim::Nanos reserve_exclusive(const Route& route, double bytes,
+                               sim::Nanos earliest_start,
+                               std::string_view what);
+
+  /// Progressive-filling occupation of a contended route: sleeps the issue
+  /// delay, admits the flight, and completes at the simulated instant its
+  /// last byte clears the route (FIFO-clamped per ordered pair). The caller
+  /// adds delivery latency afterwards.
+  sim::Task wire_shared(const Route& route, double bytes,
+                        sim::Nanos issue_delay, std::string_view what);
+
+  /// Transfers currently charged through the progressive-filling path.
+  [[nodiscard]] std::size_t active_flights() const noexcept {
+    return flights_.size();
+  }
+
+ private:
+  struct Flight {
+    std::uint64_t id = 0;
+    const Route* route = nullptr;
+    double remaining = 0.0;  // bytes left on the wire
+    double rate = 0.0;       // bytes/ns (== GB/s), from the last recompute
+    double cap = 0.0;        // rate ceiling from kUnlimited links on the route
+    sim::Nanos finish_at = 0;
+    sim::Flag done;
+    explicit Flight(sim::Engine& e) : done(e, 0) {}
+  };
+
+  /// Advances every flight's `remaining` to `now` at its current rate.
+  void fold(sim::Nanos now);
+  /// Max-min water-filling over all draining flights, then per-flight finish
+  /// times with the per-pair FIFO clamp. Deterministic: links are visited in
+  /// index order, flights in admission order.
+  void recompute(sim::Nanos now);
+  /// Re-arms the completion timer at the earliest flight finish.
+  void reschedule(sim::Nanos now);
+  void on_wake();
+  /// Flights currently occupying link `li` (for observer concurrency counts).
+  [[nodiscard]] int flights_on_link(int li) const;
+
+  sim::Engine* engine_;
+  const Topology* topo_;
+  std::vector<sim::Nanos> exclusive_busy_until_;  // per link id
+  std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;  // admission order
+  std::uint64_t next_id_ = 0;
+  sim::Nanos last_fold_ = 0;  // time flights' `remaining` was last advanced to
+  sim::TimerToken wake_;
+  sim::Nanos wake_at_ = -1;
+};
+
+}  // namespace topo

@@ -1,0 +1,170 @@
+#include "topo/topology.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/intmath.hpp"
+
+namespace topo {
+
+int Topology::add_node(NodeKind kind, std::string node_name) {
+  nodes.push_back(Node{kind, std::move(node_name)});
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int Topology::add_device(std::string node_name) {
+  const int idx = add_node(NodeKind::kDevice, std::move(node_name));
+  device_nodes.push_back(idx);
+  return idx;
+}
+
+int Topology::add_link(int src, int dst, double bw_gbps,
+                       sim::Nanos extra_latency, LinkPolicy policy,
+                       std::string link_name) {
+  if (src < 0 || dst < 0 || src >= static_cast<int>(nodes.size()) ||
+      dst >= static_cast<int>(nodes.size()) || src == dst) {
+    throw std::invalid_argument("topo: bad link endpoints " + link_name);
+  }
+  if (bw_gbps <= 0.0) {
+    throw std::invalid_argument("topo: non-positive bandwidth on " + link_name);
+  }
+  links.push_back(
+      Link{src, dst, bw_gbps, extra_latency, policy, std::move(link_name)});
+  return static_cast<int>(links.size()) - 1;
+}
+
+void Topology::add_duplex(int a, int b, double bw_gbps,
+                          sim::Nanos extra_latency, LinkPolicy policy,
+                          const std::string& link_name) {
+  add_link(a, b, bw_gbps, extra_latency, policy,
+           link_name + ":" + nodes[static_cast<std::size_t>(a)].name + ">" +
+               nodes[static_cast<std::size_t>(b)].name);
+  add_link(b, a, bw_gbps, extra_latency, policy,
+           link_name + ":" + nodes[static_cast<std::size_t>(b)].name + ">" +
+               nodes[static_cast<std::size_t>(a)].name);
+}
+
+Topology make_crossbar(int n, double bw_gbps, double staging_bw_gbps) {
+  Topology t;
+  for (int i = 0; i < n; ++i) {
+    t.add_device("gpu" + std::to_string(i));
+  }
+  // One dedicated lane per ordered pair: the NVSwitch is non-blocking, so a
+  // pair's lane never contends with any other pair's traffic — only FIFO
+  // against transfers on the same directed pair, as the flat model did.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      t.add_link(t.device_nodes[static_cast<std::size_t>(i)],
+                 t.device_nodes[static_cast<std::size_t>(j)], bw_gbps, 0,
+                 LinkPolicy::kExclusive,
+                 "nvl:gpu" + std::to_string(i) + ">gpu" + std::to_string(j));
+    }
+  }
+  const int host = t.add_node(NodeKind::kHostBridge, "host");
+  for (int i = 0; i < n; ++i) {
+    const int d = t.device_nodes[static_cast<std::size_t>(i)];
+    t.add_link(d, host, staging_bw_gbps, 0, LinkPolicy::kUnlimited,
+               "stage:gpu" + std::to_string(i) + ">host");
+    t.add_link(host, d, staging_bw_gbps, 0, LinkPolicy::kUnlimited,
+               "stage:host>gpu" + std::to_string(i));
+  }
+  return t;
+}
+
+Topology make_pcie_tree(int n, PcieTreeParams p) {
+  if (n <= 0 || p.group_size <= 0) {
+    throw std::invalid_argument("make_pcie_tree: bad sizes");
+  }
+  Topology t;
+  for (int i = 0; i < n; ++i) {
+    t.add_device("gpu" + std::to_string(i));
+  }
+  const int root = t.add_node(NodeKind::kHostBridge, "host-root");
+  const int groups = sim::ceil_div(n, p.group_size);
+  for (int g = 0; g < groups; ++g) {
+    const int sw = t.add_node(NodeKind::kSwitch, "plx" + std::to_string(g));
+    t.add_duplex(sw, root, p.pcie_bw_gbps, p.hop_latency, LinkPolicy::kShared,
+                 "pcie");
+    for (int i = g * p.group_size; i < n && i < (g + 1) * p.group_size; ++i) {
+      t.add_duplex(t.device_nodes[static_cast<std::size_t>(i)], sw,
+                   p.pcie_bw_gbps, p.hop_latency, LinkPolicy::kShared, "pcie");
+    }
+  }
+  return t;
+}
+
+Topology make_multi_node(int nodes, int gpus_per_node, MultiNodeParams p) {
+  if (nodes <= 0 || gpus_per_node <= 0) {
+    throw std::invalid_argument("make_multi_node: bad sizes");
+  }
+  Topology t;
+  for (int k = 0; k < nodes; ++k) {
+    for (int i = 0; i < gpus_per_node; ++i) {
+      // Built with += rather than operator+ chains: GCC 12 raises a
+      // -Wrestrict false positive on concatenation into a temporary here.
+      std::string dev_name = "n";
+      dev_name += std::to_string(k);
+      dev_name += ".gpu";
+      dev_name += std::to_string(i);
+      t.add_device(std::move(dev_name));
+    }
+  }
+  std::vector<int> nic(static_cast<std::size_t>(nodes));
+  for (int k = 0; k < nodes; ++k) {
+    const int base = k * gpus_per_node;
+    // Intra-node: NVSwitch crossbar — dedicated FIFO lanes per ordered pair.
+    for (int i = 0; i < gpus_per_node; ++i) {
+      for (int j = 0; j < gpus_per_node; ++j) {
+        if (i == j) continue;
+        const auto a = static_cast<std::size_t>(base + i);
+        const auto b = static_cast<std::size_t>(base + j);
+        t.add_link(t.device_nodes[a], t.device_nodes[b], p.nvlink_bw_gbps, 0,
+                   LinkPolicy::kExclusive,
+                   "nvl:" + t.nodes[static_cast<std::size_t>(t.device_nodes[a])]
+                                .name +
+                       ">" +
+                       t.nodes[static_cast<std::size_t>(t.device_nodes[b])]
+                           .name);
+      }
+    }
+    // NIC: every GPU in the node shares the injection links.
+    nic[static_cast<std::size_t>(k)] =
+        t.add_node(NodeKind::kNic, "nic" + std::to_string(k));
+    for (int i = 0; i < gpus_per_node; ++i) {
+      const auto d = static_cast<std::size_t>(base + i);
+      t.add_duplex(t.device_nodes[d], nic[static_cast<std::size_t>(k)],
+                   p.nic_injection_bw_gbps, p.nic_latency, LinkPolicy::kShared,
+                   "inj");
+    }
+    // Host bridge per node: staging keeps the flat model's no-contention
+    // discipline inside a node.
+    const int host = t.add_node(NodeKind::kHostBridge,
+                                "host" + std::to_string(k));
+    for (int i = 0; i < gpus_per_node; ++i) {
+      const auto d = static_cast<std::size_t>(base + i);
+      t.add_link(t.device_nodes[d], host, p.staging_bw_gbps, 0,
+                 LinkPolicy::kUnlimited,
+                 "stage:" +
+                     t.nodes[static_cast<std::size_t>(t.device_nodes[d])].name +
+                     ">host" + std::to_string(k));
+      t.add_link(host, t.device_nodes[d], p.staging_bw_gbps, 0,
+                 LinkPolicy::kUnlimited,
+                 "stage:host" + std::to_string(k) + ">" +
+                     t.nodes[static_cast<std::size_t>(t.device_nodes[d])].name);
+    }
+  }
+  // Network: directed NIC<->NIC links for every node pair.
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      if (a == b) continue;
+      t.add_link(nic[static_cast<std::size_t>(a)],
+                 nic[static_cast<std::size_t>(b)], p.network_bw_gbps,
+                 p.network_latency, LinkPolicy::kShared,
+                 "net:nic" + std::to_string(a) + ">nic" + std::to_string(b));
+    }
+  }
+  return t;
+}
+
+}  // namespace topo

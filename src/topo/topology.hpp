@@ -1,0 +1,131 @@
+// Interconnect topology graph: devices, switches, NICs, and host bridges
+// joined by directed links.
+//
+// A Topology is pure structure — who is wired to whom, at what bandwidth,
+// with what added latency, under which sharing discipline. Costing lives in
+// LinkLedger and path selection in Router; the vgpu Machine owns one of
+// each, built from MachineSpec::topology (or, when that is empty, from the
+// flat LinkSpec re-expressed as a non-blocking crossbar so the historical
+// single-node numbers reproduce bit-identically).
+//
+// Links are directed (full duplex = two links) and carry an *extra* latency
+// on top of the initiation-kind latency the cost model already charges, so
+// the flat-model equivalence is "extra_latency == 0 everywhere".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace topo {
+
+enum class NodeKind : std::uint8_t {
+  kDevice,      // a GPU (participates as a route endpoint)
+  kSwitch,      // NVSwitch / PCIe switch
+  kNic,         // network interface for inter-node hops
+  kHostBridge,  // host-memory attach point (staging target)
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kSwitch;
+  std::string name;
+};
+
+/// How concurrent transfers share a link.
+enum class LinkPolicy : std::uint8_t {
+  /// FIFO wire: one transfer at a time, later arrivals queue. This is the
+  /// discipline the flat cost model applied per directed device pair.
+  kExclusive,
+  /// Progressive filling: all in-flight transfers get a max-min fair share
+  /// of the bandwidth, recomputed at transfer start/finish events.
+  kShared,
+  /// Charges wire time at `bw_gbps` but never contends (models a resource
+  /// the simulator treats as replicated per transfer, e.g. the flat model's
+  /// host-staging path).
+  kUnlimited,
+};
+
+struct Link {
+  int src = -1;  // node index
+  int dst = -1;  // node index
+  double bw_gbps = 0.0;
+  /// Added one-way latency of this hop, on top of the transfer-kind latency.
+  sim::Nanos extra_latency = 0;
+  LinkPolicy policy = LinkPolicy::kShared;
+  std::string name;
+};
+
+[[nodiscard]] constexpr const char* name(LinkPolicy p) {
+  switch (p) {
+    case LinkPolicy::kExclusive:
+      return "exclusive";
+    case LinkPolicy::kShared:
+      return "shared";
+    case LinkPolicy::kUnlimited:
+      return "unlimited";
+  }
+  return "?";
+}
+
+struct Topology {
+  std::vector<Node> nodes;
+  std::vector<Link> links;
+  /// device id -> node index, in device-id order.
+  std::vector<int> device_nodes;
+
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+  [[nodiscard]] int num_devices() const noexcept {
+    return static_cast<int>(device_nodes.size());
+  }
+
+  /// Appends a node; devices also register in `device_nodes`.
+  int add_node(NodeKind kind, std::string node_name);
+  int add_device(std::string node_name);
+  /// Appends one directed link and returns its id.
+  int add_link(int src, int dst, double bw_gbps, sim::Nanos extra_latency,
+               LinkPolicy policy, std::string link_name);
+  /// Two directed links (src->dst and dst->src) with the same parameters.
+  void add_duplex(int a, int b, double bw_gbps, sim::Nanos extra_latency,
+                  LinkPolicy policy, const std::string& link_name);
+};
+
+/// The flat LinkSpec re-expressed as a topology: an NVSwitch modeled as a
+/// non-blocking crossbar — one dedicated FIFO lane per ordered device pair
+/// at `bw_gbps` (exactly the per-directed-pair serialization the flat model
+/// charged) — plus per-device unlimited staging links to a host bridge at
+/// `staging_bw_gbps` (the flat model staged with no cross-transfer
+/// contention). Zero extra latency everywhere, so route costs reduce to the
+/// flat formula bit-for-bit.
+[[nodiscard]] Topology make_crossbar(int n, double bw_gbps,
+                                     double staging_bw_gbps);
+
+/// PCIe-tree machine (DGX-1-like, no NVLink): devices hang in groups of
+/// `group_size` under shared PCIe switches, switches join at a host-bridge
+/// root. Every hop is a kShared link at `pcie_bw_gbps`, so peer traffic,
+/// cross-group traffic, and host staging all contend on the tree.
+struct PcieTreeParams {
+  double pcie_bw_gbps = 12.0;
+  sim::Nanos hop_latency = sim::usec(0.3);
+  int group_size = 4;
+};
+[[nodiscard]] Topology make_pcie_tree(int n, PcieTreeParams p = {});
+
+/// Multi-node machine: each node is an NVSwitch crossbar of
+/// `gpus_per_node` devices (dedicated lanes at `nvlink_bw_gbps`), nodes are
+/// joined by per-node NICs — GPU->NIC injection links and NIC->NIC network
+/// links are kShared, so inter-node halo traffic contends while intra-node
+/// traffic keeps the single-node behavior. Staging stays per-node unlimited
+/// (host bridge per node), like the flat model.
+struct MultiNodeParams {
+  double nvlink_bw_gbps = 250.0;
+  double staging_bw_gbps = 12.0;
+  double nic_injection_bw_gbps = 50.0;
+  double network_bw_gbps = 25.0;
+  sim::Nanos nic_latency = sim::usec(0.2);
+  sim::Nanos network_latency = sim::usec(1.3);
+};
+[[nodiscard]] Topology make_multi_node(int nodes, int gpus_per_node,
+                                       MultiNodeParams p = {});
+
+}  // namespace topo

@@ -12,22 +12,21 @@
 // NVSHMEM put latency ~1 us.
 #pragma once
 
-#include <cmath>
 #include <cstddef>
 #include <vector>
 
+#include "sim/intmath.hpp"
 #include "sim/time.hpp"
+#include "topo/topology.hpp"
 
 namespace vgpu {
 
 /// Converts a byte count moved at `gbps` (GB/s == bytes/ns) into integer
-/// nanoseconds, rounding up and charging at least 1 ns for any nonzero
-/// transfer. A truncating cast here let sub-nanosecond transfers round down
-/// to a free 0 ns, so e.g. a 4-byte NVLink put paid no wire time at all.
+/// nanoseconds; zero-byte transfers are free, anything else rounds up to at
+/// least 1 ns (sim::ceil_nanos).
 [[nodiscard]] inline sim::Nanos transfer_ns(double bytes, double gbps) {
   if (bytes <= 0.0 || gbps <= 0.0) return 0;
-  const auto t = static_cast<sim::Nanos>(std::ceil(bytes / gbps));
-  return t > 0 ? t : 1;
+  return sim::ceil_nanos(bytes / gbps);
 }
 
 /// Per-device hardware characteristics.
@@ -174,7 +173,7 @@ struct LinkSpec {
   }
 };
 
-/// A whole node.
+/// A whole machine (single- or multi-node).
 struct MachineSpec {
   int num_devices = 8;
   DeviceSpec device = DeviceSpec::a100();
@@ -184,18 +183,57 @@ struct MachineSpec {
   /// vector's size use `device`. Lets tests model heterogeneous nodes and
   /// inject timing skew between GPUs.
   std::vector<DeviceSpec> device_overrides;
+  /// Interconnect graph. When empty (the default), the flat `link` spec is
+  /// re-expressed as a non-blocking crossbar at machine construction —
+  /// exactly the historical single-node behavior. Non-crossbar topologies
+  /// still take per-transfer latencies and rounding rules from `link`; only
+  /// routing, per-link bandwidth, contention, and hop latencies come from
+  /// the graph.
+  topo::Topology topology;
 
   [[nodiscard]] const DeviceSpec& device_spec(int id) const {
     const auto i = static_cast<std::size_t>(id);
     return i < device_overrides.size() ? device_overrides[i] : device;
   }
 
-  /// The paper's testbed: HGX with `n` A100s, all-to-all NVLink.
+  /// The paper's testbed: HGX with `n` A100s, all-to-all NVLink through a
+  /// non-blocking NVSwitch. Leaves `topology` empty — the crossbar built
+  /// from `link` reproduces the flat model bit-for-bit.
   [[nodiscard]] static MachineSpec hgx_a100(int n) {
     MachineSpec s;
     s.num_devices = n;
     return s;
   }
+
+  /// A PCIe-only box (DGX-1-era, NVLink absent): the same GPUs, but every
+  /// peer or staging byte crosses a shared PCIe tree, so concurrent halo
+  /// exchanges contend for switch uplinks.
+  [[nodiscard]] static MachineSpec dgx_pcie(int n) {
+    MachineSpec s;
+    s.num_devices = n;
+    s.link.bw_gbps = 12.0;
+    s.topology = topo::make_pcie_tree(n);
+    return s;
+  }
+
+  /// `nodes` NVSwitch nodes of `gpus_per_node` GPUs joined by a NIC-per-node
+  /// network: intra-node routes behave like hgx_a100, inter-node routes
+  /// share NIC injection and network links and carry their hop latencies.
+  [[nodiscard]] static MachineSpec multi_node(int nodes, int gpus_per_node) {
+    MachineSpec s;
+    s.num_devices = nodes * gpus_per_node;
+    s.topology = topo::make_multi_node(nodes, gpus_per_node);
+    return s;
+  }
 };
+
+/// The interconnect graph a Machine built from `s` runs on: the explicit
+/// topology when one is set, otherwise the flat LinkSpec as a crossbar.
+[[nodiscard]] inline topo::Topology resolve_topology(const MachineSpec& s) {
+  return s.topology.empty()
+             ? topo::make_crossbar(s.num_devices, s.link.bw_gbps,
+                                   s.link.host_staging_bw_gbps)
+             : s.topology;
+}
 
 }  // namespace vgpu

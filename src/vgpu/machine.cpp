@@ -17,6 +17,14 @@ Machine::Machine(MachineSpec spec) : spec_(spec) {
   if (spec_.num_devices <= 0) {
     throw std::invalid_argument("MachineSpec.num_devices must be positive");
   }
+  topology_ = resolve_topology(spec_);
+  if (topology_.num_devices() != spec_.num_devices) {
+    throw std::invalid_argument(
+        "MachineSpec.topology has " + std::to_string(topology_.num_devices()) +
+        " devices, spec says " + std::to_string(spec_.num_devices));
+  }
+  router_ = std::make_unique<topo::Router>(topology_);
+  ledger_ = std::make_unique<topo::LinkLedger>(engine_, topology_);
   devices_.reserve(static_cast<std::size_t>(spec_.num_devices));
   for (int i = 0; i < spec_.num_devices; ++i) {
     devices_.push_back(std::make_unique<Device>(*this, i, spec_.device_spec(i)));
@@ -94,17 +102,44 @@ sim::Task Machine::transfer(int src, int dst, double bytes, TransferKind kind,
   const sim::Nanos issue = kind == TransferKind::kDeviceInitiated
                                ? spec_.link.device_put_issue
                                : 0;
-  // Serialize transfers sharing the directed link: the wire slot begins when
-  // the link is free, not when we asked.
-  sim::Nanos& busy_until = link_busy_until_[{src, dst}];
-  const sim::Nanos wire_start = std::max(t0 + issue, busy_until);
-  const sim::Nanos wire_time = spec_.link.wire_time(bytes);
-  busy_until = wire_start + wire_time;
-  const sim::Nanos done_at = wire_start + wire_time + latency;
-  co_await engine_.delay(done_at - t0);
+  const topo::Route& route = router_->route(src, dst);
+  if (!route.contended) {
+    // Uncontended route: the wire slot is computed in closed form (FIFO per
+    // exclusive link) and the whole transfer is one sleep — the exact event
+    // pattern of the flat model.
+    const sim::Nanos wire_end =
+        ledger_->reserve_exclusive(route, bytes, t0 + issue, name);
+    co_await engine_.delay(wire_end + latency + route.extra_latency - t0);
+  } else {
+    // Contended route: occupy the wire under progressive filling, then add
+    // the delivery latency.
+    co_await ledger_->wire_shared(route, bytes, issue, name);
+    co_await engine_.delay(latency + route.extra_latency);
+  }
   if (obs_sink != nullptr) obs_sink->on_put_deliver(op_id, wire);
   if (deliver) deliver();
   trace().record(cat, src, lane, t0, engine_.now(), std::string(name));
+}
+
+sim::Task Machine::staging_transfer(int device, double bytes, bool to_host,
+                                    std::string_view name) {
+  const topo::Route* route = router_->staging_route(device, to_host);
+  if (route == nullptr) {
+    // No host bridge in the graph: charge the flat staging formula.
+    co_await engine_.delay(spec_.link.host_staging_latency +
+                           spec_.link.staging_time(bytes));
+    co_return;
+  }
+  if (!route->contended) {
+    const sim::Nanos wire_end =
+        ledger_->reserve_exclusive(*route, bytes, engine_.now(), name);
+    co_await engine_.delay(wire_end + spec_.link.host_staging_latency +
+                           route->extra_latency - engine_.now());
+  } else {
+    co_await ledger_->wire_shared(*route, bytes, /*issue_delay=*/0, name);
+    co_await engine_.delay(spec_.link.host_staging_latency +
+                           route->extra_latency);
+  }
 }
 
 sim::Task Machine::host_barrier() {

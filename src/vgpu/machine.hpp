@@ -23,6 +23,9 @@
 #include "sim/observe.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "topo/ledger.hpp"
+#include "topo/router.hpp"
+#include "topo/topology.hpp"
 #include "vgpu/costmodel.hpp"
 #include "vgpu/stream.hpp"
 
@@ -146,6 +149,21 @@ class Machine {
                      sim::Cat cat = sim::Cat::kComm,
                      sim::TransferObs obs = {});
 
+  /// One direction of the host-staging path for `device` (e.g. the pack /
+  /// unpack copies of a non-contiguous MPI datatype): charges the staging
+  /// wire over the topology's route to the nearest host bridge plus
+  /// LinkSpec::host_staging_latency. On topologies without a staging route
+  /// the flat staging formula is charged as a pure delay. Emits no trace
+  /// record — callers account it inside their own intervals.
+  sim::Task staging_transfer(int device, double bytes, bool to_host,
+                             std::string_view name);
+
+  /// The interconnect graph and its fixed routes.
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] const topo::Router& router() const noexcept { return *router_; }
+
   /// Host-side barrier across the per-device host threads (OpenMP/MPI style);
   /// charges HostApiCosts::host_barrier after the rendezvous.
   sim::Task host_barrier();
@@ -166,7 +184,9 @@ class Machine {
   std::vector<std::unique_ptr<Device>> devices_;
   std::deque<MemBlock> blocks_;
   std::vector<std::vector<bool>> peer_;
-  std::map<std::pair<int, int>, sim::Nanos> link_busy_until_;
+  topo::Topology topology_;
+  std::unique_ptr<topo::Router> router_;
+  std::unique_ptr<topo::LinkLedger> ledger_;
   std::unique_ptr<sim::Barrier> host_barrier_;
   std::uint64_t obs_op_seq_ = 0;  // transfer op ids for issue/deliver pairing
 };

@@ -1,5 +1,7 @@
 #include "vshmem/world.hpp"
 
+#include "sim/intmath.hpp"
+
 namespace vshmem {
 
 World::World(vgpu::Machine& machine)
@@ -113,11 +115,15 @@ sim::Task World::fence(vgpu::KernelCtx& ctx) {
 
 namespace {
 /// Device-side dissemination barrier cost: ceil(log2 n) exchange rounds.
-sim::Nanos barrier_cost(const vgpu::MachineSpec& spec, int n) {
-  int rounds = 0;
-  for (int span = 1; span < n; span *= 2) ++rounds;
-  return rounds * (spec.link.device_initiated_latency +
-                   spec.link.small_op_overhead);
+/// Each round is charged the worst route's hop latency on top of the
+/// device-initiated latency — on flat single-node topologies that extra is
+/// zero and the historical cost reproduces exactly; on multi-node machines
+/// the barrier pays for its longest-haul notification every round.
+sim::Nanos barrier_cost(const vgpu::Machine& machine, int n) {
+  const vgpu::MachineSpec& spec = machine.spec();
+  return sim::ceil_log2(n) * (spec.link.device_initiated_latency +
+                              spec.link.small_op_overhead +
+                              machine.router().max_extra_latency());
 }
 }  // namespace
 
@@ -140,7 +146,7 @@ sim::Task World::sync_all(vgpu::KernelCtx& ctx) {
   }
   co_await barrier_->arrive_and_wait();
   if (o != nullptr) o->on_barrier_resume(ctx.obs_actor(), barrier_.get());
-  co_await machine_->engine().delay(barrier_cost(machine_->spec(), n_pes_));
+  co_await machine_->engine().delay(barrier_cost(*machine_, n_pes_));
   machine_->trace().record(sim::Cat::kSync, ctx.device_id(), ctx.lane(), t0,
                            machine_->engine().now(), "sync_all");
 }

@@ -1,0 +1,187 @@
+// Edge-case locks for the transfer cost model.
+//
+// These tests pin the exact integer nanosecond costs of the corners of the
+// byte-movement path — zero-byte transfers, 1-byte rounding, strided iput
+// efficiency, FIFO link serialization, and the host-staged (PCIe) path — so
+// the route-based topology re-expression of the flat LinkSpec can be
+// verified bit-for-bit against the values the flat model charged.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "hostmpi/comm.hpp"
+#include "vgpu/kernel.hpp"
+#include "vgpu/machine.hpp"
+#include "vshmem/world.hpp"
+
+namespace {
+
+using sim::Nanos;
+using sim::Task;
+using vgpu::KernelCtx;
+using vgpu::LaunchConfig;
+using vgpu::Machine;
+using vgpu::MachineSpec;
+using vgpu::TransferKind;
+using vshmem::Sym;
+using vshmem::World;
+
+// HGX defaults used below: link 250 GB/s, device-initiated latency 1100 ns,
+// device put issue 900 ns, host-initiated latency 2200 ns, staging 12 GB/s
+// with 10000 ns latency, vector_per_block_overhead 2000 ns, DRAM
+// 1555 GB/s * 0.85 efficiency.
+
+Task timed_transfer(Machine& m, int src, int dst, double bytes,
+                    TransferKind kind, Nanos& done_at) {
+  co_await m.transfer(src, dst, bytes, kind, 0, "t");
+  done_at = m.engine().now();
+}
+
+TEST(TransferRounding, CeilAndMinimumOneNs) {
+  EXPECT_EQ(vgpu::transfer_ns(0.0, 250.0), 0);
+  EXPECT_EQ(vgpu::transfer_ns(-8.0, 250.0), 0);
+  EXPECT_EQ(vgpu::transfer_ns(1.0, 250.0), 1);    // sub-ns rounds up, not down
+  EXPECT_EQ(vgpu::transfer_ns(0.5, 250.0), 1);
+  EXPECT_EQ(vgpu::transfer_ns(250.0, 250.0), 1);
+  EXPECT_EQ(vgpu::transfer_ns(251.0, 250.0), 2);
+  EXPECT_EQ(vgpu::transfer_ns(250000.0, 250.0), 1000);
+}
+
+TEST(TransferEdges, ZeroByteDeviceInitiatedChargesIssuePlusLatency) {
+  Machine m(MachineSpec::hgx_a100(2));
+  m.enable_all_peer_access();
+  Nanos done = -1;
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 0.0, TransferKind::kDeviceInitiated, done));
+  m.engine().run();
+  EXPECT_EQ(done, 900 + 0 + 1100);  // issue + no wire time + latency
+}
+
+TEST(TransferEdges, ZeroByteHostInitiatedChargesLatencyOnly) {
+  Machine m(MachineSpec::hgx_a100(2));
+  m.enable_all_peer_access();
+  Nanos done = -1;
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 0.0, TransferKind::kHostInitiated, done));
+  m.engine().run();
+  EXPECT_EQ(done, 2200);
+}
+
+TEST(TransferEdges, OneByteChargesAtLeastOneWireNs) {
+  Machine m(MachineSpec::hgx_a100(2));
+  m.enable_all_peer_access();
+  Nanos done = -1;
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 1.0, TransferKind::kDeviceInitiated, done));
+  m.engine().run();
+  EXPECT_EQ(done, 900 + 1 + 1100);
+}
+
+TEST(TransferEdges, BulkTransferExactWireTime) {
+  Machine m(MachineSpec::hgx_a100(2));
+  m.enable_all_peer_access();
+  Nanos done = -1;
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 250000.0, TransferKind::kDeviceInitiated, done));
+  m.engine().run();
+  EXPECT_EQ(done, 900 + 1000 + 1100);
+}
+
+TEST(TransferEdges, SameDirectedLinkSerializesFifo) {
+  // Two concurrent host-initiated transfers over the same directed pair:
+  // the second's wire slot starts when the first's ends; latency overlaps.
+  Machine m(MachineSpec::hgx_a100(2));
+  m.enable_all_peer_access();
+  Nanos first = -1;
+  Nanos second = -1;
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 250000.0, TransferKind::kHostInitiated, first));
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 250000.0, TransferKind::kHostInitiated, second));
+  m.engine().run();
+  EXPECT_EQ(first, 1000 + 2200);
+  EXPECT_EQ(second, 1000 + 1000 + 2200);
+}
+
+TEST(TransferEdges, OppositeDirectionsDoNotSerialize) {
+  Machine m(MachineSpec::hgx_a100(2));
+  m.enable_all_peer_access();
+  Nanos fwd = -1;
+  Nanos rev = -1;
+  m.engine().spawn(
+      timed_transfer(m, 0, 1, 250000.0, TransferKind::kHostInitiated, fwd));
+  m.engine().spawn(
+      timed_transfer(m, 1, 0, 250000.0, TransferKind::kHostInitiated, rev));
+  m.engine().run();
+  EXPECT_EQ(fwd, 1000 + 2200);
+  EXPECT_EQ(rev, 1000 + 2200);
+}
+
+TEST(TransferEdges, IputChargesStridedEfficiencyFraction) {
+  // Round-number machine: link 1 GB/s, issue 10 ns, latency 50 ns,
+  // strided efficiency 1/4 -> 100 doubles stretch to 4x their wire time.
+  MachineSpec s;
+  s.num_devices = 2;
+  s.host = vgpu::HostApiCosts::zero();
+  s.link.bw_gbps = 1.0;
+  s.link.device_initiated_latency = 50;
+  s.link.device_put_issue = 10;
+  s.link.strided_efficiency = 0.25;
+  Machine m(s);
+  World w(m);
+  Sym<double> arr = w.alloc<double>(1024, "arr");
+  Nanos dur = -1;
+  std::vector<vgpu::BlockGroup> groups;
+  groups.push_back(vgpu::BlockGroup{
+      "iput", 1, [&](KernelCtx& ctx) -> Task {
+        const Nanos t0 = ctx.now();
+        co_await w.iput(ctx, arr, 0, 2, 0, 2, 100, 1);
+        dur = ctx.now() - t0;
+      }});
+  m.engine().spawn(
+      vgpu::run_kernel(m, m.device(0), 0, LaunchConfig{}, std::move(groups)));
+  m.engine().run();
+  // 100 * 8 bytes at 1 GB/s / 0.25 = 3200 ns on the wire.
+  EXPECT_EQ(dur, 10 + 3200 + 50);
+}
+
+TEST(HostStagedPath, StagingTimeRounding) {
+  vgpu::LinkSpec link;  // defaults: 12 GB/s staging
+  EXPECT_EQ(link.staging_time(0.0), 0);
+  EXPECT_EQ(link.staging_time(1.0), 1);  // minimum 1 ns, like wire_time
+  EXPECT_EQ(link.staging_time(120000.0), 10000);
+}
+
+TEST(HostStagedPath, StridedSendExactEndToEndCost) {
+  // A non-contiguous MPI send staged through host memory, zero host-API
+  // costs: every remaining nanosecond is the staged path itself.
+  Machine m(MachineSpec::hgx_a100(2));
+  MachineSpec s = m.spec();
+  s.host = vgpu::HostApiCosts::zero();
+  Machine m2(s);
+  hostmpi::Comm comm(m2);
+  const hostmpi::Datatype dt = hostmpi::Datatype::vector(1024, 1, 4096, 8);
+  Nanos recv_done = -1;
+  m2.run_host_threads([&](int dev) -> sim::Task {
+    vgpu::HostCtx h(m2, dev);
+    if (dev == 0) {
+      std::function<void()> none;
+      CO_AWAIT(comm.send(h, 1, 0, 1, dt, std::move(none)));
+    } else {
+      co_await comm.recv(h, 0, 0);
+      recv_done = m2.engine().now();
+    }
+  });
+  // bytes = 1024 blocks * 1 elem * 8 B = 8192.
+  // pack overhead: 1024 * 2000 ns                      = 2048000
+  // pack DRAM (2 * 8192 B at 1555 * 0.85 GB/s)         =      13
+  // stage down: 10000 + ceil(8192 / 12)                =   10683
+  // wire: ceil(8192 / 250) + 2200 (host-initiated)     =    2233
+  // stage up:                                          =   10683
+  // unpack DRAM:                                       =      13
+  EXPECT_EQ(recv_done, 2048000 + 13 + 10683 + 2233 + 10683 + 13);
+}
+
+}  // namespace
