@@ -25,6 +25,11 @@ using stencil::StencilConfig;
 using stencil::TbPolicy;
 using stencil::Variant;
 
+// The arm table below is captureless function pointers; the fault plane
+// selected on the command line is routed through this file-scope config,
+// set once in main() before any run.
+fault::Config g_faults;
+
 sweep::RunResult run3d(TbPolicy policy, vshmem::Scope scope, int gpus,
                        sim::Observer* obs = nullptr) {
   stencil::Jacobi3D p;
@@ -37,7 +42,8 @@ sweep::RunResult run3d(TbPolicy policy, vshmem::Scope scope, int gpus,
   cfg.tb_policy = policy;
   cfg.comm_scope = scope;
   cfg.observer = obs;
-  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  spec.faults = g_faults;
   const auto out = stencil::run_jacobi3d(Variant::kCpuFree, spec, p, cfg);
   sweep::RunResult res;
   res.spec = spec;
@@ -53,7 +59,8 @@ sweep::RunResult run_stencil2d(Variant v, int gpus) {
   StencilConfig cfg;
   cfg.iterations = 50;
   cfg.functional = false;
-  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  spec.faults = g_faults;
   const auto out = stencil::run_jacobi2d(v, spec, p, cfg);
   sweep::RunResult res;
   res.spec = spec;
@@ -67,7 +74,8 @@ sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus,
   auto prog = dacelite::make_jacobi2d(obs != nullptr ? 128 : 2048, gpus,
                                       obs != nullptr ? 8 : 50);
   dacelite::to_cpu_free(prog.sdfg);
-  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(gpus);
+  spec.faults = g_faults;
   vgpu::Machine m(spec);
   m.engine().set_observer(obs);
   vshmem::World w(m);
@@ -88,6 +96,7 @@ sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus,
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
+  g_faults = args.faults;
   if (args.topo) {
     bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
     return 0;
@@ -119,6 +128,7 @@ int main(int argc, char** argv) {
   }
   bench::print_header("Ablations", "design choices called out in the paper");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
   const std::vector<int> gpus = {2, 4, 8};
 
   // Every arm perturbs one knob of the same CPU-Free composition (the

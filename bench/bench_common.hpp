@@ -19,6 +19,7 @@
 
 #include "check/detector.hpp"
 #include "exec/policy.hpp"
+#include "fault/schedule.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -161,6 +162,50 @@ inline void print_speedups(std::string_view caption,
   std::printf("\n");
 }
 
+/// Parses the --faults payload "seed=S,rate=R[,resilience=none|retry|
+/// retry+degrade]" into a fault::Config. Exits with a usage message on
+/// malformed input (bench flags fail fast, they never guess).
+inline fault::Config parse_faults(std::string_view s) {
+  fault::Config cfg;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string_view::npos) end = s.size();
+    const std::string_view kv = s.substr(pos, end - pos);
+    const std::size_t eq = kv.find('=');
+    const std::string_view key = kv.substr(0, eq);
+    const std::string value(eq == std::string_view::npos ? std::string_view()
+                                                         : kv.substr(eq + 1));
+    bool ok = eq != std::string_view::npos && !value.empty();
+    if (ok && key == "seed") {
+      cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ok && key == "rate") {
+      cfg.rate = std::strtod(value.c_str(), nullptr);
+    } else if (ok && key == "resilience") {
+      if (value == "none" || value == "no-retry") {
+        cfg.resilience = fault::Resilience::kNone;
+      } else if (value == "retry") {
+        cfg.resilience = fault::Resilience::kRetry;
+      } else if (value == "retry+degrade" || value == "degrade") {
+        cfg.resilience = fault::Resilience::kRetryDegrade;
+      } else {
+        ok = false;
+      }
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "--faults: expected seed=S,rate=R[,resilience=none|retry|"
+                   "retry+degrade], got \"%.*s\"\n",
+                   static_cast<int>(s.size()), s.data());
+      std::exit(2);
+    }
+    pos = end + 1;
+  }
+  return cfg;
+}
+
 /// Parses "--repeats N" / "--threads N" / "--trace" style flags trivially.
 struct Args {
   int repeats = 1;
@@ -177,6 +222,9 @@ struct Args {
   std::string trace_path = "trace.json";
   std::string out_json;  // --out PATH; default BENCH_<name>.json
   std::string out_csv;   // --csv PATH; no CSV when empty
+  /// --faults seed=S,rate=R[,resilience=...]: the fault plane every swept
+  /// machine runs under. Default (rate 0) is structurally inert.
+  fault::Config faults;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -192,6 +240,8 @@ struct Args {
         a.check = true;
       } else if (s == "--topo") {
         a.topo = true;
+      } else if (s == "--faults" && i + 1 < argc) {
+        a.faults = parse_faults(argv[++i]);
       } else if (s == "--out" && i + 1 < argc) {
         a.out_json = argv[++i];
       } else if (s == "--csv" && i + 1 < argc) {
@@ -211,7 +261,26 @@ struct Args {
     o.progress = progress;
     return o;
   }
+
+  /// Applies the --faults configuration to a machine spec (identity when the
+  /// flag was absent). Drivers route every spec they sweep through this.
+  [[nodiscard]] vgpu::MachineSpec with_faults(vgpu::MachineSpec spec) const {
+    spec.faults = faults;
+    return spec;
+  }
 };
+
+/// One line stating the fault plane a sweep runs under (printed only when
+/// --faults enabled it, so faultless reports are unchanged).
+inline void print_faults(const fault::Config& cfg) {
+  if (!cfg.enabled()) return;
+  std::printf(
+      "fault plane: seed=%llu rate=%g resilience=%s (retries %d, watchdog "
+      "%.0f us + %.0f us/attempt)\n\n",
+      static_cast<unsigned long long>(cfg.seed), cfg.rate,
+      fault::name(cfg.resilience), cfg.retry.max_retries,
+      sim::to_usec(cfg.retry.timeout), sim::to_usec(cfg.retry.backoff));
+}
 
 /// One workload validated under --check. `run` must attach the observer to
 /// the engine it builds (e.g. via StencilConfig/CgConfig::observer, or

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
                         Variant::kCpuFree}) {
         cases.push_back({std::string(stencil::variant_name(v)) +
                              (compute ? "/compute" : "/no_compute"),
-                         [v, compute](sim::Observer* obs) {
+                         [v, compute, &args](sim::Observer* obs) {
                            StencilConfig cfg;
                            cfg.iterations = 8;
                            cfg.compute_enabled = compute;
@@ -78,7 +78,8 @@ int main(int argc, char** argv) {
                            cfg.persistent_blocks = 12;
                            cfg.observer = obs;
                            (void)stencil::run_jacobi2d(
-                               v, vgpu::MachineSpec::hgx_a100(2),
+                               v,
+                               args.with_faults(vgpu::MachineSpec::hgx_a100(2)),
                                weak_scaled(64, 2), cfg);
                          }});
       }
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 2.2",
                       "communication overheads and overlap, small 2D domain");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
 
   const std::vector<int> gpus = {2, 4, 8};
   constexpr int kIters = 200;
@@ -112,12 +114,13 @@ int main(int argc, char** argv) {
     for (int g : gpus) {
       ex.add(std::string("a/") + std::string(stencil::variant_name(v)) +
                  "/gpus=" + std::to_string(g),
-             params("a", v, g), [v, g, repeats = args.repeats] {
+             params("a", v, g), [v, g, repeats = args.repeats, &args] {
                StencilConfig cfg;
                cfg.iterations = kIters;
                cfg.functional = false;
                cfg.compute_enabled = false;
-               const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+               const vgpu::MachineSpec spec =
+                   args.with_faults(vgpu::MachineSpec::hgx_a100(g));
                sweep::RunResult res;
                res.spec = spec;
                sim::RunStats stats;
@@ -140,11 +143,12 @@ int main(int argc, char** argv) {
     for (int g : gpus) {
       ex.add(std::string("b/") + std::string(stencil::variant_name(v)) +
                  "/gpus=" + std::to_string(g),
-             params("b", v, g), [v, g] {
+             params("b", v, g), [v, g, &args] {
                StencilConfig cfg;
                cfg.iterations = kIters;
                cfg.functional = false;
-               const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+               const vgpu::MachineSpec spec =
+                   args.with_faults(vgpu::MachineSpec::hgx_a100(g));
                const auto out =
                    stencil::run_jacobi2d(v, spec, weak_scaled(1024, g), cfg);
                sweep::RunResult res;
@@ -209,7 +213,7 @@ int main(int argc, char** argv) {
     StencilConfig cfg;
     cfg.iterations = 5;
     cfg.functional = false;
-    vgpu::Machine machine(vgpu::MachineSpec::hgx_a100(4));
+    vgpu::Machine machine(args.with_faults(vgpu::MachineSpec::hgx_a100(4)));
     vshmem::World world(machine);
     stencil::SlabStencil<Jacobi2D> s(world, weak_scaled(256, 4), cfg);
     stencil::run_variant(s, Variant::kBaselineOverlap);

@@ -69,19 +69,21 @@ int main(int argc, char** argv) {
     variants.push_back(Variant::kCpuFreeTwoKernels);
     for (Variant v : variants) {
       cases.push_back({std::string(stencil::variant_name(v)),
-                       [v](sim::Observer* obs) {
+                       [v, &args](sim::Observer* obs) {
                          StencilConfig cfg;
                          cfg.iterations = 8;
                          cfg.persistent_blocks = 12;
                          cfg.observer = obs;
-                         (void)stencil::run_jacobi2d(v, vgpu::MachineSpec::hgx_a100(2),
-                                               weak_scaled(64, 2), cfg);
+                         (void)stencil::run_jacobi2d(
+                             v, args.with_faults(vgpu::MachineSpec::hgx_a100(2)),
+                             weak_scaled(64, 2), cfg);
                        }});
     }
     return bench::run_check(cases);
   }
   bench::print_header("Figure 6.1", "2D Jacobi weak scaling, 6 variants");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
 
   const std::vector<int> gpus = {1, 2, 4, 8};
 
@@ -103,11 +105,12 @@ int main(int argc, char** argv) {
                {{"domain", dc.key},
                 {"variant", std::string(stencil::variant_name(v))},
                 {"gpus", std::to_string(g)}},
-               [dc, v, g, repeats = args.repeats] {
+               [dc, v, g, repeats = args.repeats, &args] {
                  StencilConfig cfg;
                  cfg.iterations = dc.iters;
                  cfg.functional = false;
-                 const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+                 const vgpu::MachineSpec spec =
+                     args.with_faults(vgpu::MachineSpec::hgx_a100(g));
                  sweep::RunResult res;
                  res.spec = spec;
                  sim::RunStats stats;

@@ -82,19 +82,21 @@ int main(int argc, char** argv) {
     std::vector<bench::CheckCase> cases;
     for (Variant v : kVariants) {
       cases.push_back({std::string(stencil::variant_name(v)),
-                       [v](sim::Observer* obs) {
+                       [v, &args](sim::Observer* obs) {
                          StencilConfig cfg;
                          cfg.iterations = 6;
                          cfg.persistent_blocks = 12;
                          cfg.observer = obs;
-                         (void)stencil::run_jacobi3d(v, vgpu::MachineSpec::hgx_a100(2),
-                                               weak_scaled(16, 2), cfg);
+                         (void)stencil::run_jacobi3d(
+                             v, args.with_faults(vgpu::MachineSpec::hgx_a100(2)),
+                             weak_scaled(16, 2), cfg);
                        }});
     }
     return bench::run_check(cases);
   }
   bench::print_header("Figure 6.2", "3D Jacobi weak/strong scaling");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
 
   const std::vector<int> gpus = {1, 2, 4, 8};
 
@@ -116,12 +118,13 @@ int main(int argc, char** argv) {
                {{"part", part.key},
                 {"variant", std::string(stencil::variant_name(v))},
                 {"gpus", std::to_string(g)}},
-               [part, v, g] {
+               [part, v, g, &args] {
                  StencilConfig cfg;
                  cfg.iterations = part.iters;
                  cfg.functional = false;
                  cfg.compute_enabled = part.compute;
-                 const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(g);
+                 const vgpu::MachineSpec spec =
+                     args.with_faults(vgpu::MachineSpec::hgx_a100(g));
                  const auto out =
                      stencil::run_jacobi3d(v, spec, domain_for(part, g), cfg);
                  sweep::RunResult res;

@@ -20,9 +20,11 @@
 namespace {
 
 sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
+                        const fault::Config& faults,
                         sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi1d(n, ranks, iters);
-  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
+  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
+  spec.faults = faults;
   vgpu::Machine m(spec);
   m.engine().set_observer(obs);
   vshmem::World w(m);
@@ -49,9 +51,11 @@ sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
 }
 
 sweep::RunResult run_2d(bool cpufree, std::size_t gx, std::size_t gy,
-                        int ranks, int iters, sim::Observer* obs = nullptr) {
+                        int ranks, int iters, const fault::Config& faults,
+                        sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
-  const vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
+  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
+  spec.faults = faults;
   vgpu::Machine m(spec);
   m.engine().set_observer(obs);
   vshmem::World w(m);
@@ -110,19 +114,20 @@ int main(int argc, char** argv) {
   if (args.check) {
     const std::vector<bench::CheckCase> cases = {
         {"jacobi1d/baseline_mpi",
-         [](sim::Observer* o) { run_1d(false, 4096, 2, 8, o); }},
+         [&args](sim::Observer* o) { run_1d(false, 4096, 2, 8, args.faults, o); }},
         {"jacobi1d/cpu_free_nvshmem",
-         [](sim::Observer* o) { run_1d(true, 4096, 2, 8, o); }},
+         [&args](sim::Observer* o) { run_1d(true, 4096, 2, 8, args.faults, o); }},
         {"jacobi2d/baseline_mpi",
-         [](sim::Observer* o) { run_2d(false, 64, 128, 2, 8, o); }},
+         [&args](sim::Observer* o) { run_2d(false, 64, 128, 2, 8, args.faults, o); }},
         {"jacobi2d/cpu_free_nvshmem",
-         [](sim::Observer* o) { run_2d(true, 64, 128, 2, 8, o); }},
+         [&args](sim::Observer* o) { run_2d(true, 64, 128, 2, 8, args.faults, o); }},
     };
     return bench::run_check(cases);
   }
   bench::print_header("Figure 6.3",
                       "DaCe-generated: discrete MPI vs CPU-Free (NVSHMEM)");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
 
   const std::vector<int> gpus = {1, 2, 4, 8};
   constexpr int kIters = 100;
@@ -150,12 +155,13 @@ int main(int argc, char** argv) {
                {{"system", system},
                 {"impl", impl_name[impl]},
                 {"gpus", std::to_string(g)}},
-               [is_1d, cpufree, g] {
+               [is_1d, cpufree, g, &args] {
                  if (is_1d) {
-                   return run_1d(cpufree, weak_1d(1u << 20, g), g, kIters);
+                   return run_1d(cpufree, weak_1d(1u << 20, g), g, kIters,
+                                 args.faults);
                  }
                  const auto [gx, gy] = weak_2d(2048, g);
-                 return run_2d(cpufree, gx, gy, g, kIters);
+                 return run_2d(cpufree, gx, gy, g, kIters, args.faults);
                });
       }
     }

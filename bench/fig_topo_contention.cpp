@@ -67,7 +67,11 @@ constexpr int kSweepIters = 30;
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
-  const std::vector<TopoClass> topos = topo_classes();
+  std::vector<TopoClass> topos = topo_classes();
+  for (TopoClass& tc : topos) {
+    tc.sweep_spec = args.with_faults(tc.sweep_spec);
+    tc.check_spec = args.with_faults(tc.check_spec);
+  }
   const std::vector<Variant> variants = all_variants();
 
   if (args.topo) {
@@ -103,6 +107,7 @@ int main(int argc, char** argv) {
   bench::print_header("Topology contention",
                       "2D Jacobi, 7 variants x 3 interconnects, 8 GPUs");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
   {
     std::vector<bench::PolicyRow> policies;
     for (Variant v : variants) {

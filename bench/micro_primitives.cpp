@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
          {stencil::Variant::kCpuFree, stencil::Variant::kBaselineCopy}) {
       cases.push_back({std::string("full_stencil_run/") +
                            std::string(stencil::variant_name(v)),
-                       [v](sim::Observer* o) {
+                       [v, &args](sim::Observer* o) {
                          stencil::Jacobi2D p;
                          p.nx = 128;
                          p.ny = 128;
@@ -89,7 +89,9 @@ int main(int argc, char** argv) {
                          cfg.persistent_blocks = 12;
                          cfg.observer = o;
                          (void)stencil::run_jacobi2d(
-                             v, vgpu::MachineSpec::hgx_a100(4), p, cfg);
+                             v,
+                             args.with_faults(vgpu::MachineSpec::hgx_a100(4)),
+                             p, cfg);
                        }});
     }
     return bench::run_check(cases);
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
   bench::print_policies(
       {{stencil::variant_name(stencil::Variant::kCpuFree),
         stencil::plan_for(stencil::Variant::kCpuFree)}});
+  bench::print_faults(args.faults);
   const int repeats = args.repeats > 1 ? args.repeats : 3;
 
   sweep::Executor ex(args.sweep_options());
@@ -130,10 +133,12 @@ int main(int argc, char** argv) {
          });
 
   ex.add("stream_ops/n=4096", {{"workload", "stream_ops"}, {"n", "4096"}},
-         [repeats] {
+         [repeats, &args] {
            constexpr int n = 4096;
-           return measure(repeats, n, vgpu::MachineSpec::hgx_a100(1), [] {
-             vgpu::Machine m(vgpu::MachineSpec::hgx_a100(1));
+           const vgpu::MachineSpec spec =
+               args.with_faults(vgpu::MachineSpec::hgx_a100(1));
+           return measure(repeats, n, spec, [&spec] {
+             vgpu::Machine m(spec);
              vgpu::Stream& s = m.device(0).create_stream();
              for (int i = 0; i < n; ++i) {
                s.enqueue([&m]() -> sim::Task { co_await m.engine().delay(100); });
@@ -144,9 +149,12 @@ int main(int argc, char** argv) {
          });
 
   ex.add("transfer_accounting/n=1000",
-         {{"workload", "transfer_accounting"}, {"n", "1000"}}, [repeats] {
-           return measure(repeats, 1000, vgpu::MachineSpec::hgx_a100(2), [] {
-             vgpu::Machine m(vgpu::MachineSpec::hgx_a100(2));
+         {{"workload", "transfer_accounting"}, {"n", "1000"}},
+         [repeats, &args] {
+           const vgpu::MachineSpec spec =
+               args.with_faults(vgpu::MachineSpec::hgx_a100(2));
+           return measure(repeats, 1000, spec, [&spec] {
+             vgpu::Machine m(spec);
              m.enable_all_peer_access();
              m.engine().spawn([](vgpu::Machine& mm) -> sim::Task {
                for (int i = 0; i < 1000; ++i) {
@@ -161,8 +169,11 @@ int main(int argc, char** argv) {
          });
 
   ex.add("full_stencil_run/256x256x4gpus",
-         {{"workload", "full_stencil_run"}, {"gpus", "4"}}, [repeats] {
-           return measure(repeats, 1, vgpu::MachineSpec::hgx_a100(4), [] {
+         {{"workload", "full_stencil_run"}, {"gpus", "4"}},
+         [repeats, &args] {
+           const vgpu::MachineSpec spec =
+               args.with_faults(vgpu::MachineSpec::hgx_a100(4));
+           return measure(repeats, 1, spec, [&spec] {
              stencil::Jacobi2D p;
              p.nx = 256;
              p.ny = 256;
@@ -170,8 +181,7 @@ int main(int argc, char** argv) {
              cfg.iterations = 50;
              cfg.functional = false;
              const auto out = stencil::run_jacobi2d(
-                 stencil::Variant::kCpuFree, vgpu::MachineSpec::hgx_a100(4), p,
-                 cfg);
+                 stencil::Variant::kCpuFree, spec, p, cfg);
              return out.result.metrics.total;
            });
          });

@@ -89,9 +89,9 @@ int main(int argc, char** argv) {
       for (Variant v : kSmallVariants) {
         cases.push_back({std::string(stencil::variant_name(v)) +
                              (perturbed ? "/half_link_bw" : "/default"),
-                         [v, perturbed](sim::Observer* o) {
-                           vgpu::MachineSpec spec =
-                               vgpu::MachineSpec::hgx_a100(2);
+                         [v, perturbed, &args](sim::Observer* o) {
+                           vgpu::MachineSpec spec = args.with_faults(
+                               vgpu::MachineSpec::hgx_a100(2));
                            if (perturbed) spec.link.bw_gbps *= 0.5;
                            stencil::Jacobi2D p;
                            p.nx = 128;
@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
   bench::print_header("Sensitivity",
                       "headline claims under cost-model perturbation");
   bench::print_calibration(vgpu::MachineSpec::hgx_a100(8));
+  bench::print_faults(args.faults);
 
   {
     std::vector<bench::PolicyRow> policies;
@@ -152,7 +153,8 @@ int main(int argc, char** argv) {
   sweep::Executor ex(args.sweep_options());
   for (const Knob& k : knobs) {
     for (double f : kScales) {
-      vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(8);
+      vgpu::MachineSpec spec =
+          args.with_faults(vgpu::MachineSpec::hgx_a100(8));
       k.scale(spec, f);
       const std::string point =
           std::string(k.name) + "/x" + std::to_string(f);

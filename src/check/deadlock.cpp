@@ -13,18 +13,6 @@ namespace {
 // remembering every iteration's update.
 constexpr std::size_t kMaxUpdatesKept = 4;
 
-[[nodiscard]] const char* cmp_str(sim::Cmp c) {
-  switch (c) {
-    case sim::Cmp::kEq: return "==";
-    case sim::Cmp::kNe: return "!=";
-    case sim::Cmp::kGt: return ">";
-    case sim::Cmp::kGe: return ">=";
-    case sim::Cmp::kLt: return "<";
-    case sim::Cmp::kLe: return "<=";
-  }
-  return "?";
-}
-
 /// The device a blocked/producing actor runs on. For a wire this is the
 /// SOURCE device: signals delivered over wire s->d were produced by PE s.
 [[nodiscard]] int actor_device(const sim::Actor& a) { return a.a; }
@@ -98,7 +86,7 @@ std::string DeadlockAnalyzer::analyze(std::size_t stuck_tasks) const {
 
   for (const auto& [actor, wait] : waits_) {
     os << "\n  " << actor.str() << " blocked on " << wait.what << ": "
-       << flag_desc(wait.flag) << " " << cmp_str(wait.cmp) << " " << wait.rhs;
+       << flag_desc(wait.flag) << " " << sim::cmp_str(wait.cmp) << " " << wait.rhs;
     auto fit = flags_.find(wait.flag);
     if (fit == flags_.end() || !fit->second.ever_updated) {
       os << "; never updated by anyone (lost/never-sent signal)";

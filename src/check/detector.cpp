@@ -214,6 +214,15 @@ void Detector::on_signal_wait_end(const sim::Actor& actor, const void* flag) {
   deadlock_.wait_end(actor);
 }
 
+void Detector::on_signal_wait_timeout(const sim::Actor& actor,
+                                      const void* /*flag*/,
+                                      std::string_view /*what*/) {
+  // A watchdog expiry withdraws the waiter without the predicate holding:
+  // the actor acquires NO happens-before edge from the flag (no clock join),
+  // it merely stops waiting. Only the open-wait bookkeeping is cleared.
+  deadlock_.wait_end(actor);
+}
+
 // --- transfers ---------------------------------------------------------------
 
 void Detector::on_put_issue(std::uint64_t op_id, const sim::Actor& issuer,

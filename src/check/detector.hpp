@@ -93,6 +93,8 @@ class Detector final : public sim::Observer {
                             sim::Cmp cmp, std::int64_t rhs,
                             std::string_view what) override;
   void on_signal_wait_end(const sim::Actor& actor, const void* flag) override;
+  void on_signal_wait_timeout(const sim::Actor& actor, const void* flag,
+                              std::string_view what) override;
   void on_put_issue(std::uint64_t op_id, const sim::Actor& issuer,
                     const sim::Actor& wire, const sim::MemRange& read,
                     const sim::MemRange& write, bool rejoin,

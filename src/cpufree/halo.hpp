@@ -8,9 +8,14 @@
 // waits until the flag reaches the current iteration.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <utility>
 
+#include "fault/schedule.hpp"
+#include "sim/observe.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "vgpu/kernel.hpp"
@@ -57,6 +62,16 @@ struct HaloPlan1D {
 /// Flags are plain signal indices so any layout works: the stencil's four
 /// HaloFlag slots, CG's `channel*n + peer` reduction flags, or the signal
 /// indices a lowered SDFG assigns (HaloFlag converts implicitly).
+///
+/// With the machine's fault plane active and a fault::Resilience rung
+/// configured, the wait side is watchdog-guarded (DESIGN.md §10): senders
+/// record their progress in the SignalSet's shadow slots before issuing, and
+/// a receiver whose deadline expires probes that record — a lost signal is
+/// re-pulled (bounded retries), a slow sender is given longer deadlines, and
+/// exhausted retries drop the PE onto the degradation ladder. All protocol
+/// state lives in the shared SignalSet/Schedule, so the transient
+/// IterationProtocol instances the exec layer creates per kernel body all
+/// see it.
 class IterationProtocol {
  public:
   IterationProtocol(vshmem::World& world, vshmem::SignalSet& signals)
@@ -70,21 +85,33 @@ class IterationProtocol {
                            std::size_t count, std::size_t flag,
                            std::int64_t iter, int dst_pe,
                            vshmem::Scope scope = vshmem::Scope::kBlock) {
+    note_issue(ctx, dst_pe, flag, iter, static_cast<double>(count * sizeof(T)),
+               make_redeliver(arr, ctx.device_id(), dst_pe, src_off, dst_off,
+                              count));
     co_await world_->putmem_signal_nbi(ctx, arr, src_off, dst_off, count,
                                        *signals_, flag, iter,
                                        vshmem::SignalOp::kSet, dst_pe, scope);
   }
 
   /// Receiver side: wait until `flag` on my PE reaches iteration `iter`.
+  /// Plain signal wait unless the fault plane and a resilience rung are
+  /// active, in which case the watchdog/retry/degrade ladder runs.
   sim::Task wait_iteration(vgpu::KernelCtx& ctx, std::size_t flag,
                            std::int64_t iter) {
-    co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
-                                       iter);
+    const fault::Schedule& faults = world_->machine().faults();
+    if (!faults.enabled() ||
+        faults.config().resilience == fault::Resilience::kNone) {
+      co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
+                                         iter);
+      co_return;
+    }
+    co_await wait_resilient(ctx, flag, iter);
   }
 
   /// Pure signal without payload (ack / flow-control edges).
   sim::Task signal_only(vgpu::KernelCtx& ctx, std::size_t flag,
                         std::int64_t iter, int dst_pe) {
+    note_issue(ctx, dst_pe, flag, iter, 0.0, {});
     co_await world_->signal_op(ctx, *signals_, flag, iter,
                                vshmem::SignalOp::kSet, dst_pe);
   }
@@ -94,6 +121,171 @@ class IterationProtocol {
   }
 
  private:
+  /// Defensive bound on degraded polling: a sender that never issues is a
+  /// real deadlock and should surface through the engine's attributed
+  /// hang report, not an unbounded poll loop.
+  static constexpr int kMaxDegradedPolls = 1 << 14;
+
+  template <typename T>
+  [[nodiscard]] std::function<void()> make_redeliver(vshmem::Sym<T>& arr,
+                                                     int src_pe, int dst_pe,
+                                                     std::size_t src_off,
+                                                     std::size_t dst_off,
+                                                     std::size_t count) {
+    vshmem::World* w = world_;
+    return [w, &arr, src_pe, dst_pe, src_off, dst_off, count] {
+      if (!w->functional()) return;
+      auto src = arr.on(src_pe).subspan(src_off, count);
+      auto dst = arr.on(dst_pe).subspan(dst_off, count);
+      std::copy(src.begin(), src.end(), dst.begin());
+    };
+  }
+
+  /// Records the sender's progress toward (dst_pe, flag) BEFORE the issue,
+  /// so a receiver-side watchdog observing the record can trust that the
+  /// update is (or was) in flight. No-op when recovery can never run.
+  void note_issue(vgpu::KernelCtx& ctx, int dst_pe, std::size_t flag,
+                  std::int64_t iter, double bytes,
+                  std::function<void()> redeliver) {
+    const fault::Schedule& faults = world_->machine().faults();
+    if (!faults.enabled() ||
+        faults.config().resilience == fault::Resilience::kNone) {
+      return;
+    }
+    vshmem::SignalShadow& sh = signals_->shadow(dst_pe, flag);
+    if (sh.progress == 0 && sh.landed == 0) {
+      // First issue toward this flag: values below it (e.g. preset
+      // ready-flags) count as delivered, so the contiguity watermark
+      // starts immediately behind the live protocol.
+      sh.landed = iter - 1;
+    }
+    if (iter >= sh.progress) {
+      sh.progress = iter;
+      sh.src_pe = ctx.device_id();
+      sh.bytes = bytes;
+    }
+    if (redeliver) sh.pending.emplace(iter, std::move(redeliver));
+    // Trim: delivered entries, then a defensive size bound (the protocols
+    // stay within a couple of iterations of their receivers).
+    while (!sh.pending.empty() && sh.pending.begin()->first <= sh.landed) {
+      sh.pending.erase(sh.pending.begin());
+    }
+    while (sh.pending.size() > 8) sh.pending.erase(sh.pending.begin());
+  }
+
+  /// The watchdog/retry/degradation ladder (DESIGN.md §10).
+  sim::Task wait_resilient(vgpu::KernelCtx& ctx, std::size_t flag,
+                           std::int64_t iter) {
+    fault::Schedule& faults = world_->machine().faults();
+    const fault::Config& fc = faults.config();
+    const int me = ctx.device_id();
+    sim::Flag& f = signals_->at(me, flag);
+    if (!faults.degraded(me)) {
+      for (int attempt = 0; attempt <= fc.retry.max_retries; ++attempt) {
+        bool ok = false;
+        co_await ctx.spin_wait_for(f, sim::Cmp::kGe, iter,
+                                   fault::attempt_timeout(fc.retry, attempt),
+                                   "signal_wait", &ok);
+        if (ok) {
+          co_await ensure_landed(ctx, flag, iter);
+          co_return;
+        }
+        ++faults.stats().watchdog_fires;
+        if (signals_->shadow(me, flag).progress >= iter) {
+          // The sender already issued this iteration: the signal (or its
+          // payload) was lost in flight. Re-pull it.
+          co_await recover(ctx, flag);
+          co_return;
+        }
+        // Not issued yet (slow or stalled sender): the next attempt waits
+        // longer (linear backoff), giving the sender time to catch up.
+      }
+      if (fc.resilience != fault::Resilience::kRetryDegrade) {
+        // Retries exhausted with no degradation rung: fall back to the
+        // plain wait so a genuine hang gets the engine's attributed report.
+        co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
+                                           iter);
+        co_await ensure_landed(ctx, flag, iter);
+        co_return;
+      }
+      faults.mark_degraded(me);
+    }
+    // Degraded mode (sticky per PE): host-style polling that probes the
+    // shadow record each period, so even a lost signal converges.
+    ++faults.stats().degraded_iters;
+    const sim::Nanos poll = fc.retry.timeout > 0 ? fc.retry.timeout : 1;
+    for (int polls = 0; f.value() < iter; ++polls) {
+      if (signals_->shadow(me, flag).progress >= iter) {
+        co_await recover(ctx, flag);
+        co_return;
+      }
+      if (polls >= kMaxDegradedPolls) {
+        co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
+                                           iter);
+        break;
+      }
+      co_await ctx.busy(poll, sim::Cat::kSync, "degraded_poll");
+    }
+    // The poll loop can observe the flag raw (no wait hooks ran): acquire the
+    // flag's happens-before state explicitly before releasing the waiter.
+    if (sim::Observer* o = world_->machine().engine().observer()) {
+      o->on_signal_wait_end(ctx.obs_actor(), &f);
+    }
+    co_await ensure_landed(ctx, flag, iter);
+  }
+
+  /// The >= predicate is satisfied — but was it satisfied by the update the
+  /// waiter actually needs? A dropped put whose flag is then superseded by
+  /// the NEXT iteration's signal never trips the watchdog (the wait wakes
+  /// almost on time) yet leaves stale halo data: the silent-supersede hazard
+  /// of monotonic iteration flags. The shadow's contiguity watermark makes
+  /// it visible: issued past `iter` but landed short of it means data for
+  /// this iteration is missing — re-pull it.
+  sim::Task ensure_landed(vgpu::KernelCtx& ctx, std::size_t flag,
+                          std::int64_t iter) {
+    const vshmem::SignalShadow& sh = signals_->shadow(ctx.device_id(), flag);
+    if (sh.progress >= iter && sh.landed < iter) {
+      co_await recover(ctx, flag);
+    }
+  }
+
+  /// Re-pulls the latest shadowed update for (my PE, flag): charges a
+  /// get-shaped round trip, re-runs the functional payload copy, publishes
+  /// the signal update attributed to the delivering wire (the checker
+  /// inherits the sender's epoch — no false race) and advances the flag
+  /// monotonically (a concurrent late delivery must not be rewound).
+  sim::Task recover(vgpu::KernelCtx& ctx, std::size_t flag) {
+    const int me = ctx.device_id();
+    ++world_->machine().faults().stats().retries;
+    vshmem::SignalShadow& sh = signals_->shadow(me, flag);
+    const vgpu::LinkSpec& link = world_->machine().spec().link;
+    sim::Nanos cost =
+        2 * (link.device_initiated_latency + link.small_op_overhead);
+    if (sh.bytes > 0.0) cost += link.wire_time(sh.bytes);
+    co_await ctx.busy(cost, sim::Cat::kComm, "retry_refetch");
+    // Re-read after the round trip: the sender may have advanced meanwhile,
+    // and pulling its freshest state is both correct and cheaper.
+    const std::int64_t value = sh.progress;
+    // Re-run every payload copy that was issued but never landed (the
+    // pending map holds them in iteration order); copies that DID land are
+    // skipped — re-copying them would be redundant but harmless.
+    for (auto it = sh.pending.begin();
+         it != sh.pending.end() && it->first <= value;
+         it = sh.pending.erase(it)) {
+      if (it->first > sh.landed && it->second) it->second();
+    }
+    if (sh.landed < value) sh.landed = value;
+    sim::Flag& f = signals_->at(me, flag);
+    if (sim::Observer* o = world_->machine().engine().observer()) {
+      o->on_signal_update(sim::Actor::wire(sh.src_pe, me), &f, value, "retry");
+      // The recovering waiter consumed that update: acquire the flag's
+      // happens-before state exactly as a completed wait would (the timed-out
+      // wait acquired nothing — see Detector::on_signal_wait_timeout).
+      o->on_signal_wait_end(ctx.obs_actor(), &f);
+    }
+    if (f.value() < value) f.set(value);
+  }
+
   vshmem::World* world_;
   vshmem::SignalSet* signals_;
 };

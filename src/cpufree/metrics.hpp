@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <string>
 
+#include "fault/schedule.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -29,6 +30,13 @@ struct RunMetrics {
   /// "communication overlap ratio" (Fig. 2.2b): time that would not shrink
   /// the run if removed.
   double hidden_comm_ratio = 0.0;
+
+  // Fault-plane counters (fault::Stats, copied per run). All zero — and
+  // absent from the JSON — when the fault plane is inert.
+  std::int64_t faults_injected = 0;  ///< fault events actually injected
+  std::int64_t retries = 0;          ///< recovery re-pulls
+  std::int64_t watchdog_fires = 0;   ///< timed waits that expired
+  std::int64_t degraded_iters = 0;   ///< waits completed in degraded mode
 
   [[nodiscard]] double total_ms() const { return sim::to_msec(total); }
   [[nodiscard]] double per_iteration_us() const {
@@ -69,10 +77,20 @@ struct RunMetrics {
   return m;
 }
 
+/// Copies a run's fault-plane counters into the metrics record.
+inline void apply_fault_stats(RunMetrics& m, const fault::Stats& s) {
+  m.faults_injected = s.injected;
+  m.retries = s.retries;
+  m.watchdog_fires = s.watchdog_fires;
+  m.degraded_iters = s.degraded_iters;
+}
+
 /// Appends `m` as a compact JSON object. This is the `"metrics"` member of
 /// the per-run records in `BENCH_*.json` files: durations as integer
 /// nanoseconds (the simulator's exact representation, so records round-trip
-/// bit-identically), ratios as doubles with full precision.
+/// bit-identically), ratios as doubles with full precision. The fault-plane
+/// counters appear only when at least one is nonzero, so faultless records
+/// stay byte-identical to builds that predate the fault plane.
 inline void append_json(const RunMetrics& m, std::string& out) {
   char buf[640];
   std::snprintf(
@@ -81,13 +99,25 @@ inline void append_json(const RunMetrics& m, std::string& out) {
       "\"compute_ns\":%lld,\"sync_ns\":%lld,\"host_api_ns\":%lld,"
       "\"comm_hidden_ns\":%lld,\"overlap_ratio\":%.17g,"
       "\"comm_fraction\":%.17g,\"noncompute_fraction\":%.17g,"
-      "\"hidden_comm_ratio\":%.17g}",
+      "\"hidden_comm_ratio\":%.17g",
       static_cast<long long>(m.total), static_cast<long long>(m.per_iteration),
       static_cast<long long>(m.comm), static_cast<long long>(m.compute),
       static_cast<long long>(m.sync), static_cast<long long>(m.host_api),
       static_cast<long long>(m.comm_hidden), m.overlap_ratio, m.comm_fraction,
       m.noncompute_fraction, m.hidden_comm_ratio);
   out += buf;
+  if (m.faults_injected != 0 || m.retries != 0 || m.watchdog_fires != 0 ||
+      m.degraded_iters != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"faults_injected\":%lld,\"retries\":%lld,"
+                  "\"watchdog_fires\":%lld,\"degraded_iters\":%lld",
+                  static_cast<long long>(m.faults_injected),
+                  static_cast<long long>(m.retries),
+                  static_cast<long long>(m.watchdog_fires),
+                  static_cast<long long>(m.degraded_iters));
+    out += buf;
+  }
+  out += '}';
 }
 
 [[nodiscard]] inline std::string to_json(const RunMetrics& m) {

@@ -224,6 +224,7 @@ ExecResult execute_discrete(vgpu::Machine& machine, hostmpi::Comm& comm,
   r.iterations = iters;
   r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                    iters);
+  cpufree::apply_fault_stats(r.metrics, machine.faults().stats());
   return r;
 }
 
@@ -437,6 +438,7 @@ ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
   r.iterations = iters;
   r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                    iters);
+  cpufree::apply_fault_stats(r.metrics, machine.faults().stats());
   return r;
 }
 

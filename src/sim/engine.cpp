@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "sim/observe.hpp"
 
@@ -86,10 +87,39 @@ void Engine::run() {
   }
   if (live_roots_ != 0) {
     // Give an attached checker the chance to turn the bare hang into a
-    // wait-for diagnosis before the exception unwinds everything.
+    // wait-for diagnosis before the exception unwinds everything; the
+    // always-on open-wait registry names stuck actors even without one.
     if (observer_ != nullptr) observer_->on_deadlock(live_roots_);
-    throw DeadlockError(live_roots_);
+    std::string report = describe_open_waits();
+    if (!report.empty()) {
+      report = "simulation deadlock: " + std::to_string(live_roots_) +
+               " task(s) blocked with an empty event queue" + report;
+    }
+    throw DeadlockError(live_roots_, report);
   }
+}
+
+std::string Engine::flag_name(const void* flag) const {
+  auto it = flag_names_.find(flag);
+  if (it != flag_names_.end() && !it->second.empty()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "<flag@%p>", flag);
+  return buf;
+}
+
+std::string Engine::describe_open_waits() const {
+  std::string out;
+  for (const auto& [token, site] : open_waits_) {
+    out += "\n  " + site.who + " blocked on " + site.what + ": " +
+           flag_name(site.flag);
+    if (!site.predicate.empty()) out += " " + site.predicate;
+    if (site.read_value) {
+      out += "; value " + std::to_string(site.read_value());
+    } else {
+      out += "; never completed (lost/never-sent signal?)";
+    }
+  }
+  return out;
 }
 
 }  // namespace sim

@@ -10,9 +10,11 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -26,11 +28,17 @@ class Observer;
 
 /// Thrown by Engine::run() when the event queue drains while spawned root
 /// tasks are still suspended (e.g. waiting on a flag nobody will ever set).
+/// When the synchronization layers registered their open waits (see
+/// Engine::note_wait_begin) the message names each stuck actor and wait
+/// site; otherwise it is the bare task count.
 class DeadlockError : public std::runtime_error {
  public:
-  explicit DeadlockError(std::size_t stuck)
-      : std::runtime_error("simulation deadlock: " + std::to_string(stuck) +
-                           " task(s) blocked with an empty event queue"),
+  explicit DeadlockError(std::size_t stuck, const std::string& report = "")
+      : std::runtime_error(
+            report.empty()
+                ? "simulation deadlock: " + std::to_string(stuck) +
+                      " task(s) blocked with an empty event queue"
+                : report),
         stuck_tasks(stuck) {}
   std::size_t stuck_tasks;
 };
@@ -109,6 +117,46 @@ class Engine {
   void set_observer(Observer* observer) noexcept { observer_ = observer; }
   [[nodiscard]] Observer* observer() const noexcept { return observer_; }
 
+  // --- open-wait registry (hang attribution without a checker) -------------
+  //
+  // The synchronization layers (KernelCtx::spin_wait, World::quiet, ...)
+  // register every blocking wait here and withdraw it on completion. If the
+  // event queue then drains with live tasks, run() names each stuck actor
+  // and wait site in the DeadlockError instead of exiting with open tasks
+  // unreported. This mirrors check::DeadlockAnalyzer's attribution strings
+  // but is always on — no observer required — and costs one map insert/erase
+  // per wait.
+
+  /// One open blocking wait. `predicate` is the pre-rendered comparison
+  /// (e.g. ">= 12"); `read_value` reads the awaited flag's current value at
+  /// report time (may be empty).
+  struct WaitSite {
+    std::string who;   ///< waiting actor, e.g. "pe1/k0.g2"
+    std::string what;  ///< wait-site name, e.g. "signal_wait"
+    const void* flag = nullptr;
+    std::string predicate;
+    std::function<std::int64_t()> read_value;
+  };
+  using WaitToken = std::uint64_t;
+
+  [[nodiscard]] WaitToken note_wait_begin(WaitSite site) {
+    const WaitToken t = ++next_wait_token_;
+    open_waits_.emplace(t, std::move(site));
+    return t;
+  }
+  void note_wait_end(WaitToken token) { open_waits_.erase(token); }
+
+  /// Names a flag for hang reports (the registry-side twin of
+  /// Observer::on_flag_name; filled in unconditionally by the allocating
+  /// layers).
+  void name_flag(const void* flag, std::string name) {
+    flag_names_[flag] = std::move(name);
+  }
+  [[nodiscard]] std::string flag_name(const void* flag) const;
+
+  /// Multi-line description of every open registered wait ("" when none).
+  [[nodiscard]] std::string describe_open_waits() const;
+
  private:
   friend struct Task::FinalAwaiter;
   void on_root_done(Task::Handle h);
@@ -133,6 +181,10 @@ class Engine {
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_roots_ = 0;
+
+  std::map<WaitToken, WaitSite> open_waits_;
+  std::map<const void*, std::string> flag_names_;
+  std::uint64_t next_wait_token_ = 0;
 
   void reap_finished();
 };

@@ -224,6 +224,22 @@ class Observer {
     (void)actor, (void)range, (void)is_write, (void)what;
   }
 
+  // --- fault injection (src/fault/) ---
+  /// A seeded fault fired at `actor`'s site: `kind` is the fault::Site name
+  /// ("link-degrade", "signal-lost", "put-drop", ...) and `what` the
+  /// site-local description. Purely informational: the schedule never
+  /// consults the observer, so attaching one cannot change decisions.
+  virtual void on_fault(const Actor& actor, std::string_view kind,
+                        std::string_view what) {
+    (void)actor, (void)kind, (void)what;
+  }
+  /// A timed signal wait (watchdog) expired before its predicate held. The
+  /// waiter is no longer blocked on `flag`; it proceeds to recovery.
+  virtual void on_signal_wait_timeout(const Actor& actor, const void* flag,
+                                      std::string_view what) {
+    (void)actor, (void)flag, (void)what;
+  }
+
   // --- terminal diagnosis ---
   /// Published by Engine::run() immediately before throwing DeadlockError.
   virtual void on_deadlock(std::size_t stuck_tasks) { (void)stuck_tasks; }

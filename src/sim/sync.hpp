@@ -34,6 +34,19 @@ enum class Cmp : std::uint8_t { kEq, kNe, kGt, kGe, kLt, kLe };
   return false;
 }
 
+/// Operator token for reports ("==", ">=", ...).
+[[nodiscard]] constexpr const char* cmp_str(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq: return "==";
+    case Cmp::kNe: return "!=";
+    case Cmp::kGt: return ">";
+    case Cmp::kGe: return ">=";
+    case Cmp::kLt: return "<";
+    case Cmp::kLe: return "<=";
+  }
+  return "?";
+}
+
 class Flag {
  public:
   explicit Flag(Engine& engine, std::int64_t initial = 0)
@@ -54,7 +67,7 @@ class Flag {
     std::int64_t rhs;
     bool await_ready() const noexcept { return compare(cmp, flag.value_, rhs); }
     void await_suspend(std::coroutine_handle<> h) {
-      flag.waiters_.push_back(Waiter{cmp, rhs, h});
+      (void)flag.park(cmp, rhs, h);
     }
     void await_resume() const noexcept {}
   };
@@ -67,6 +80,47 @@ class Flag {
   [[nodiscard]] WaitAwaiter wait_geq(std::int64_t rhs) { return wait(Cmp::kGe, rhs); }
   [[nodiscard]] WaitAwaiter wait_eq(std::int64_t rhs) { return wait(Cmp::kEq, rhs); }
 
+  /// Watchdog-guarded wait: resumes when the predicate holds OR after
+  /// `timeout` simulated ns, whichever comes first. `co_await` yields true
+  /// on satisfaction and false on timeout (the waiter is withdrawn, so a
+  /// later mutation will not resume it twice). The timer is cancelled on the
+  /// success path; a cancelled entry is dropped without advancing the clock,
+  /// so an untriggered watchdog leaves no trace on simulated time.
+  struct TimedAwaiter {
+    Flag& flag;
+    Cmp cmp;
+    std::int64_t rhs;
+    Nanos timeout;
+    std::uint64_t id = 0;
+    bool timed_out = false;
+    TimerToken timer{};
+
+    bool await_ready() const noexcept { return compare(cmp, flag.value_, rhs); }
+    void await_suspend(std::coroutine_handle<> h) {
+      id = flag.park(cmp, rhs, h);
+      timer = flag.engine_->schedule_callback(
+          [this, h] {
+            // Fires only while still parked: a normal wake erases the waiter
+            // first and the cancelled/late timer finds nothing to remove.
+            if (flag.remove_waiter(id)) {
+              timed_out = true;
+              flag.engine_->schedule(h, 0);
+            }
+          },
+          timeout);
+    }
+    bool await_resume() noexcept {
+      if (!timed_out) timer.cancel();
+      return !timed_out;
+    }
+  };
+
+  /// `co_await flag.wait_for(...)` -> true if satisfied, false on timeout.
+  [[nodiscard]] TimedAwaiter wait_for(Cmp cmp, std::int64_t rhs,
+                                      Nanos timeout) {
+    return TimedAwaiter{*this, cmp, rhs, timeout};
+  }
+
   [[nodiscard]] std::size_t waiter_count() const noexcept { return waiters_.size(); }
 
  private:
@@ -74,7 +128,26 @@ class Flag {
     Cmp cmp;
     std::int64_t rhs;
     std::coroutine_handle<> handle;
+    std::uint64_t id = 0;
   };
+
+  /// Parks a waiter and returns its withdrawal id (timed waits withdraw on
+  /// watchdog expiry).
+  std::uint64_t park(Cmp cmp, std::int64_t rhs, std::coroutine_handle<> h) {
+    const std::uint64_t id = ++next_waiter_id_;
+    waiters_.push_back(Waiter{cmp, rhs, h, id});
+    return id;
+  }
+
+  bool remove_waiter(std::uint64_t id) {
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].id == id) {
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
 
   void wake_satisfied() {
     // Wake in arrival order; satisfied waiters resume at the current time,
@@ -92,6 +165,7 @@ class Flag {
   Engine* engine_;
   std::int64_t value_;
   std::vector<Waiter> waiters_;
+  std::uint64_t next_waiter_id_ = 0;
 };
 
 /// Counting semaphore with FIFO handoff: a released unit is transferred

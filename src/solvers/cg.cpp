@@ -437,6 +437,7 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   CgResult res;
   res.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                      *iterations_run);
+  cpufree::apply_fault_stats(res.metrics, machine.faults().stats());
   res.iterations_run = *iterations_run;
   res.final_rr = *final_rr;
   res.rr_history = *history;
@@ -668,6 +669,7 @@ CgResult run_cg_baseline(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   CgResult res;
   res.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                      *iterations_run);
+  cpufree::apply_fault_stats(res.metrics, machine.faults().stats());
   res.iterations_run = *iterations_run;
   res.final_rr = *final_rr;
   res.rr_history = *history;

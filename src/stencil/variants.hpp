@@ -168,6 +168,7 @@ StencilResult run_variant(SlabStencil<P>& S, Variant v) {
   StencilResult r;
   r.metrics = cpufree::analyze_run(m.trace(), m.engine().now(),
                                    cfg.iterations);
+  cpufree::apply_fault_stats(r.metrics, m.faults().stats());
   r.final_parity = cfg.iterations & 1;
   return r;
 }

@@ -18,10 +18,27 @@ constexpr double kPending = -2.0;
 
 }  // namespace
 
-LinkLedger::LinkLedger(sim::Engine& engine, const Topology& topo)
+LinkLedger::LinkLedger(sim::Engine& engine, const Topology& topo,
+                       fault::Schedule* faults)
     : engine_(&engine),
       topo_(&topo),
+      faults_(faults),
       exclusive_busy_until_(topo.links.size(), 0) {}
+
+double LinkLedger::faulty_scale(int li, sim::Nanos at) {
+  if (faults_ == nullptr || !faults_->enabled()) return 1.0;
+  const auto id = static_cast<std::uint64_t>(li);
+  const double s = faults_->link_scale(id, at);
+  if (s < 1.0 && faults_->first_sight(fault::Site::kLinkWindow, id, at)) {
+    if (sim::Observer* o = engine_->observer()) {
+      // Machine-level fault: no single actor timeline owns a link window, so
+      // the actor slot stays invalid and `what` names the wire.
+      o->on_fault(sim::Actor{}, fault::site_name(fault::Site::kLinkWindow),
+                  topo_->links[static_cast<std::size_t>(li)].name);
+    }
+  }
+  return s;
+}
 
 sim::Nanos LinkLedger::reserve_exclusive(const Route& route, double bytes,
                                          sim::Nanos earliest_start,
@@ -33,8 +50,15 @@ sim::Nanos LinkLedger::reserve_exclusive(const Route& route, double bytes,
       start = std::max(start, exclusive_busy_until_[static_cast<std::size_t>(li)]);
     }
   }
-  const sim::Nanos dur =
-      bytes <= 0.0 ? 0 : sim::ceil_nanos(bytes / route.min_bw);
+  // A degradation window open at the wire slot's start scales the whole
+  // reservation (the closed-form path charges one rate per transfer).
+  double bw = route.min_bw;
+  if (faults_ != nullptr && faults_->enabled()) {
+    double s = 1.0;
+    for (int li : route.links) s = std::min(s, faulty_scale(li, start));
+    if (s > 0.0) bw *= s;
+  }
+  const sim::Nanos dur = bytes <= 0.0 ? 0 : sim::ceil_nanos(bytes / bw);
   const sim::Nanos end = start + dur;
   for (int li : route.links) {
     if (topo_->links[static_cast<std::size_t>(li)].policy ==
@@ -141,7 +165,8 @@ void LinkLedger::recompute(sim::Nanos now) {
           LinkPolicy::kUnlimited) {
         continue;
       }
-      residual.emplace(li, topo_->links[static_cast<std::size_t>(li)].bw_gbps);
+      residual.emplace(li, topo_->links[static_cast<std::size_t>(li)].bw_gbps *
+                               faulty_scale(li, now));
       users[li].push_back(f);
     }
   }

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/schedule.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -51,8 +52,14 @@ class LinkLedger {
  public:
   /// Both references must outlive the ledger; routes passed to the charge
   /// calls must point into structures that outlive their transfers (the
-  /// Router owns them for the machine's lifetime).
-  LinkLedger(sim::Engine& engine, const Topology& topo);
+  /// Router owns them for the machine's lifetime). `faults` (optional, must
+  /// outlive the ledger when set) injects bandwidth-degradation and flap
+  /// windows: while a seeded window is open for a link, the capacity the
+  /// ledger charges against is scaled down. Window predicates are pure
+  /// functions of (link, simulated time), so the repeated recomputes of the
+  /// progressive-filling path all agree.
+  LinkLedger(sim::Engine& engine, const Topology& topo,
+             fault::Schedule* faults = nullptr);
 
   /// Closed-form reservation for an uncontended route. The wire slot starts
   /// at `earliest_start` or when every kExclusive link on the route is free,
@@ -98,9 +105,14 @@ class LinkLedger {
   void on_wake();
   /// Flights currently occupying link `li` (for observer concurrency counts).
   [[nodiscard]] int flights_on_link(int li) const;
+  /// Fault-plane bandwidth multiplier for link `li` at `at` (1.0 when no
+  /// schedule is attached or the window is healthy). Publishes on_fault and
+  /// counts the injection once per (link, window).
+  double faulty_scale(int li, sim::Nanos at);
 
   sim::Engine* engine_;
   const Topology* topo_;
+  fault::Schedule* faults_;
   std::vector<sim::Nanos> exclusive_busy_until_;  // per link id
   std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;  // admission order
   std::uint64_t next_id_ = 0;

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/schedule.hpp"
 #include "sim/intmath.hpp"
 #include "sim/time.hpp"
 #include "topo/topology.hpp"
@@ -190,6 +191,10 @@ struct MachineSpec {
   /// routing, per-link bandwidth, contention, and hop latencies come from
   /// the graph.
   topo::Topology topology;
+  /// Seeded fault-injection plane (src/fault/). The default (rate 0) is
+  /// structurally inert: no site consults the schedule and runs are
+  /// byte-identical to a faultless build.
+  fault::Config faults;
 
   [[nodiscard]] const DeviceSpec& device_spec(int id) const {
     const auto i = static_cast<std::size_t>(id);

@@ -15,6 +15,22 @@ int total_blocks(const std::vector<BlockGroup>& groups) {
 
 sim::Task KernelCtx::busy(sim::Nanos d, sim::Cat cat, std::string_view name) {
   const sim::Nanos t0 = now();
+  // Every timed device step funnels through here, so a stall window opened
+  // by the fault plane scales all of this group's step costs at once.
+  fault::Schedule& faults = machine_->faults();
+  if (d > 0 && faults.enabled()) {
+    const double s = faults.stall_scale_at(device_id(), t0);
+    if (s > 1.0) {
+      d = static_cast<sim::Nanos>(static_cast<double>(d) * s);
+      if (faults.first_sight(fault::Site::kStallWindow,
+                             static_cast<std::uint64_t>(device_id()), t0)) {
+        if (sim::Observer* obs = engine().observer()) {
+          obs->on_fault(obs_actor(), fault::site_name(fault::Site::kStallWindow),
+                        name);
+        }
+      }
+    }
+  }
   co_await engine().delay(d);
   machine_->trace().record(cat, device_id(), lane_ * 16 + group_index_, t0, now(),
                            std::string(name));
@@ -62,6 +78,19 @@ sim::Task KernelCtx::peer_put(int dst_device, double bytes, std::string_view nam
                               std::move(deliver), sim::Cat::kComm, obs);
 }
 
+namespace {
+
+sim::Engine::WaitSite wait_site(const sim::Actor& who, std::string_view what,
+                                sim::Flag& flag, sim::Cmp cmp,
+                                std::int64_t rhs) {
+  return sim::Engine::WaitSite{
+      who.str(), std::string(what), &flag,
+      std::string(sim::cmp_str(cmp)) + " " + std::to_string(rhs),
+      [f = &flag] { return f->value(); }};
+}
+
+}  // namespace
+
 sim::Task KernelCtx::spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
                                std::string_view name) {
   const sim::Nanos t0 = now();
@@ -69,7 +98,38 @@ sim::Task KernelCtx::spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
   if (obs != nullptr) {
     obs->on_signal_wait_begin(obs_actor(), &flag, cmp, rhs, name);
   }
+  const sim::Engine::WaitToken wt =
+      engine().note_wait_begin(wait_site(obs_actor(), name, flag, cmp, rhs));
   co_await flag.wait(cmp, rhs);
+  engine().note_wait_end(wt);
+  if (obs != nullptr) obs->on_signal_wait_end(obs_actor(), &flag);
+  co_await engine().delay(device_->spec().spin_poll);
+  machine_->trace().record(sim::Cat::kSync, device_id(),
+                           lane_ * 16 + group_index_, t0, now(), std::string(name));
+}
+
+sim::Task KernelCtx::spin_wait_for(sim::Flag& flag, sim::Cmp cmp,
+                                   std::int64_t rhs, sim::Nanos timeout,
+                                   std::string_view name, bool* satisfied) {
+  const sim::Nanos t0 = now();
+  sim::Observer* const obs = engine().observer();
+  if (obs != nullptr) {
+    obs->on_signal_wait_begin(obs_actor(), &flag, cmp, rhs, name);
+  }
+  const sim::Engine::WaitToken wt =
+      engine().note_wait_begin(wait_site(obs_actor(), name, flag, cmp, rhs));
+  const bool ok = co_await flag.wait_for(cmp, rhs, timeout);
+  engine().note_wait_end(wt);
+  *satisfied = ok;
+  if (!ok) {
+    // Watchdog expiry: the waiter withdrew; no happens-before edge from the
+    // flag is acquired (the wait did not complete).
+    if (obs != nullptr) obs->on_signal_wait_timeout(obs_actor(), &flag, name);
+    machine_->trace().record(sim::Cat::kSync, device_id(),
+                             lane_ * 16 + group_index_, t0, now(),
+                             std::string(name) + "(timeout)");
+    co_return;
+  }
   if (obs != nullptr) obs->on_signal_wait_end(obs_actor(), &flag);
   co_await engine().delay(device_->spec().spin_poll);
   machine_->trace().record(sim::Cat::kSync, device_id(),

@@ -101,9 +101,20 @@ class KernelCtx {
                      sim::MemRange obs_read = {}, sim::MemRange obs_write = {});
 
   /// Spin-waits until `flag <cmp> rhs`, charging the device poll granularity
-  /// once the condition becomes true; records a kSync interval.
+  /// once the condition becomes true; records a kSync interval. The wait is
+  /// registered with the engine's open-wait registry, so an end-of-run hang
+  /// names this group and wait site.
   sim::Task spin_wait(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
                       std::string_view name);
+
+  /// Watchdog-guarded spin wait: like spin_wait, but gives up after
+  /// `timeout` simulated ns. Sets `*satisfied` (must be non-null) to whether
+  /// the predicate held before the deadline; on expiry publishes
+  /// Observer::on_signal_wait_timeout and returns without charging the poll
+  /// granularity (the caller is about to run recovery).
+  sim::Task spin_wait_for(sim::Flag& flag, sim::Cmp cmp, std::int64_t rhs,
+                          sim::Nanos timeout, std::string_view name,
+                          bool* satisfied);
 
   /// This group's checker identity.
   [[nodiscard]] sim::Actor obs_actor() const noexcept {

@@ -13,7 +13,7 @@ Stream& Device::create_stream() {
   return *streams_.back();
 }
 
-Machine::Machine(MachineSpec spec) : spec_(spec) {
+Machine::Machine(MachineSpec spec) : spec_(spec), faults_(spec_.faults) {
   if (spec_.num_devices <= 0) {
     throw std::invalid_argument("MachineSpec.num_devices must be positive");
   }
@@ -24,7 +24,7 @@ Machine::Machine(MachineSpec spec) : spec_(spec) {
         " devices, spec says " + std::to_string(spec_.num_devices));
   }
   router_ = std::make_unique<topo::Router>(topology_);
-  ledger_ = std::make_unique<topo::LinkLedger>(engine_, topology_);
+  ledger_ = std::make_unique<topo::LinkLedger>(engine_, topology_, &faults_);
   devices_.reserve(static_cast<std::size_t>(spec_.num_devices));
   for (int i = 0; i < spec_.num_devices; ++i) {
     devices_.push_back(std::make_unique<Device>(*this, i, spec_.device_spec(i)));

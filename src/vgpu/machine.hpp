@@ -119,6 +119,13 @@ class Machine {
 
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] const MachineSpec& spec() const noexcept { return spec_; }
+  /// The machine-owned fault schedule (built from spec().faults). Shared by
+  /// every layer that injects or recovers, so counters and PRNG streams are
+  /// per-machine — sweep jobs never share one.
+  [[nodiscard]] fault::Schedule& faults() noexcept { return faults_; }
+  [[nodiscard]] const fault::Schedule& faults() const noexcept {
+    return faults_;
+  }
   [[nodiscard]] int num_devices() const noexcept { return spec_.num_devices; }
   [[nodiscard]] Device& device(int id) { return *devices_.at(static_cast<std::size_t>(id)); }
   [[nodiscard]] sim::Trace& trace() noexcept { return engine_.trace(); }
@@ -181,6 +188,7 @@ class Machine {
  private:
   MachineSpec spec_;
   sim::Engine engine_;
+  fault::Schedule faults_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::deque<MemBlock> blocks_;
   std::vector<std::vector<bool>> peer_;

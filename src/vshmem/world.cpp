@@ -12,11 +12,51 @@ World::World(vgpu::Machine& machine)
   sim::Observer* const o = machine_->engine().observer();
   for (std::size_t i = 0; i < pe_.size(); ++i) {
     pe_[i].completed = std::make_unique<sim::Flag>(machine_->engine(), 0);
-    if (o != nullptr) {
-      o->on_flag_name(pe_[i].completed.get(),
-                      "nbi_completed@pe" + std::to_string(i));
+    std::string nm = "nbi_completed@pe" + std::to_string(i);
+    machine_->engine().name_flag(pe_[i].completed.get(), nm);
+    if (o != nullptr) o->on_flag_name(pe_[i].completed.get(), nm);
+  }
+}
+
+World::PutFaults World::roll_put_faults(vgpu::KernelCtx& ctx, int src_pe,
+                                        int dst_pe, bool with_signal,
+                                        std::string_view label) {
+  PutFaults pf;
+  fault::Schedule& faults = machine_->faults();
+  if (!faults.enabled()) return pf;
+  // One PRNG stream per ordered PE pair and site class; issue order on a
+  // pair is deterministic, so the consult counters are too.
+  const std::uint64_t pair = (static_cast<std::uint64_t>(src_pe) << 20) |
+                             static_cast<std::uint64_t>(dst_pe);
+  pf.drop = faults.roll(fault::Site::kPutDrop, pair);
+  if (!pf.drop) {
+    pf.duplicate = faults.roll(fault::Site::kPutDup, pair);
+    if (with_signal) {
+      pf.lose_signal = faults.roll(fault::Site::kSignalLost, pair);
+      if (!pf.lose_signal && faults.roll(fault::Site::kSignalDelay, pair)) {
+        pf.delay_signal = faults.config().signal_delay;
+      }
     }
   }
+  if (sim::Observer* o = machine_->engine().observer()) {
+    if (pf.drop) {
+      o->on_fault(ctx.obs_actor(), fault::site_name(fault::Site::kPutDrop),
+                  label);
+    }
+    if (pf.duplicate) {
+      o->on_fault(ctx.obs_actor(), fault::site_name(fault::Site::kPutDup),
+                  label);
+    }
+    if (pf.lose_signal) {
+      o->on_fault(ctx.obs_actor(), fault::site_name(fault::Site::kSignalLost),
+                  label);
+    }
+    if (pf.delay_signal > 0) {
+      o->on_fault(ctx.obs_actor(), fault::site_name(fault::Site::kSignalDelay),
+                  label);
+    }
+  }
+  return pf;
 }
 
 sim::Task World::do_put(int src_pe, int dst_pe, double bytes,
@@ -39,8 +79,23 @@ sim::Task World::run_nbi(sim::Task t, sim::Flag& completed) {
 void World::apply_signal(SignalSet& sig, std::size_t idx, std::int64_t value,
                          SignalOp op, int dst_pe, int src_pe) {
   sim::Flag& f = sig.at(dst_pe, idx);
+  if (op == SignalOp::kSet && machine_->faults().enabled()) {
+    // Bare kSet signals (ack / flow-control edges) are their own payload:
+    // applying one advances the shadow watermark. Idempotent with the
+    // payload-side note_landed of a put-attached signal.
+    sig.shadow(dst_pe, idx).note_landed(value);
+  }
   if (op == SignalOp::kSet) {
-    f.set(value);
+    // Under fault injection, delayed or retransmitted kSet signals can reach
+    // the destination out of order; the monotonic-counter protocols built on
+    // top (iteration signals) must not have a stale set rewind the flag and
+    // strand a waiter. With the fault plane inert, exact NVSHMEM set
+    // semantics apply.
+    if (machine_->faults().enabled() && value < f.value()) {
+      // stale retransmission: already superseded, drop it
+    } else {
+      f.set(value);
+    }
   } else {
     f.add(value);
   }
@@ -60,8 +115,39 @@ sim::Task World::signal_op(vgpu::KernelCtx& ctx, SignalSet& sig,
   World* self = this;
   SignalSet* sigp = &sig;
   const int src_pe = ctx.device_id();
+  // A lone signal update can be lost or postponed like a put-attached one;
+  // it shares the per-pair decision streams (issue order is deterministic).
+  PutFaults pf;
+  if (machine_->faults().enabled()) {
+    fault::Schedule& faults = machine_->faults();
+    const std::uint64_t pair = (static_cast<std::uint64_t>(src_pe) << 20) |
+                               static_cast<std::uint64_t>(dst_pe);
+    pf.lose_signal = faults.roll(fault::Site::kSignalLost, pair);
+    if (!pf.lose_signal && faults.roll(fault::Site::kSignalDelay, pair)) {
+      pf.delay_signal = faults.config().signal_delay;
+    }
+    if (sim::Observer* o = machine_->engine().observer()) {
+      if (pf.lose_signal) {
+        o->on_fault(ctx.obs_actor(),
+                    fault::site_name(fault::Site::kSignalLost), "signal_op");
+      }
+      if (pf.delay_signal > 0) {
+        o->on_fault(ctx.obs_actor(),
+                    fault::site_name(fault::Site::kSignalDelay), "signal_op");
+      }
+    }
+  }
   std::function<void()> deliver = [self, sigp, sig_idx, value, op, dst_pe,
-                                   src_pe]() {
+                                   src_pe, pf]() {
+    if (pf.lose_signal) return;
+    if (pf.delay_signal > 0) {
+      self->machine_->engine().schedule_callback(
+          [self, sigp, sig_idx, value, op, dst_pe, src_pe] {
+            self->apply_signal(*sigp, sig_idx, value, op, dst_pe, src_pe);
+          },
+          pf.delay_signal);
+      return;
+    }
     self->apply_signal(*sigp, sig_idx, value, op, dst_pe, src_pe);
   };
   sim::TransferObs obs;
@@ -93,7 +179,12 @@ sim::Task World::quiet(vgpu::KernelCtx& ctx) {
     o->on_signal_wait_begin(ctx.obs_actor(), st.completed.get(), sim::Cmp::kGe,
                             target, "quiet");
   }
+  const sim::Engine::WaitToken wt = machine_->engine().note_wait_begin(
+      {ctx.obs_actor().str(), "quiet", st.completed.get(),
+       ">= " + std::to_string(target),
+       [f = st.completed.get()] { return f->value(); }});
   co_await st.completed->wait_geq(target);
+  machine_->engine().note_wait_end(wt);
   if (o != nullptr) {
     o->on_signal_wait_end(ctx.obs_actor(), st.completed.get());
     o->on_quiet(ctx.obs_actor(), ctx.device_id(), "quiet");

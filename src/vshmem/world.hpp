@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -68,6 +69,32 @@ class Sym {
   std::vector<vgpu::DeviceArray<T>> instances_;
 };
 
+/// Sender-side shadow of the latest update issued toward one signal flag:
+/// the resilience protocols' recovery state. The sender records (before
+/// issuing) the value it is about to signal and how to re-run the guarded
+/// payload copy; a receiver whose watchdog expires consults the record to
+/// decide whether the update was lost in flight (progress reached the waited
+/// value) or merely not issued yet. Written only while the fault plane is
+/// active; never touched when it is inert.
+struct SignalShadow {
+  std::int64_t progress = 0;  ///< highest value issued toward this flag
+  std::int64_t landed = 0;    ///< max contiguous value whose update landed
+  int src_pe = -1;            ///< issuing PE of the latest update
+  double bytes = 0.0;         ///< payload bytes the signal guarded (0 = bare)
+  /// Functional payload copies keyed by signal value, erased once `landed`
+  /// covers them. Bounded: the iteration protocols run at most a couple of
+  /// values ahead of their receiver (see IterationProtocol::note_issue).
+  std::map<std::int64_t, std::function<void()>> pending;
+
+  /// Destination side: the update carrying `value` was applied. Values are
+  /// issued consecutively and wires are FIFO, so a value that skips the
+  /// watermark is a gap from a dropped update; the watermark then stalls
+  /// until a resilient waiter re-pulls the missing values.
+  void note_landed(std::int64_t value) {
+    if (value == landed + 1) ++landed;
+  }
+};
+
 /// A symmetric array of signal variables (uint64 semantics), waitable on the
 /// owning PE.
 class SignalSet {
@@ -77,6 +104,8 @@ class SignalSet {
     for (auto& per_pe : flags_) {
       for (std::size_t i = 0; i < count; ++i) per_pe.emplace_back(engine, 0);
     }
+    shadows_.resize(static_cast<std::size_t>(n_pes),
+                    std::vector<SignalShadow>(count));
   }
   SignalSet(const SignalSet&) = delete;
   SignalSet& operator=(const SignalSet&) = delete;
@@ -84,12 +113,17 @@ class SignalSet {
   [[nodiscard]] sim::Flag& at(int pe, std::size_t idx) {
     return flags_.at(static_cast<std::size_t>(pe)).at(idx);
   }
+  /// Recovery record for the flag at (pe, idx); see SignalShadow.
+  [[nodiscard]] SignalShadow& shadow(int pe, std::size_t idx) {
+    return shadows_.at(static_cast<std::size_t>(pe)).at(idx);
+  }
   [[nodiscard]] std::size_t count() const {
     return flags_.empty() ? 0 : flags_.front().size();
   }
 
  private:
   std::vector<std::deque<sim::Flag>> flags_;
+  std::vector<std::vector<SignalShadow>> shadows_;
 };
 
 /// The PGAS world: one PE per device (nvshmem_init on an 8-GPU node gives
@@ -126,13 +160,15 @@ class World {
   [[nodiscard]] std::unique_ptr<SignalSet> alloc_signals(
       std::size_t count, std::string_view name = "sig") {
     auto s = std::make_unique<SignalSet>(machine_->engine(), n_pes_, count);
-    if (sim::Observer* o = machine_->engine().observer()) {
-      for (int pe = 0; pe < n_pes_; ++pe) {
-        for (std::size_t i = 0; i < count; ++i) {
-          o->on_flag_name(&s->at(pe, i), std::string(name) +
-                                             std::to_string(i) + "@pe" +
-                                             std::to_string(pe));
-        }
+    sim::Observer* const o = machine_->engine().observer();
+    for (int pe = 0; pe < n_pes_; ++pe) {
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string nm = std::string(name) + std::to_string(i) + "@pe" +
+                         std::to_string(pe);
+        // Registered unconditionally with the engine so an end-of-run hang
+        // report can name the flag even without an attached checker.
+        machine_->engine().name_flag(&s->at(pe, i), nm);
+        if (o != nullptr) o->on_flag_name(&s->at(pe, i), nm);
       }
     }
     return s;
@@ -232,6 +268,19 @@ class World {
     std::unique_ptr<sim::Flag> completed;  // counts finished nbi ops
   };
 
+  /// Issue-time fault decisions for one put (all false when the machine's
+  /// fault plane is inert).
+  struct PutFaults {
+    bool drop = false;
+    bool duplicate = false;
+    bool lose_signal = false;
+    sim::Nanos delay_signal = 0;
+  };
+  /// Rolls the put-family fault sites for one op on the (src, dst) stream
+  /// and publishes Observer::on_fault for each injection.
+  PutFaults roll_put_faults(vgpu::KernelCtx& ctx, int src_pe, int dst_pe,
+                            bool with_signal, std::string_view label);
+
   /// The wire movement common to all put flavours; completes at delivery.
   sim::Task do_put(int src_pe, int dst_pe, double bytes, double bw_fraction,
                    int lane, std::string_view label, std::function<void()> deliver,
@@ -324,6 +373,20 @@ sim::Task World::putmem_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
     obs.write = sim::MemRange::of(arr.on(dst_pe), dst_off, count);
     obs.rejoin = false;  // nbi: completion only via quiet()
   }
+  // Fault plane: a dropped put's payload never lands (the wire still runs,
+  // so quiet() completes); a duplicated put lands twice.
+  const PutFaults pf = roll_put_faults(ctx, src_pe, dst_pe,
+                                       /*with_signal=*/false, "putmem_nbi");
+  if (pf.drop) {
+    deliver = [] {};
+  } else if (pf.duplicate) {
+    deliver = [once = std::move(deliver)] {
+      if (once) {
+        once();
+        once();
+      }
+    };
+  }
   PeState& st = pe_.at(static_cast<std::size_t>(src_pe));
   ++st.issued;
   sim::Task move = do_put(src_pe, dst_pe, static_cast<double>(count * sizeof(T)),
@@ -343,12 +406,38 @@ sim::Task World::putmem_signal_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
   const int src_pe = ctx.device_id();
   World* self = this;
   SignalSet* sigp = &sig;
+  // Fault plane, decided at issue (counter-based, per ordered PE pair): a
+  // dropped put loses payload AND signal (the signal is payload-ordered); a
+  // duplicated put lands its payload twice; the signal alone can be lost or
+  // postponed. The wire transfer always runs, so quiet() still completes —
+  // loss is visible only through the missing signal/payload, exactly the
+  // failure the resilience protocols must detect.
+  const PutFaults pf = roll_put_faults(ctx, src_pe, dst_pe,
+                                       /*with_signal=*/true,
+                                       "putmem_signal_nbi");
   std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
-                                   count, sigp, sig_idx, sig_val, op]() {
+                                   count, sigp, sig_idx, sig_val, op, pf]() {
+    if (pf.drop) return;
     if (self->functional_) {
       auto src = arr.on(src_pe).subspan(src_off, count);
       auto dst = arr.on(dst_pe).subspan(dst_off, count);
       std::copy(src.begin(), src.end(), dst.begin());
+      if (pf.duplicate) std::copy(src.begin(), src.end(), dst.begin());
+    }
+    // The payload is down even if the signal is about to be lost/postponed:
+    // advance the shadow watermark here so a resilient waiter only re-pulls
+    // updates whose DATA is actually missing.
+    if (self->machine_->faults().enabled()) {
+      sigp->shadow(dst_pe, sig_idx).note_landed(sig_val);
+    }
+    if (pf.lose_signal) return;
+    if (pf.delay_signal > 0) {
+      self->machine_->engine().schedule_callback(
+          [self, sigp, sig_idx, sig_val, op, dst_pe, src_pe] {
+            self->apply_signal(*sigp, sig_idx, sig_val, op, dst_pe, src_pe);
+          },
+          pf.delay_signal);
+      return;
     }
     // Signal becomes visible only after the payload landed.
     self->apply_signal(*sigp, sig_idx, sig_val, op, dst_pe, src_pe);

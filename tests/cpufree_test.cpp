@@ -12,6 +12,7 @@
 #include "cpufree/metrics.hpp"
 #include "cpufree/partition.hpp"
 #include "cpufree/perks.hpp"
+#include "test_machines.hpp"
 #include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
 
@@ -30,19 +31,7 @@ using vgpu::Machine;
 using vgpu::MachineSpec;
 
 MachineSpec spec(int devices) {
-  MachineSpec s;
-  s.num_devices = devices;
-  s.device.dram_bw_gbps = 2.0;
-  s.device.dram_efficiency = 1.0;
-  s.device.grid_sync = 5;
-  s.device.spin_poll = 1;
-  s.host = vgpu::HostApiCosts::zero();
-  s.link.bw_gbps = 1.0;
-  s.link.host_initiated_latency = 100;
-  s.link.device_initiated_latency = 50;
-  s.link.device_put_issue = 10;
-  s.link.small_op_overhead = 5;
-  return s;
+  return test_machines::device_protocol(devices);
 }
 
 TEST(TbSpecialization, MatchesPaperFormula) {

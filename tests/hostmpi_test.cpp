@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hostmpi/comm.hpp"
+#include "test_machines.hpp"
 #include "vgpu/host.hpp"
 #include "vgpu/machine.hpp"
 
@@ -21,21 +22,7 @@ using vgpu::HostCtx;
 using vgpu::Machine;
 using vgpu::MachineSpec;
 
-MachineSpec spec(int devices) {
-  MachineSpec s;
-  s.num_devices = devices;
-  s.device.dram_bw_gbps = 2.0;  // 2 bytes/ns
-  s.device.dram_efficiency = 1.0;
-  s.host = vgpu::HostApiCosts::zero();
-  s.link.bw_gbps = 1.0;  // 1 byte/ns
-  s.link.host_initiated_latency = 100;
-  s.link.device_initiated_latency = 50;
-  s.link.device_put_issue = 10;
-  s.link.host_staging_bw_gbps = 16.0;  // 16 bytes/ns, round numbers
-  s.link.host_staging_latency = 1000;
-  s.link.vector_per_block_overhead = 100;
-  return s;
-}
+MachineSpec spec(int devices) { return test_machines::host_staging(devices); }
 
 TEST(Datatype, ContiguousAndVectorProperties) {
   const Datatype c = Datatype::contiguous(8);

@@ -1,0 +1,56 @@
+// Shared MachineSpec builders for the test suites. The protocol-level tests
+// all want round-number cost parameters so expected times can be computed by
+// hand; each suite used to carry its own copy of the builder — they live here
+// now, layered so a suite picks the fields it actually exercises.
+#pragma once
+
+#include "vgpu/machine.hpp"
+
+namespace test_machines {
+
+/// Round-number baseline: link 1 GB/s (1 byte/ns), DRAM 2 bytes/ns at full
+/// efficiency, zero host-API costs, device-initiated latency 50 ns, put
+/// issue 10 ns, host-initiated latency 100 ns.
+inline vgpu::MachineSpec round_number(int devices) {
+  vgpu::MachineSpec s;
+  s.num_devices = devices;
+  s.device.dram_bw_gbps = 2.0;
+  s.device.dram_efficiency = 1.0;
+  s.host = vgpu::HostApiCosts::zero();
+  s.link.bw_gbps = 1.0;
+  s.link.host_initiated_latency = 100;
+  s.link.device_initiated_latency = 50;
+  s.link.device_put_issue = 10;
+  return s;
+}
+
+/// round_number plus device-side sync costs (grid_sync 5 ns, spin_poll 1 ns)
+/// and a 5 ns small-op overhead: the device-initiated protocol suites.
+inline vgpu::MachineSpec device_protocol(int devices) {
+  vgpu::MachineSpec s = round_number(devices);
+  s.device.grid_sync = 5;
+  s.device.spin_poll = 1;
+  s.link.small_op_overhead = 5;
+  return s;
+}
+
+/// device_protocol plus sub-unit thread-scope (1/2) and strided (1/4) link
+/// efficiencies, so the scope/stride bandwidth factors divide evenly.
+inline vgpu::MachineSpec scoped_links(int devices) {
+  vgpu::MachineSpec s = device_protocol(devices);
+  s.link.thread_scoped_efficiency = 0.5;
+  s.link.strided_efficiency = 0.25;
+  return s;
+}
+
+/// round_number plus host staging-path costs (16 bytes/ns staging, 1 us
+/// latency, 100 ns per-block vector overhead): the host-MPI suites.
+inline vgpu::MachineSpec host_staging(int devices) {
+  vgpu::MachineSpec s = round_number(devices);
+  s.link.host_staging_bw_gbps = 16.0;
+  s.link.host_staging_latency = 1000;
+  s.link.vector_per_block_overhead = 100;
+  return s;
+}
+
+}  // namespace test_machines

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/combinators.hpp"
+#include "test_machines.hpp"
 #include "vgpu/kernel.hpp"
 #include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
@@ -29,23 +30,7 @@ using vshmem::World;
 
 /// Round-number spec: link 1 GB/s (1 byte/ns), device latency 50 ns, issue
 /// 10 ns, thread-scope efficiency 1/2, strided 1/4, small-op overhead 5 ns.
-MachineSpec spec(int devices) {
-  MachineSpec s;
-  s.num_devices = devices;
-  s.device.dram_bw_gbps = 2.0;
-  s.device.dram_efficiency = 1.0;
-  s.device.spin_poll = 1;
-  s.device.grid_sync = 5;
-  s.host = vgpu::HostApiCosts::zero();
-  s.link.bw_gbps = 1.0;
-  s.link.host_initiated_latency = 100;
-  s.link.device_initiated_latency = 50;
-  s.link.device_put_issue = 10;
-  s.link.thread_scoped_efficiency = 0.5;
-  s.link.strided_efficiency = 0.25;
-  s.link.small_op_overhead = 5;
-  return s;
-}
+MachineSpec spec(int devices) { return test_machines::scoped_links(devices); }
 
 /// Runs one single-block kernel body per (device, fn) pair concurrently.
 void run_on_devices(
