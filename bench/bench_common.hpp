@@ -8,6 +8,9 @@
 // still exposes --repeats to demonstrate that.
 #pragma once
 
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -162,6 +165,62 @@ inline void print_speedups(std::string_view caption,
   std::printf("\n");
 }
 
+/// Prints a usage message for a malformed flag payload and exits. Bench
+/// flags fail fast, they never guess.
+[[noreturn]] inline void flag_usage_error(std::string_view flag,
+                                          std::string_view expected,
+                                          std::string_view got) {
+  std::fprintf(stderr, "%.*s: expected %.*s, got \"%.*s\"\n",
+               static_cast<int>(flag.size()), flag.data(),
+               static_cast<int>(expected.size()), expected.data(),
+               static_cast<int>(got.size()), got.data());
+  std::exit(2);
+}
+
+/// strtoull with the endptr discipline the naive call skips: the WHOLE token
+/// must be digits. "12x", "-3" (strtoull silently negates!), "" and "0x10"
+/// all previously slid through as plausible-looking seeds.
+inline bool parse_u64_strict(const std::string& v, std::uint64_t& out) {
+  if (v.empty() || v[0] == '-' || v[0] == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long r = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  out = r;
+  return true;
+}
+
+/// strtod with full-token validation; rejects nan/inf and trailing junk
+/// ("0.05GHz" used to parse as 0.05).
+inline bool parse_double_strict(const std::string& v, double& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double r = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end != v.c_str() + v.size() || !std::isfinite(r)) {
+    return false;
+  }
+  out = r;
+  return true;
+}
+
+/// Full-token int parse for flag operands ("--pdes-threads 4x" is an error,
+/// not 4).
+inline bool parse_int_strict(const std::string& v, int& out) {
+  std::uint64_t u = 0;
+  if (v.size() > 1 && v[0] == '-') {
+    if (!parse_u64_strict(v.substr(1), u) ||
+        u > 1ull << 31) {
+      return false;
+    }
+    out = static_cast<int>(-static_cast<std::int64_t>(u));
+    return true;
+  }
+  if (!parse_u64_strict(v, u) || u > 1ull << 30) return false;
+  out = static_cast<int>(u);
+  return true;
+}
+
 /// Parses the --faults payload "seed=S,rate=R[,resilience=none|retry|
 /// retry+degrade]" into a fault::Config. Exits with a usage message on
 /// malformed input (bench flags fail fast, they never guess).
@@ -178,9 +237,10 @@ inline fault::Config parse_faults(std::string_view s) {
                                                          : kv.substr(eq + 1));
     bool ok = eq != std::string_view::npos && !value.empty();
     if (ok && key == "seed") {
-      cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+      ok = parse_u64_strict(value, cfg.seed);
     } else if (ok && key == "rate") {
-      cfg.rate = std::strtod(value.c_str(), nullptr);
+      ok = parse_double_strict(value, cfg.rate) && cfg.rate >= 0.0 &&
+           cfg.rate <= 1.0;
     } else if (ok && key == "resilience") {
       if (value == "none" || value == "no-retry") {
         cfg.resilience = fault::Resilience::kNone;
@@ -195,11 +255,9 @@ inline fault::Config parse_faults(std::string_view s) {
       ok = false;
     }
     if (!ok) {
-      std::fprintf(stderr,
-                   "--faults: expected seed=S,rate=R[,resilience=none|retry|"
-                   "retry+degrade], got \"%.*s\"\n",
-                   static_cast<int>(s.size()), s.data());
-      std::exit(2);
+      flag_usage_error(
+          "--faults",
+          "seed=S,rate=R (0<=R<=1)[,resilience=none|retry|retry+degrade]", s);
     }
     pos = end + 1;
   }
@@ -225,6 +283,9 @@ struct Args {
   /// --faults seed=S,rate=R[,resilience=...]: the fault plane every swept
   /// machine runs under. Default (rate 0) is structurally inert.
   fault::Config faults;
+  /// --pdes-threads N: worker threads for the intra-run sharded event
+  /// engine. 1 (default) is the serial engine, byte-for-byte.
+  int pdes_threads = 1;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -234,6 +295,16 @@ struct Args {
         a.repeats = std::atoi(argv[++i]);
       } else if (s == "--threads" && i + 1 < argc) {
         a.threads = std::atoi(argv[++i]);
+      } else if (s == "--pdes-threads" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        if (!parse_int_strict(v, a.pdes_threads) || a.pdes_threads < 1) {
+          flag_usage_error("--pdes-threads", "an integer >= 1", v);
+        }
+      } else if (s.rfind("--pdes-threads=", 0) == 0) {
+        const std::string v(s.substr(sizeof("--pdes-threads=") - 1));
+        if (!parse_int_strict(v, a.pdes_threads) || a.pdes_threads < 1) {
+          flag_usage_error("--pdes-threads", "an integer >= 1", v);
+        }
       } else if (s == "--quiet") {
         a.progress = false;
       } else if (s == "--check") {
@@ -262,10 +333,12 @@ struct Args {
     return o;
   }
 
-  /// Applies the --faults configuration to a machine spec (identity when the
-  /// flag was absent). Drivers route every spec they sweep through this.
+  /// Applies the --faults and --pdes-threads configuration to a machine
+  /// spec (identity when neither flag was given). Drivers route every spec
+  /// they sweep through this.
   [[nodiscard]] vgpu::MachineSpec with_faults(vgpu::MachineSpec spec) const {
     spec.faults = faults;
+    spec.pdes_threads = pdes_threads;
     return spec;
   }
 };

@@ -20,11 +20,11 @@
 namespace {
 
 sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
-                        const fault::Config& faults,
+                        const bench::Args& args,
                         sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi1d(n, ranks, iters);
-  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
-  spec.faults = faults;
+  const vgpu::MachineSpec spec =
+      args.with_faults(vgpu::MachineSpec::hgx_a100(ranks));
   vgpu::Machine m(spec);
   m.engine().set_observer(obs);
   vshmem::World w(m);
@@ -51,11 +51,11 @@ sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
 }
 
 sweep::RunResult run_2d(bool cpufree, std::size_t gx, std::size_t gy,
-                        int ranks, int iters, const fault::Config& faults,
+                        int ranks, int iters, const bench::Args& args,
                         sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
-  vgpu::MachineSpec spec = vgpu::MachineSpec::hgx_a100(ranks);
-  spec.faults = faults;
+  const vgpu::MachineSpec spec =
+      args.with_faults(vgpu::MachineSpec::hgx_a100(ranks));
   vgpu::Machine m(spec);
   m.engine().set_observer(obs);
   vshmem::World w(m);
@@ -114,13 +114,13 @@ int main(int argc, char** argv) {
   if (args.check) {
     const std::vector<bench::CheckCase> cases = {
         {"jacobi1d/baseline_mpi",
-         [&args](sim::Observer* o) { run_1d(false, 4096, 2, 8, args.faults, o); }},
+         [&args](sim::Observer* o) { run_1d(false, 4096, 2, 8, args, o); }},
         {"jacobi1d/cpu_free_nvshmem",
-         [&args](sim::Observer* o) { run_1d(true, 4096, 2, 8, args.faults, o); }},
+         [&args](sim::Observer* o) { run_1d(true, 4096, 2, 8, args, o); }},
         {"jacobi2d/baseline_mpi",
-         [&args](sim::Observer* o) { run_2d(false, 64, 128, 2, 8, args.faults, o); }},
+         [&args](sim::Observer* o) { run_2d(false, 64, 128, 2, 8, args, o); }},
         {"jacobi2d/cpu_free_nvshmem",
-         [&args](sim::Observer* o) { run_2d(true, 64, 128, 2, 8, args.faults, o); }},
+         [&args](sim::Observer* o) { run_2d(true, 64, 128, 2, 8, args, o); }},
     };
     return bench::run_check(cases);
   }
@@ -158,10 +158,10 @@ int main(int argc, char** argv) {
                [is_1d, cpufree, g, &args] {
                  if (is_1d) {
                    return run_1d(cpufree, weak_1d(1u << 20, g), g, kIters,
-                                 args.faults);
+                                 args);
                  }
                  const auto [gx, gy] = weak_2d(2048, g);
-                 return run_2d(cpufree, gx, gy, g, kIters, args.faults);
+                 return run_2d(cpufree, gx, gy, g, kIters, args);
                });
       }
     }

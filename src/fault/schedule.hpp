@@ -25,6 +25,13 @@
 //      water-filling) never double-rolls.
 //   4. The observer only *sees* injections (on_fault); it is never
 //      consulted, so attaching check::Detector cannot change the schedule.
+//   5. Under the sharded engine (--pdes-threads > 1) consult counters stay
+//      pure: a fault-enabled Machine demands lockstep rounds
+//      (Engine::require_lockstep), so every consult happens in global
+//      (time, shard, seq) order exactly as in the serial engine — the same
+//      seed produces the same injections for every thread count. Shadows
+//      written at issue time and read by remote watchdogs are zero-latency
+//      cross-shard couplings, which is why wide windows are off the table.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,655 @@
+#include "sim/pdes.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/observe.hpp"
+
+namespace sim::pdes {
+
+namespace {
+
+constexpr Nanos kNever = std::numeric_limits<Nanos>::max();
+
+/// Execution context of the current OS thread: which shard (if any) it is
+/// draining and at what simulated time. Workers of different Cores never
+/// share a thread, and the coordinator restores the previous context on
+/// scope exit, so nested sweeps (a sharded Machine inside a sweep worker)
+/// compose.
+struct TlCtx {
+  Core* core = nullptr;
+  Shard* shard = nullptr;  // null in coordinator / serialized-phase default
+  Nanos now = 0;
+  bool active = false;
+};
+thread_local TlCtx g_ctx;
+
+class CtxScope {
+ public:
+  CtxScope(Core* core, Shard* shard, Nanos now) : saved_(g_ctx) {
+    g_ctx = TlCtx{core, shard, now, true};
+  }
+  ~CtxScope() { g_ctx = saved_; }
+  CtxScope(const CtxScope&) = delete;
+  CtxScope& operator=(const CtxScope&) = delete;
+
+ private:
+  TlCtx saved_;
+};
+
+}  // namespace
+
+Core::Core(Engine& engine, const ShardPlan& plan, int threads, Nanos lookahead)
+    : eng_(&engine),
+      plan_(plan),
+      threads_(threads < 1 ? 1 : threads),
+      lookahead_(lookahead < 1 ? 1 : lookahead) {
+  shards_.reserve(static_cast<std::size_t>(plan_.num_shards));
+  for (int i = 0; i < plan_.num_shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->id = i;
+    shards_.push_back(std::move(s));
+  }
+}
+
+Core::~Core() {
+  stop_workers();
+  for (auto& sp : shards_) {
+    for (auto h : sp->finished) {
+      std::erase(sp->roots, h);
+      if (h) h.destroy();
+    }
+    sp->finished.clear();
+    for (auto h : sp->roots) {
+      if (h) h.destroy();
+    }
+    sp->roots.clear();
+  }
+}
+
+// --- context-routed operations ---------------------------------------------
+
+Nanos Core::ctx_now() const noexcept {
+  if (g_ctx.active && g_ctx.core == this) return g_ctx.now;
+  return coord_now_;
+}
+
+int Core::ctx_shard() const noexcept {
+  if (g_ctx.active && g_ctx.core == this && g_ctx.shard != nullptr) {
+    return g_ctx.shard->id;
+  }
+  return TimerState::kCoordinatorHome;
+}
+
+Trace& Core::ctx_trace() const noexcept {
+  if (g_ctx.active && g_ctx.core == this && g_ctx.shard != nullptr) {
+    return g_ctx.shard->trace;
+  }
+  return eng_->trace_;
+}
+
+void Core::schedule(std::coroutine_handle<> h, Nanos delay) {
+  Shard* s = (g_ctx.active && g_ctx.core == this) ? g_ctx.shard : nullptr;
+  if (s == nullptr) {
+    throw std::logic_error(
+        "sim::pdes: raw schedule from coordinator context (wake a parked "
+        "coroutine with schedule_to instead)");
+  }
+  s->queue.push(Event{g_ctx.now + delay, s->next_seq++, h, nullptr});
+}
+
+void Core::schedule_to(int home, std::coroutine_handle<> h) {
+  if (home < 0 || home >= static_cast<int>(shards_.size())) {
+    throw std::logic_error("sim::pdes: schedule_to with bad home shard " +
+                           std::to_string(home));
+  }
+  Shard& dst = *shards_[static_cast<std::size_t>(home)];
+  const bool own = g_ctx.active && g_ctx.core == this && g_ctx.shard == &dst;
+  // Cross-shard same-instant wakes are legal only where the target shard
+  // cannot have drained past the wake time: between windows (serialized
+  // phase, coordinator timers) or when rounds run on a single worker.
+  if (own || in_serialized_phase_ || single_worker_rounds_) {
+    dst.queue.push(Event{ctx_now(), dst.next_seq++, h, nullptr});
+    return;
+  }
+  throw std::logic_error(
+      "sim::pdes: cross-shard wake from a parallel window (missing lookahead "
+      "protection — route the setter through post_global/schedule_cross)");
+}
+
+TimerToken Core::schedule_callback(std::function<void()> fn, Nanos delay) {
+  auto state = std::make_shared<TimerState>();
+  state->fn = std::move(fn);
+  state->owner = eng_;
+  Shard* s = (g_ctx.active && g_ctx.core == this) ? g_ctx.shard : nullptr;
+  if (s != nullptr) {
+    state->home = s->id;
+    s->queue.push(Event{g_ctx.now + delay, s->next_seq++, nullptr, state});
+  } else {
+    state->home = TimerState::kCoordinatorHome;
+    coord_queue_.push(Event{ctx_now() + delay, coord_seq_++, nullptr, state});
+  }
+  return TimerToken{std::move(state)};
+}
+
+TimerToken Core::schedule_callback_global(std::function<void()> fn,
+                                          Nanos delay) {
+  if (!in_serialized_phase_) {
+    throw std::logic_error(
+        "sim::pdes: schedule_callback_global from inside a parallel window");
+  }
+  auto state = std::make_shared<TimerState>();
+  state->fn = std::move(fn);
+  state->owner = eng_;
+  state->home = TimerState::kCoordinatorHome;
+  coord_queue_.push(Event{ctx_now() + delay, coord_seq_++, nullptr, state});
+  return TimerToken{std::move(state)};
+}
+
+void Core::spawn(Task t) {
+  const int shard =
+      (g_ctx.active && g_ctx.core == this && g_ctx.shard != nullptr)
+          ? g_ctx.shard->id
+          : 0;
+  spawn_on(shard, std::move(t));
+}
+
+void Core::spawn_on(int shard, Task t) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) {
+    throw std::out_of_range("sim::pdes: spawn_on bad shard " +
+                            std::to_string(shard));
+  }
+  Task::Handle h = t.release();
+  if (!h) return;
+  h.promise().owner = eng_;
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  s.roots.push_back(h);
+  ++s.live_roots;
+  s.queue.push(Event{ctx_now(), s.next_seq++, h, nullptr});
+}
+
+void Core::schedule_cross(int shard, Nanos at, std::function<void()> fn) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) {
+    throw std::out_of_range("sim::pdes: schedule_cross bad shard " +
+                            std::to_string(shard));
+  }
+  int src = TimerState::kCoordinatorHome;
+  std::uint64_t seq = 0;
+  if (g_ctx.active && g_ctx.core == this && g_ctx.shard != nullptr) {
+    src = g_ctx.shard->id;
+    seq = g_ctx.shard->next_seq++;
+    if (!in_serialized_phase_ && src != shard && at < window_end_) {
+      throw std::logic_error(
+          "sim::pdes: cross-shard message inside the current window "
+          "(lookahead violation): at=" +
+          std::to_string(at) +
+          " window_end=" + std::to_string(window_end_));
+    }
+  } else {
+    seq = coord_seq_++;
+  }
+  Shard& dst = *shards_[static_cast<std::size_t>(shard)];
+  if (src == shard) {
+    // Same-shard delivery: an ordinary local callback event.
+    auto state = std::make_shared<TimerState>();
+    state->fn = std::move(fn);
+    dst.queue.push(Event{at, seq, nullptr, std::move(state)});
+    return;
+  }
+  std::lock_guard<std::mutex> lk(dst.inbox_mu);
+  dst.inbox.push_back(CrossMsg{at, src, seq, std::move(fn), nullptr});
+}
+
+void Core::post_global(std::function<void()> fn) {
+  post_msg(CrossMsg{ctx_now(), 0, 0, std::move(fn), nullptr});
+}
+
+void Core::post_gate(std::coroutine_handle<> h) {
+  post_msg(CrossMsg{ctx_now(), 0, 0, nullptr, h});
+}
+
+void Core::post_msg(CrossMsg m) {
+  if (g_ctx.active && g_ctx.core == this && g_ctx.shard != nullptr) {
+    Shard& s = *g_ctx.shard;
+    m.src_shard = s.id;
+    m.src_seq = s.next_seq++;
+    s.pending_ops.push_back(std::move(m));
+    // The op may wake this shard at the posting instant: stop draining so
+    // nothing past `now` runs before the serialized phase resolves it.
+    s.stop = true;
+    return;
+  }
+  m.src_shard = TimerState::kCoordinatorHome;
+  m.src_seq = coord_seq_++;
+  coord_ops_.push_back(std::move(m));
+}
+
+void Core::on_root_done(Task::Handle h) {
+  Shard* s = (g_ctx.active && g_ctx.core == this) ? g_ctx.shard : nullptr;
+  if (s == nullptr) {
+    throw std::logic_error("sim::pdes: root completed outside any shard");
+  }
+  s->finished.push_back(h);
+  --s->live_roots;
+  if (!s->error && h.promise().exception) {
+    s->error = h.promise().exception;
+  }
+}
+
+void Core::note_cancel(int home) noexcept {
+  if (home == TimerState::kCoordinatorHome) {
+    coord_queue_.note_cancel();
+    return;
+  }
+  if (home >= 0 && home < static_cast<int>(shards_.size())) {
+    shards_[static_cast<std::size_t>(home)]->queue.note_cancel();
+  }
+}
+
+// --- open-wait registry ------------------------------------------------------
+
+Engine::WaitToken Core::note_wait_begin(Engine::WaitSite site) {
+  Shard* s = (g_ctx.active && g_ctx.core == this) ? g_ctx.shard : nullptr;
+  if (s == nullptr) {
+    throw std::logic_error("sim::pdes: wait registered outside any shard");
+  }
+  const Engine::WaitToken tok =
+      (static_cast<std::uint64_t>(s->id + 1) << 48) | ++s->next_wait_seq;
+  s->open_waits.emplace(tok, std::move(site));
+  return tok;
+}
+
+void Core::note_wait_end(Engine::WaitToken token) {
+  const int sid = static_cast<int>(token >> 48) - 1;
+  if (sid < 0 || sid >= static_cast<int>(shards_.size())) return;
+  shards_[static_cast<std::size_t>(sid)]->open_waits.erase(token);
+}
+
+std::string Core::describe_open_waits() const {
+  std::string out;
+  for (const auto& sp : shards_) {
+    for (const auto& [token, site] : sp->open_waits) {
+      out += eng_->describe_wait_site(site);
+    }
+  }
+  return out;
+}
+
+std::size_t Core::live_tasks() const noexcept {
+  std::size_t n = 0;
+  for (const auto& sp : shards_) n += sp->live_roots;
+  return n;
+}
+
+// --- the round loop ----------------------------------------------------------
+
+void Core::merge_inboxes() {
+  for (auto& sp : shards_) {
+    std::vector<CrossMsg> msgs;
+    {
+      std::lock_guard<std::mutex> lk(sp->inbox_mu);
+      msgs.swap(sp->inbox);
+    }
+    if (msgs.empty()) continue;
+    // Canonical delivery order: (time, source shard, source sequence) —
+    // never the wall-clock order the messages arrived in.
+    std::sort(msgs.begin(), msgs.end());
+    for (CrossMsg& m : msgs) {
+      auto state = std::make_shared<TimerState>();
+      state->fn = std::move(m.fn);
+      sp->queue.push(Event{m.at, sp->next_seq++, nullptr, std::move(state)});
+    }
+  }
+}
+
+Nanos Core::earliest_shard_time() {
+  Nanos t = kNever;
+  for (auto& sp : shards_) {
+    if (const Event* e = sp->queue.peek_live(); e != nullptr && e->at < t) {
+      t = e->at;
+    }
+  }
+  return t;
+}
+
+void Core::drain_shard(Shard& s) {
+  CtxScope scope(this, &s, s.now);
+  s.stop = false;
+  while (!s.stop) {
+    const Event* top = s.queue.peek_live();
+    if (top == nullptr || top->at >= window_end_) break;
+    Event ev = s.queue.pop();
+    s.now = ev.at;
+    g_ctx.now = ev.at;
+    try {
+      if (ev.timer != nullptr) {
+        if (ev.timer->alive.exchange(false, std::memory_order_acq_rel)) {
+          auto fn = std::move(ev.timer->fn);
+          ev.timer->fn = nullptr;
+          fn();
+        } else {
+          s.queue.note_popped_dead();
+        }
+      } else {
+        ev.handle.resume();
+      }
+    } catch (...) {
+      if (!s.error) s.error = std::current_exception();
+    }
+    for (auto h : s.finished) {
+      std::erase(s.roots, h);
+      h.destroy();
+    }
+    s.finished.clear();
+    if (s.error) break;
+  }
+  s.queue.compact_if_bloated();
+}
+
+void Core::run_serialized_phase() {
+  std::vector<CrossMsg> ops;
+  for (;;) {
+    ops.clear();
+    for (auto& sp : shards_) {
+      std::move(sp->pending_ops.begin(), sp->pending_ops.end(),
+                std::back_inserter(ops));
+      sp->pending_ops.clear();
+    }
+    std::move(coord_ops_.begin(), coord_ops_.end(), std::back_inserter(ops));
+    coord_ops_.clear();
+    if (ops.empty()) return;
+    std::sort(ops.begin(), ops.end());
+    for (CrossMsg& m : ops) {
+      Shard* home = m.src_shard >= 0
+                        ? shards_[static_cast<std::size_t>(m.src_shard)].get()
+                        : nullptr;
+      CtxScope scope(this, home, m.at);
+      try {
+        if (m.resume) {
+          m.resume.resume();
+        } else {
+          m.fn();
+        }
+      } catch (...) {
+        Shard& sink = home != nullptr ? *home : *shards_.front();
+        if (!sink.error) sink.error = std::current_exception();
+      }
+      if (home != nullptr) {
+        for (auto h : home->finished) {
+          std::erase(home->roots, h);
+          h.destroy();
+        }
+        home->finished.clear();
+      }
+    }
+  }
+}
+
+void Core::merge_traces() {
+  if (traces_merged_) return;
+  traces_merged_ = true;
+  std::vector<Interval> all;
+  for (auto& sp : shards_) {
+    auto iv = sp->trace.take_intervals();
+    std::move(iv.begin(), iv.end(), std::back_inserter(all));
+  }
+  // Canonical order, independent of shard count and worker interleaving.
+  // Metrics (union/overlap lengths) are order-insensitive; only the dump
+  // order of chrome traces differs from the serial engine's chronological
+  // record order.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Interval& a, const Interval& b) {
+                     if (a.begin != b.begin) return a.begin < b.begin;
+                     if (a.end != b.end) return a.end < b.end;
+                     if (a.device != b.device) return a.device < b.device;
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     if (a.cat != b.cat) return a.cat < b.cat;
+                     return a.name < b.name;
+                   });
+  eng_->trace_.append(std::move(all));
+}
+
+void Core::reap_all_finished() {
+  for (auto& sp : shards_) {
+    for (auto h : sp->finished) {
+      std::erase(sp->roots, h);
+      h.destroy();
+    }
+    sp->finished.clear();
+  }
+}
+
+void Core::finalize_time() {
+  Nanos t = coord_now_;
+  for (auto& sp : shards_) t = std::max(t, sp->now);
+  eng_->now_ = t;
+  coord_now_ = t;
+}
+
+void Core::throw_deadlock() {
+  const std::size_t stuck = live_tasks();
+  if (eng_->observer_ != nullptr) eng_->observer_->on_deadlock(stuck);
+  std::string report = describe_open_waits();
+  if (!report.empty()) {
+    report = "simulation deadlock: " + std::to_string(stuck) +
+             " task(s) blocked with an empty event queue" + report;
+  }
+  throw DeadlockError(stuck, report);
+}
+
+void Core::rethrow_first_error() {
+  for (auto& sp : shards_) {
+    if (sp->error) {
+      std::exception_ptr e = std::exchange(sp->error, nullptr);
+      reap_all_finished();
+      finalize_time();
+      merge_traces();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void Core::run() {
+  const bool trace_on = eng_->trace_.enabled();
+  for (auto& sp : shards_) {
+    sp->trace.set_enabled(trace_on);
+    // Shards migrate between workers across rounds; the coordinator's
+    // round barriers provide the happens-before the usual single-thread
+    // confinement check cannot see.
+    sp->trace.set_checked(false);
+  }
+  single_worker_rounds_ =
+      threads_ <= 1 || force_serial_ || data_coupled_ ||
+      eng_->observer_ != nullptr || static_cast<int>(shards_.size()) <= 1;
+  if (!single_worker_rounds_) start_workers();
+  traces_merged_ = false;
+
+  std::uint64_t dbg_windows = 0, dbg_parallel = 0, dbg_coord = 0,
+                dbg_shard_turns = 0;
+  for (;;) {
+    merge_inboxes();
+    const Event* ct = coord_queue_.peek_live();
+    const Nanos t_coord = ct != nullptr ? ct->at : kNever;
+    const Nanos t_shard = earliest_shard_time();
+    const Nanos T = std::min(t_coord, t_shard);
+    if (T == kNever) break;
+    coord_now_ = T;
+    eng_->now_ = T;
+    if (t_coord <= T) {
+      ++dbg_coord;
+      // Coordinator timers fire between windows; they may wake shards at T
+      // (every shard's clock is still <= T), so recompute the horizon after.
+      while (const Event* top = coord_queue_.peek_live()) {
+        if (top->at > T) break;
+        Event ev = coord_queue_.pop();
+        CtxScope scope(this, nullptr, ev.at);
+        if (ev.timer->alive.exchange(false, std::memory_order_acq_rel)) {
+          auto fn = std::move(ev.timer->fn);
+          ev.timer->fn = nullptr;
+          fn();
+        } else {
+          coord_queue_.note_popped_dead();
+        }
+      }
+      coord_queue_.compact_if_bloated();
+      run_serialized_phase();
+      rethrow_first_error();
+      continue;
+    }
+    // Conservative window: no event in [T, window_end) may require a
+    // cross-shard effect before window_end (<= T + lookahead), and pending
+    // coordinator timers cap it so completion wakes are never late.
+    // Width-1 windows restore global time order across shards: required
+    // when couplings have zero simulated latency (lockstep) or when
+    // delivery callbacks read data another shard mutates at a later instant
+    // of the same window (functional payload copies).
+    window_end_ = (lockstep_ || data_coupled_) ? T + 1 : T + lookahead_;
+    if (t_coord < window_end_) window_end_ = t_coord;
+    round_work_.clear();
+    for (auto& sp : shards_) {
+      if (const Event* e = sp->queue.peek_live();
+          e != nullptr && e->at < window_end_) {
+        round_work_.push_back(sp.get());
+      }
+    }
+    ++dbg_windows;
+    dbg_shard_turns += round_work_.size();
+    in_serialized_phase_ = false;
+    if (single_worker_rounds_ || round_work_.size() == 1) {
+      for (Shard* s : round_work_) drain_shard(*s);
+    } else {
+      ++dbg_parallel;
+      run_window_parallel();
+    }
+    in_serialized_phase_ = true;
+    run_serialized_phase();
+    rethrow_first_error();
+  }
+
+  if (std::getenv("CPUFREE_PDES_DEBUG") != nullptr) {
+    std::uint64_t events = 0;
+    for (auto& sp : shards_) events += sp->next_seq;
+    std::fprintf(stderr,
+                 "pdes: windows=%llu parallel=%llu coord_rounds=%llu "
+                 "shard_turns=%llu shard_events=%llu\n",
+                 static_cast<unsigned long long>(dbg_windows),
+                 static_cast<unsigned long long>(dbg_parallel),
+                 static_cast<unsigned long long>(dbg_coord),
+                 static_cast<unsigned long long>(dbg_shard_turns),
+                 static_cast<unsigned long long>(events));
+  }
+  finalize_time();
+  reap_all_finished();
+  if (live_tasks() != 0) {
+    merge_traces();
+    throw_deadlock();
+  }
+  merge_traces();
+}
+
+// --- worker pool -------------------------------------------------------------
+
+void Core::start_workers() {
+  if (!pool_.empty()) return;
+  const int workers = std::min(threads_, static_cast<int>(shards_.size())) - 1;
+  // Spinning between rounds only pays when every participant (workers +
+  // coordinator) can own a hardware thread; oversubscribed, a spinner burns
+  // the very core the publisher needs and every round degrades into
+  // scheduler ping-pong. Fall straight through to the condvar then.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_rounds_ = (hw != 0 && hw > static_cast<unsigned>(workers)) ? 16384 : 0;
+  pool_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    pool_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Core::stop_workers() {
+  if (pool_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_ = true;
+    shutdown_flag_.store(true, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
+  for (auto& t : pool_) t.join();
+  pool_.clear();
+}
+
+void Core::drain_from_cursor() {
+  for (;;) {
+    const std::size_t i =
+        round_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= round_work_.size()) break;
+    drain_shard(*round_work_[i]);
+  }
+}
+
+void Core::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      // Light spin first: windows are microseconds apart and a futex sleep
+      // per round would dominate them.
+      bool ready = false;
+      for (int spin = 0; spin < spin_rounds_; ++spin) {
+        if (round_pub_.load(std::memory_order_acquire) != seen ||
+            shutdown_flag_.load(std::memory_order_acquire)) {
+          ready = true;
+          break;
+        }
+      }
+      if (!ready) {
+        std::unique_lock<std::mutex> lk(pool_mu_);
+        pool_cv_.wait(lk, [&] {
+          return shutdown_ || round_id_ != seen;
+        });
+      }
+    }
+    if (shutdown_flag_.load(std::memory_order_acquire)) return;
+    seen = round_pub_.load(std::memory_order_acquire);
+    drain_from_cursor();
+    if (round_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      idle_cv_.notify_one();
+    }
+  }
+}
+
+void Core::run_window_parallel() {
+  round_cursor_.store(0, std::memory_order_relaxed);
+  const int participants = static_cast<int>(pool_.size()) + 1;
+  round_remaining_.store(participants, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    ++round_id_;
+    round_pub_.store(round_id_, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
+  drain_from_cursor();
+  if (round_remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    bool done = false;
+    for (int spin = 0; spin < 4 * spin_rounds_; ++spin) {
+      if (round_remaining_.load(std::memory_order_acquire) == 0) {
+        done = true;
+        break;
+      }
+    }
+    if (!done) {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      idle_cv_.wait(lk, [&] {
+        return round_remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  // Synchronize with the workers' shard mutations (acquire pairs with their
+  // release decrement).
+  (void)round_remaining_.load(std::memory_order_acquire);
+}
+
+}  // namespace sim::pdes

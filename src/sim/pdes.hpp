@@ -1,0 +1,220 @@
+// Sharded parallel discrete-event execution (conservative lookahead windows).
+//
+// The serial engine processes one global (time, seq) queue. Under sharding,
+// events are partitioned by device into per-shard sub-engines, each with its
+// own queue, clock, sequence counter and trace. Shards advance in rounds:
+//
+//   1. Inter-shard messages are merged into their target shards in
+//      (time, source shard, source sequence) order.
+//   2. T = the earliest pending timestamp anywhere. Coordinator timers due
+//      at T run first (they may wake shards at T).
+//   3. The window [T, min(T + lookahead, next coordinator timer)) opens and
+//      every shard with work in it drains its local queue — in parallel.
+//      A shard that posts a global op stops draining immediately, because
+//      the op may wake it at the posting instant.
+//   4. The serialized phase runs all posted global ops (gate resumes,
+//      barrier arrivals) in (time, source shard, source sequence) order on
+//      the coordinator thread.
+//
+// Soundness: an event executed at local time t < window_end may only affect
+// another shard at time >= t + lookahead (the minimum cross-shard link
+// latency). Those effects travel as timestamped messages (schedule_cross)
+// merged at step 1 of a later round, or through the serialized phase, so no
+// shard ever receives work in its past. Determinism: every cross-shard
+// ordering decision is made from (time, source shard, source sequence)
+// triples — never from wall-clock interleaving — so results are identical
+// for any worker count, and `force_serial_rounds` (one worker, same round
+// algorithm) is identical by construction. See DESIGN.md §11.
+#pragma once
+
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace sim::pdes {
+
+/// Static assignment of devices to shards. The default plan is one shard
+/// per device; coarser plans (e.g. one shard per node) only need a
+/// different device_shard map.
+struct ShardPlan {
+  int num_shards = 1;
+  std::vector<int> device_shard;  // device id -> shard id
+
+  [[nodiscard]] static ShardPlan per_device(int devices) {
+    ShardPlan p;
+    p.num_shards = devices;
+    p.device_shard.resize(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d) {
+      p.device_shard[static_cast<std::size_t>(d)] = d;
+    }
+    return p;
+  }
+
+  [[nodiscard]] int shard_of(int device) const noexcept {
+    if (device < 0 ||
+        device >= static_cast<int>(device_shard.size())) {
+      return 0;  // host-side actors ride shard 0
+    }
+    return device_shard[static_cast<std::size_t>(device)];
+  }
+};
+
+/// A timestamped inter-shard message (delivery callback) or serialized-phase
+/// op. Ordered by (at, src_shard, src_seq) wherever cross-shard order
+/// matters.
+struct CrossMsg {
+  Nanos at = 0;
+  int src_shard = 0;
+  std::uint64_t src_seq = 0;
+  std::function<void()> fn;
+  std::coroutine_handle<> resume;  // gate resumes; null for plain ops
+
+  friend bool operator<(const CrossMsg& a, const CrossMsg& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+    return a.src_seq < b.src_seq;
+  }
+};
+
+/// One sub-engine: queue, clock, roots and trace for a subset of devices.
+/// Everything here is touched either by the single worker draining this
+/// shard during a window, or by the coordinator between windows — except
+/// `inbox`, which takes the mutex.
+struct Shard {
+  int id = 0;
+  EventQueue queue;
+  Nanos now = 0;
+  std::uint64_t next_seq = 0;
+  Trace trace;
+  std::vector<Task::Handle> roots;
+  std::vector<Task::Handle> finished;
+  std::size_t live_roots = 0;
+  std::exception_ptr error;
+  bool stop = false;  // set when this shard posts a global op mid-window
+
+  std::mutex inbox_mu;
+  std::vector<CrossMsg> inbox;
+
+  /// Global ops posted by this shard's events this window (drained by the
+  /// serialized phase; no lock — own-shard writes only).
+  std::vector<CrossMsg> pending_ops;
+
+  /// Open-wait registry slice (tokens are shard-prefixed).
+  std::map<Engine::WaitToken, Engine::WaitSite> open_waits;
+  std::uint64_t next_wait_seq = 0;
+};
+
+class Core {
+ public:
+  Core(Engine& engine, const ShardPlan& plan, int threads, Nanos lookahead);
+  ~Core();
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  void run();
+
+  // --- context-routed engine operations (see engine.cpp) ------------------
+  [[nodiscard]] Nanos ctx_now() const noexcept;
+  [[nodiscard]] int ctx_shard() const noexcept;  // kCoordinatorHome when none
+  [[nodiscard]] Trace& ctx_trace() const noexcept;
+  void schedule(std::coroutine_handle<> h, Nanos delay);
+  void schedule_to(int home, std::coroutine_handle<> h);
+  TimerToken schedule_callback(std::function<void()> fn, Nanos delay);
+  TimerToken schedule_callback_global(std::function<void()> fn, Nanos delay);
+  void spawn(Task t);
+  void spawn_on(int shard, Task t);
+  void schedule_cross(int shard, Nanos at, std::function<void()> fn);
+  void post_global(std::function<void()> fn);
+  void post_gate(std::coroutine_handle<> h);
+  void on_root_done(Task::Handle h);
+  void note_cancel(int home) noexcept;
+
+  [[nodiscard]] Engine::WaitToken note_wait_begin(Engine::WaitSite site);
+  void note_wait_end(Engine::WaitToken token);
+  [[nodiscard]] std::string describe_open_waits() const;
+
+  [[nodiscard]] std::size_t live_tasks() const noexcept;
+  [[nodiscard]] int shard_of_device(int device) const noexcept {
+    return plan_.shard_of(device);
+  }
+  void force_serial() noexcept { force_serial_ = true; }
+  /// Toggleable demand for single-worker, width-1-window rounds (vshmem
+  /// functional payload copies: value semantics need global time order).
+  void set_data_coupled(bool on) noexcept { data_coupled_ = on; }
+  /// Zero-lookahead layer active (hostmpi mailbox matching): single-worker
+  /// rounds with one-nanosecond windows — the sharded algorithm at serial
+  /// speed, still deterministic for every thread count.
+  void require_lockstep() noexcept {
+    force_serial_ = true;
+    lockstep_ = true;
+  }
+
+ private:
+  void merge_inboxes();
+  /// Earliest live timestamp across shard queues (Nanos max when none).
+  Nanos earliest_shard_time();
+  void drain_shard(Shard& s);
+  void run_serialized_phase();
+  void post_msg(CrossMsg m);
+  void start_workers();
+  void stop_workers();
+  void worker_main();
+  void drain_from_cursor();
+  void run_window_parallel();
+  void merge_traces();
+  void reap_all_finished();
+  void finalize_time();
+  void rethrow_first_error();
+  [[noreturn]] void throw_deadlock();
+
+  Engine* eng_;
+  ShardPlan plan_;
+  int threads_ = 1;
+  Nanos lookahead_ = 1;
+  bool force_serial_ = false;
+  bool data_coupled_ = false;
+  bool lockstep_ = false;
+  bool single_worker_rounds_ = true;
+  bool traces_merged_ = false;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Coordinator state (touched only between windows).
+  EventQueue coord_queue_;
+  Nanos coord_now_ = 0;
+  std::uint64_t coord_seq_ = 0;
+  std::vector<CrossMsg> coord_ops_;  // ops posted from coordinator context
+  Nanos window_end_ = 0;
+  bool in_serialized_phase_ = true;  // true outside windows
+
+  // Worker pool. Workers pull shards from `round_work_` via an atomic
+  // cursor; shard state is only ever touched by one worker per round, and
+  // the round barrier (release decrement / acquire wait) publishes every
+  // shard mutation to whoever drains it next.
+  std::vector<std::thread> pool_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable idle_cv_;
+  std::uint64_t round_id_ = 0;
+  bool shutdown_ = false;
+  /// Spin budget before a participant falls back to the condvar; 0 when the
+  /// host is oversubscribed (fewer hardware threads than participants).
+  int spin_rounds_ = 0;
+  std::vector<Shard*> round_work_;
+  std::atomic<std::size_t> round_cursor_{0};
+  std::atomic<std::uint64_t> round_pub_{0};
+  std::atomic<int> round_remaining_{0};
+  std::atomic<bool> shutdown_flag_{false};
+};
+
+}  // namespace sim::pdes

@@ -12,7 +12,9 @@
 //         "wall_ms": <host wall-clock spent simulating the run>,
 //         "values": {"<scalar>": <double>, ...},
 //         "metrics": {<cpufree::RunMetrics, ns-exact>},
-//         "machine": {<the vgpu::MachineSpec calibration the run used>}
+//         "machine": {<the vgpu::MachineSpec calibration the run used,
+//                      including pdes_threads — the sharded-engine worker
+//                      count the run simulated under (1 = serial engine)>}
 //       }, ...
 //     ]
 //   }

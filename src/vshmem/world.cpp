@@ -8,6 +8,9 @@ World::World(vgpu::Machine& machine)
     : machine_(&machine), n_pes_(machine.num_devices()) {
   // nvshmem_init establishes the all-to-all PGAS domain over NVLink.
   machine_->enable_all_peer_access();
+  // Functional mode (the default) is a cross-shard data coupling; see
+  // set_functional. Benchmarks switch it off before their timed runs.
+  machine_->engine().set_data_coupled(functional_);
   pe_.resize(static_cast<std::size_t>(n_pes_));
   sim::Observer* const o = machine_->engine().observer();
   for (std::size_t i = 0; i < pe_.size(); ++i) {
@@ -228,6 +231,8 @@ sim::Task World::sync_all(vgpu::KernelCtx& ctx) {
   if (!barrier_) {
     barrier_ = std::make_unique<sim::Barrier>(machine_->engine(),
                                               static_cast<std::size_t>(n_pes_));
+    // PEs span shards: arrivals must be globally ordered under sharding.
+    if (machine_->engine().sharded()) barrier_->set_global(true);
   }
   const sim::Nanos t0 = machine_->engine().now();
   sim::Observer* const o = machine_->engine().observer();

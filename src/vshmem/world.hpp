@@ -140,7 +140,13 @@ class World {
   /// Timing-only switch: when false, data-movement ops charge full costs and
   /// apply signals, but skip the functional payload copies (so benchmark
   /// sweeps need not allocate or touch full-size domains). Default true.
-  void set_functional(bool on) noexcept { functional_ = on; }
+  void set_functional(bool on) noexcept {
+    functional_ = on;
+    // Functional payload copies read the source PE's memory at delivery
+    // time on the destination's shard — a zero-lookahead data coupling, so
+    // a sharded engine must run its rounds on one worker while it is on.
+    machine_->engine().set_data_coupled(on);
+  }
   [[nodiscard]] bool functional() const noexcept { return functional_; }
 
   /// nvshmem_malloc: allocates `count` elements of T on every PE.

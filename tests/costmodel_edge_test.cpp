@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "hostmpi/comm.hpp"
+#include "sim/intmath.hpp"
 #include "vgpu/kernel.hpp"
 #include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
@@ -182,6 +184,38 @@ TEST(HostStagedPath, StridedSendExactEndToEndCost) {
   // stage up:                                          =   10683
   // unpack DRAM:                                       =      13
   EXPECT_EQ(recv_done, 2048000 + 13 + 10683 + 2233 + 10683 + 13);
+}
+
+TEST(IntMathOverflow, CeilDivNearNanosMaxDoesNotWrap) {
+  // The textbook (num + den - 1) / den wraps for num near max and returns a
+  // tiny quotient; the quotient-plus-remainder form must not.
+  constexpr Nanos kMax = std::numeric_limits<Nanos>::max();
+  EXPECT_EQ(sim::ceil_div(kMax, Nanos{1}), kMax);
+  EXPECT_EQ(sim::ceil_div(kMax, Nanos{2}), kMax / 2 + 1);
+  EXPECT_EQ(sim::ceil_div(kMax - 1, kMax), 1);
+  EXPECT_EQ(sim::ceil_div(kMax, kMax), 1);
+  // Ordinary values keep the ordinary answers.
+  EXPECT_EQ(sim::ceil_div(Nanos{0}, Nanos{7}), 0);
+  EXPECT_EQ(sim::ceil_div(Nanos{7}, Nanos{7}), 1);
+  EXPECT_EQ(sim::ceil_div(Nanos{8}, Nanos{7}), 2);
+}
+
+TEST(IntMathOverflow, CeilNanosSaturatesAtRepresentableMax) {
+  constexpr Nanos kMax = std::numeric_limits<Nanos>::max();
+  constexpr double kLimit = static_cast<double>(kMax);  // 2^63 exactly
+  // At or beyond 2^63 the float-to-integer cast is UB (and wraps in
+  // practice); the helper must saturate instead.
+  EXPECT_EQ(sim::ceil_nanos(kLimit), kMax);
+  EXPECT_EQ(sim::ceil_nanos(kLimit * 2.0), kMax);
+  EXPECT_EQ(sim::ceil_nanos(std::numeric_limits<double>::infinity()), kMax);
+  // Just below the limit stays finite and positive (exactly representable).
+  EXPECT_EQ(sim::ceil_nanos(kLimit * 0.5), kMax / 2 + 1);
+  // The historical contract is untouched.
+  EXPECT_EQ(sim::ceil_nanos(0.0), 0);
+  EXPECT_EQ(sim::ceil_nanos(-5.0), 0);
+  EXPECT_EQ(sim::ceil_nanos(0.25), 1);
+  EXPECT_EQ(sim::ceil_nanos(3.0), 3);
+  EXPECT_EQ(sim::ceil_nanos(3.5), 4);
 }
 
 }  // namespace
