@@ -93,6 +93,8 @@ sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus,
   res.spec = spec;
   res.metrics = r.metrics;
   res.set("per_iter_us", sim::to_usec(r.metrics.per_iteration));
+  res.set("persistent_blocks", r.persistent_blocks);
+  res.note("put_expansion", r.put_expansion);
   return res;
 }
 

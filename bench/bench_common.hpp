@@ -286,6 +286,11 @@ struct Args {
   /// --pdes-threads N: worker threads for the intra-run sharded event
   /// engine. 1 (default) is the serial engine, byte-for-byte.
   int pdes_threads = 1;
+  /// --tune: skip the sweep; run the recipe autotuner (src/tune/) on the
+  /// driver's tunable workloads and report predicted vs measured times.
+  bool tune = false;
+  /// --tune-budget N: cap the enumerated candidate space (0 = full space).
+  int tune_budget = 0;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -309,6 +314,18 @@ struct Args {
         a.progress = false;
       } else if (s == "--check") {
         a.check = true;
+      } else if (s == "--tune") {
+        a.tune = true;
+      } else if (s == "--tune-budget" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        if (!parse_int_strict(v, a.tune_budget) || a.tune_budget < 0) {
+          flag_usage_error("--tune-budget", "an integer >= 0", v);
+        }
+      } else if (s.rfind("--tune-budget=", 0) == 0) {
+        const std::string v(s.substr(sizeof("--tune-budget=") - 1));
+        if (!parse_int_strict(v, a.tune_budget) || a.tune_budget < 0) {
+          flag_usage_error("--tune-budget", "an integer >= 0", v);
+        }
       } else if (s == "--topo") {
         a.topo = true;
       } else if (s == "--faults" && i + 1 < argc) {

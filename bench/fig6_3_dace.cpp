@@ -13,33 +13,37 @@
 #include "bench_common.hpp"
 #include "dacelite/exec.hpp"
 #include "dacelite/frontend.hpp"
-#include "dacelite/transforms.hpp"
+#include "dacelite/pass.hpp"
 #include "hostmpi/comm.hpp"
+#include "tune/tuner.hpp"
+#include "tune_report.hpp"
 #include "vshmem/world.hpp"
 
 namespace {
 
-sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
-                        const bench::Args& args,
-                        sim::Observer* obs = nullptr) {
-  auto prog = dacelite::make_jacobi1d(n, ranks, iters);
+/// Replays the canonical recipe for `cpufree` (the §6.2.1 CPU-Free porting
+/// sequence vs the GPU-only baseline preparation) and runs the matching
+/// backend. Both hand-rolled transform chains this driver used to carry are
+/// now the same two named recipes the tuner enumerates around.
+sweep::RunResult run_sdfg(dacelite::Sdfg& sdfg, bool cpufree, int ranks,
+                          const bench::Args& args, sim::Observer* obs) {
+  const dacelite::Recipe recipe = cpufree ? dacelite::Recipe::cpu_free_default()
+                                          : dacelite::Recipe::gpu_baseline();
+  dacelite::Pipeline().apply(sdfg, recipe);
   const vgpu::MachineSpec spec =
       args.with_faults(vgpu::MachineSpec::hgx_a100(ranks));
   vgpu::Machine m(spec);
   m.engine().set_observer(obs);
   vshmem::World w(m);
-  dacelite::ExecOptions opt;
+  dacelite::ExecOptions opt = dacelite::exec_options(recipe);
   opt.functional = false;
+  dacelite::ProgramData data(w, sdfg, /*functional=*/false);
   dacelite::ExecResult r;
   if (cpufree) {
-    dacelite::to_cpu_free(prog.sdfg);
-    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
-    r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
+    r = dacelite::execute_persistent(m, w, data, sdfg, opt);
   } else {
-    dacelite::apply_gpu_transform(prog.sdfg);
     hostmpi::Comm comm(m);
-    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
-    r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
+    r = dacelite::execute_discrete(m, comm, data, sdfg, opt);
   }
   sweep::RunResult res;
   res.spec = spec;
@@ -47,38 +51,55 @@ sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
   res.set("total_ms", r.metrics.total_ms());
   res.set("comm_us", sim::to_usec(r.metrics.comm));
   res.set("noncompute_pct", r.metrics.noncompute_fraction * 100.0);
+  res.set("persistent_blocks", r.persistent_blocks);
+  res.note("put_expansion", r.put_expansion);
   return res;
+}
+
+sweep::RunResult run_1d(bool cpufree, std::size_t n, int ranks, int iters,
+                        const bench::Args& args,
+                        sim::Observer* obs = nullptr) {
+  auto prog = dacelite::make_jacobi1d(n, ranks, iters);
+  return run_sdfg(prog.sdfg, cpufree, ranks, args, obs);
 }
 
 sweep::RunResult run_2d(bool cpufree, std::size_t gx, std::size_t gy,
                         int ranks, int iters, const bench::Args& args,
                         sim::Observer* obs = nullptr) {
   auto prog = dacelite::make_jacobi2d(gx, gy, ranks, iters);
-  const vgpu::MachineSpec spec =
-      args.with_faults(vgpu::MachineSpec::hgx_a100(ranks));
-  vgpu::Machine m(spec);
-  m.engine().set_observer(obs);
-  vshmem::World w(m);
-  dacelite::ExecOptions opt;
-  opt.functional = false;
-  dacelite::ExecResult r;
-  if (cpufree) {
-    dacelite::to_cpu_free(prog.sdfg);
-    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
-    r = dacelite::execute_persistent(m, w, data, prog.sdfg, opt);
-  } else {
-    dacelite::apply_gpu_transform(prog.sdfg);
-    hostmpi::Comm comm(m);
-    dacelite::ProgramData data(w, prog.sdfg, /*functional=*/false);
-    r = dacelite::execute_discrete(m, comm, data, prog.sdfg, opt);
-  }
-  sweep::RunResult res;
-  res.spec = spec;
-  res.metrics = r.metrics;
-  res.set("total_ms", r.metrics.total_ms());
-  res.set("comm_us", sim::to_usec(r.metrics.comm));
-  res.set("noncompute_pct", r.metrics.noncompute_fraction * 100.0);
-  return res;
+  return run_sdfg(prog.sdfg, cpufree, ranks, args, obs);
+}
+
+/// --tune: the prototype-then-validate loop on Jacobi 2D (the workload with
+/// the richest decision space: partition shape + strided west/east puts).
+/// Exit status 0 only when a validated, verified, check-clean recipe
+/// measured strictly faster than the default — the autotuning acceptance
+/// gate CI runs with a small budget.
+int run_tune(const bench::Args& args) {
+  bench::print_header("Recipe autotuner",
+                      "dacelite pass recipes, prototype -> validate");
+  tune::Workload w;
+  w.kind = tune::WorkloadKind::kJacobi2D;
+  w.gx = 800;
+  w.gy = 800;
+  w.ranks = 4;
+  w.iterations = 10;
+  bench::print_calibration(vgpu::MachineSpec::hgx_a100(w.ranks));
+
+  tune::TuneOptions topt;
+  topt.top_k = 3;
+  topt.max_candidates = args.tune_budget;
+  topt.sweep_threads = args.threads;
+  topt.pdes_threads = args.pdes_threads;
+  topt.progress = args.progress;
+  topt.id_prefix = "jacobi2d/";
+  topt.base_params = {{"system", "jacobi2d"}};
+  const tune::TuneReport rep =
+      tune::tune(w, vgpu::MachineSpec::hgx_a100(w.ranks), topt);
+  const bool improved = bench::print_tune_summary(rep);
+  bench::emit_records("fig6_3_dace_tune", args, topt.sweep_threads,
+                      rep.records);
+  return improved ? 0 : 1;
 }
 
 /// Weak scaling: grow the domain with the rank count.
@@ -111,6 +132,7 @@ int main(int argc, char** argv) {
     bench::print_topology(vgpu::MachineSpec::hgx_a100(8), "hgx_a100(8)");
     return 0;
   }
+  if (args.tune) return run_tune(args);
   if (args.check) {
     const std::vector<bench::CheckCase> cases = {
         {"jacobi1d/baseline_mpi",

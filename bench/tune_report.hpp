@@ -1,0 +1,62 @@
+// Shared console rendering of a tune::TuneReport for the bench drivers
+// (fig6_3_dace --tune and fig_autotune).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+#include "tune/tuner.hpp"
+
+namespace bench {
+
+/// Prints the default recipe plus every validated top-K candidate with
+/// predicted vs measured time and its validation status. Returns true when a
+/// validated, verified, check-clean candidate measured strictly faster than
+/// the (validated) default.
+inline bool print_tune_summary(const tune::TuneReport& rep) {
+  std::printf("workload: %s   space: %zu candidate(s)\n",
+              rep.workload.label().c_str(), rep.space_size);
+  std::printf("  %-44s %13s %13s  %s\n", "candidate", "predicted[us]",
+              "measured[us]", "status");
+  auto line = [](const std::string& label, const tune::CandidateResult& r) {
+    std::string status = "scored";
+    if (r.validated) {
+      status = r.verified ? "verified" : "UNVERIFIED";
+      status += r.check_clean ? ",clean" : ",DIRTY";
+      if (!r.put_expansion.empty()) {
+        status += " put=" + r.put_expansion;
+        status += " blocks=" + std::to_string(r.persistent_blocks);
+      }
+    }
+    std::printf("  %-44s %13.1f %13.1f  %s\n", label.c_str(),
+                sim::to_usec(r.predicted),
+                r.validated ? sim::to_usec(r.measured) : 0.0, status.c_str());
+  };
+  line("default [" + rep.baseline.candidate.id() + "]", rep.baseline);
+  for (const tune::CandidateResult& r : rep.ranked) {
+    if (!r.validated) break;  // ranked is sorted; only the top-K validated
+    line(r.candidate.id(), r);
+  }
+
+  const tune::CandidateResult* best = rep.best();
+  const bool improved = best != nullptr && rep.baseline.validated &&
+                        rep.baseline.verified &&
+                        best->measured < rep.baseline.measured;
+  if (improved) {
+    std::printf(
+        "  winner: %s  (%.1f us vs default %.1f us, %+.1f%%)\n"
+        "  recipe: %s\n\n",
+        best->candidate.id().c_str(), sim::to_usec(best->measured),
+        sim::to_usec(rep.baseline.measured),
+        (sim::to_usec(best->measured) / sim::to_usec(rep.baseline.measured) -
+         1.0) *
+            100.0,
+        best->candidate.recipe.serialize().c_str());
+  } else {
+    std::printf("  no validated candidate beat the default recipe\n\n");
+  }
+  return improved;
+}
+
+}  // namespace bench

@@ -1,8 +1,8 @@
 // Compiler walkthrough: build a distributed Jacobi SDFG the way a DaCe user
-// would, inspect it, apply the CPU-Free porting recipe (GPUTransform ->
-// MPI->NVSHMEM -> NVSHMEMArray -> GPUPersistentKernel), execute BOTH the
-// discrete MPI baseline and the generated CPU-Free program, verify each
-// against the serial reference, and compare.
+// would, inspect it, replay the CPU-Free porting recipe (GPUTransform ->
+// MPI->NVSHMEM -> NVSHMEMArray -> GPUPersistentKernel) through the pass
+// pipeline, execute BOTH the discrete MPI baseline and the generated
+// CPU-Free program, verify each against the serial reference, and compare.
 //
 //   $ ./dacelite_jacobi [grid ranks iterations]
 #include <cstdio>
@@ -12,7 +12,7 @@
 #include "dacelite/exec.hpp"
 #include "sim/stats.hpp"
 #include "dacelite/frontend.hpp"
-#include "dacelite/transforms.hpp"
+#include "dacelite/pass.hpp"
 #include "hostmpi/comm.hpp"
 #include "vshmem/world.hpp"
 
@@ -56,7 +56,9 @@ int main(int argc, char** argv) {
 
   std::printf("=== 1. Frontend: distributed 2D Jacobi with MPI nodes ===\n");
   auto baseline = dacelite::make_jacobi2d(grid, ranks, iters);
-  dacelite::apply_gpu_transform(baseline.sdfg);
+  const dacelite::Recipe base_recipe = dacelite::Recipe::gpu_baseline();
+  std::printf("recipe: %s\n", base_recipe.serialize().c_str());
+  dacelite::Pipeline().apply(baseline.sdfg, base_recipe);
   describe(baseline.sdfg);
 
   std::printf("\n=== 2. Execute the discrete (CPU-controlled) baseline ===\n");
@@ -77,7 +79,14 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== 3. Port to CPU-Free (the paper's 6.2.1 recipe) ===\n");
   auto ported = dacelite::make_jacobi2d(grid, ranks, iters);
-  dacelite::to_cpu_free(ported.sdfg);
+  const dacelite::Recipe recipe = dacelite::Recipe::cpu_free_default();
+  std::printf("recipe: %s\n", recipe.serialize().c_str());
+  const std::vector<dacelite::AppliedStep> applied =
+      dacelite::Pipeline().apply(ported.sdfg, recipe);
+  for (const dacelite::AppliedStep& step : applied) {
+    std::printf("  pass %-16s changed %d node(s)/array(s)\n",
+                step.step.pass.c_str(), step.changed);
+  }
   describe(ported.sdfg);
 
   std::printf("\n=== 4. Execute the generated persistent CPU-Free program ===\n");
@@ -86,10 +95,11 @@ int main(int argc, char** argv) {
     vshmem::World w(m);
     dacelite::ProgramData data(w, ported.sdfg, true);
     const auto r = dacelite::execute_persistent(m, w, data, ported.sdfg,
-                                                dacelite::ExecOptions{});
+                                                dacelite::exec_options(recipe));
     const bool ok = matches(ported.gather(data), ported.reference(iters));
-    std::printf("total %.3f ms, verified: %s\n", r.metrics.total_ms(),
-                ok ? "bitwise" : "FAILED");
+    std::printf("total %.3f ms, verified: %s  (put expansion: %s, %d blocks)\n",
+                r.metrics.total_ms(), ok ? "bitwise" : "FAILED",
+                r.put_expansion.c_str(), r.persistent_blocks);
     std::printf("\nimprovement over the MPI baseline: %.1f%%\n",
                 sim::speedup_percent(baseline_ms, r.metrics.total_ms()));
   }

@@ -35,6 +35,10 @@ std::string Detector::range_desc(const sim::MemRange& range) const {
   }
   s += " bytes [" + std::to_string(range.lo) + ", " + std::to_string(range.hi) +
        ")";
+  if (range.strided()) {
+    s += " stride " + std::to_string(range.stride) + " x" +
+         std::to_string(range.count);
+  }
   return s;
 }
 
@@ -68,20 +72,30 @@ void Detector::check_range(const sim::Actor& actor, const VectorClock& clock,
                            std::string_view what) {
   if (range.empty()) return;
   AccessInfo cur{e, actor_desc(actor), std::string(what)};
-  shadow_[range.base].access(
-      range.lo, range.hi, is_write, cur, clock,
-      [&](const AccessInfo& prior, bool prior_is_write) {
-        const auto key = std::make_tuple(range.base, e.tid, prior.epoch.tid,
-                                         is_write, prior_is_write);
-        if (!race_keys_.insert(key).second) return;
-        if (races_.size() >= kMaxRaces) {
-          ++suppressed_races_;
-          return;
-        }
-        races_.push_back(RaceReport{range_desc(range), cur.actor, cur.what,
-                                    is_write, prior.actor, prior.what,
-                                    prior_is_write});
-      });
+  AccessTable& table = shadow_[range.base];
+  auto on_race = [&](const AccessInfo& prior, bool prior_is_write) {
+    const auto key = std::make_tuple(range.base, e.tid, prior.epoch.tid,
+                                     is_write, prior_is_write);
+    if (!race_keys_.insert(key).second) return;
+    if (races_.size() >= kMaxRaces) {
+      ++suppressed_races_;
+      return;
+    }
+    races_.push_back(RaceReport{range_desc(range), cur.actor, cur.what,
+                                is_write, prior.actor, prior.what,
+                                prior_is_write});
+  };
+  if (range.strided()) {
+    // Element-accurate: a strided access touches `count` elements `stride`
+    // bytes apart, NOT the whole bounding box — interleaved columns of the
+    // same array are disjoint and must not be reported against each other.
+    for (std::size_t i = 0; i < range.count; ++i) {
+      const std::size_t at = range.lo + i * range.stride;
+      table.access(at, at + range.elem, is_write, cur, clock, on_race);
+    }
+    return;
+  }
+  table.access(range.lo, range.hi, is_write, cur, clock, on_race);
 }
 
 // --- naming ------------------------------------------------------------------

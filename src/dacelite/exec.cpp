@@ -1,6 +1,7 @@
 #include "dacelite/exec.hpp"
 
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "cpufree/halo.hpp"
@@ -24,6 +25,62 @@ int resolve_iterations(const Sdfg& sdfg, const ExecOptions& o) {
 }
 
 }  // namespace
+
+ExecOptions exec_options(const Recipe& recipe) {
+  ExecOptions o;
+  o.threads_per_block = recipe.threads_per_block;
+  o.persistent_blocks = recipe.persistent_blocks;
+  o.expansion = recipe.expansion;
+  return o;
+}
+
+std::string describe_put_expansions(const Sdfg& sdfg,
+                                    const ExecOptions& options, int size) {
+  // A node guarded off for every rank generates no code: skip it so e.g. a
+  // 1 x N partition (east/west nodes present but never active) audits as
+  // contiguous-only. size <= 0 keeps the purely static view.
+  const auto generated = [size](const LibraryNode& lib) {
+    if (size <= 0) return true;
+    for (int rank = 0; rank < size; ++rank) {
+      if (lib.active(rank, size)) return true;
+    }
+    return false;
+  };
+  std::set<std::string> labels;
+  auto do_state = [&](const State& st) {
+    for (const Node& n : st.nodes) {
+      const auto* lib = std::get_if<LibraryNode>(&n);
+      if (lib == nullptr || lib->kind != LibKind::kNvshmemPutmemSignal ||
+          !generated(*lib)) {
+        continue;
+      }
+      const PutExpansion exp =
+          resolve_expansion(options.expansion, lib->src, lib->dst);
+      switch (exp) {
+        case PutExpansion::kContiguousSignal:
+          labels.insert(options.mapped_p_expansion ? "mapped_p"
+                        : options.blocking_puts    ? "blocking_put"
+                                                   : "contiguous_signal");
+          break;
+        case PutExpansion::kStridedIputSignal:
+          labels.insert("strided_iput");
+          break;
+        case PutExpansion::kSingleElementP:
+          labels.insert("single_p");
+          break;
+      }
+    }
+  };
+  for (const State& st : sdfg.setup) do_state(st);
+  for (const State& st : sdfg.body) do_state(st);
+  if (labels.empty()) return "none";
+  std::string out;
+  for (const std::string& l : labels) {
+    if (!out.empty()) out += '+';
+    out += l;
+  }
+  return out;
+}
 
 ProgramData::ProgramData(vshmem::World& world, const Sdfg& sdfg,
                          bool functional)
@@ -222,6 +279,7 @@ ExecResult execute_discrete(vgpu::Machine& machine, hostmpi::Comm& comm,
   });
   ExecResult r;
   r.iterations = iters;
+  r.put_expansion = "mpi";
   r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                    iters);
   cpufree::apply_fault_stats(r.metrics, machine.faults().stats());
@@ -249,7 +307,7 @@ sim::Task run_comm_node_persistent(vshmem::World& w, ProgramData& data,
         co_await proto.wait_iteration(
             k, static_cast<std::size_t>(lib.ack_flag), t);
       }
-      const PutExpansion exp = select_expansion(lib.src, lib.dst);
+      const PutExpansion exp = resolve_expansion(opt.expansion, lib.src, lib.dst);
       vshmem::Sym<double>& arr = data.sym(lib.array);
       const auto flag = static_cast<std::size_t>(lib.flag);
       switch (exp) {
@@ -401,7 +459,7 @@ ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
   // Resolve before the kernel bodies capture `options`: the software-tiling
   // model reads persistent_blocks for the resident-thread count.
   options.persistent_blocks = exec::resolve_persistent_blocks(
-      options.persistent_blocks, machine.spec());
+      options.persistent_blocks, machine.spec(), options.threads_per_block);
 
   // Setup states run once; they carry initialization only, executed
   // functionally before the launch.
@@ -436,6 +494,9 @@ ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
 
   ExecResult r;
   r.iterations = iters;
+  r.persistent_blocks = options.persistent_blocks;
+  r.put_expansion =
+      describe_put_expansions(sdfg, options, machine.num_devices());
   r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                    iters);
   cpufree::apply_fault_stats(r.metrics, machine.faults().stats());

@@ -19,6 +19,7 @@
 
 #include "cpufree/metrics.hpp"
 #include "dacelite/ir.hpp"
+#include "dacelite/pass.hpp"
 #include "hostmpi/comm.hpp"
 #include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
@@ -45,12 +46,34 @@ struct ExecOptions {
   /// inside a Map (word-granularity remote stores, so they cannot saturate
   /// the link), followed by the manual signal_op + quiet pair.
   bool mapped_p_expansion = false;
+  /// Tunable override of the §5.3.1 put-expansion selection; kAuto (the
+  /// default) reproduces select_expansion bit-for-bit.
+  ExpansionChoice expansion = ExpansionChoice::kAuto;
 };
+
+/// ExecOptions carrying a Recipe's execution parameters (everything else —
+/// iterations, functional, trace, ablation flags — stays at its default).
+[[nodiscard]] ExecOptions exec_options(const Recipe& recipe);
 
 struct ExecResult {
   cpufree::RunMetrics metrics;
   int iterations = 0;
+  /// Resolved co-resident blocks per device (persistent backend; 0 for the
+  /// discrete backend) — the value the software-tiling model actually used.
+  int persistent_blocks = 0;
+  /// The put expansions the run generated, '+'-joined (e.g.
+  /// "contiguous_signal+strided_iput"), "mpi" for the discrete backend.
+  std::string put_expansion;
 };
+
+/// Static audit of the expansion each NVSHMEM signaled put expands to under
+/// `options` (including the blocking/mapped ablations): the distinct labels,
+/// '+'-joined in sorted order; "none" when the SDFG has no signaled puts.
+/// With `size` > 0, nodes guarded off for every rank of a `size`-rank run
+/// are skipped (they generate no code).
+[[nodiscard]] std::string describe_put_expansions(const Sdfg& sdfg,
+                                                  const ExecOptions& options,
+                                                  int size = 0);
 
 /// Per-rank array instances bound to the symmetric heap, plus the signal
 /// variables used by NVSHMEM nodes. In timing-only mode instances are

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dacelite/pass.hpp"
 #include "dacelite/transforms.hpp"
 
 namespace dacelite {
@@ -14,11 +15,7 @@ std::pair<int, int> grid_dims(int ranks) {
 }
 
 void to_cpu_free(Sdfg& sdfg) {
-  apply_gpu_transform(sdfg);
-  apply_mpi_to_nvshmem(sdfg);
-  apply_nvshmem_arrays(sdfg);
-  apply_persistent(sdfg);
-  sdfg.validate();
+  Pipeline().apply(sdfg, Recipe::cpu_free_default());
 }
 
 // --- Jacobi 1D ----------------------------------------------------------------
@@ -184,12 +181,16 @@ double init2d(std::size_t gy, std::size_t gx) {
 }  // namespace
 
 Jacobi2DProgram make_jacobi2d(std::size_t gx, std::size_t gy, int ranks,
-                              int iterations) {
+                              int iterations, int force_px) {
   Jacobi2DProgram prog;
   prog.gx = gx;
   prog.gy = gy;
   prog.ranks = ranks;
-  const auto [px, py] = grid_dims(ranks);
+  if (force_px > 0 && ranks % force_px != 0) {
+    throw std::invalid_argument("jacobi2d: force_px must divide ranks");
+  }
+  const int px = force_px > 0 ? force_px : grid_dims(ranks).first;
+  const int py = ranks / px;
   prog.px = px;
   prog.py = py;
   if (gx % static_cast<std::size_t>(px) != 0 ||

@@ -52,8 +52,12 @@ struct Jacobi2DProgram {
 
 /// Builds the MPI-based distributed 2D Jacobi (5-point) SDFG on a gx x gy
 /// domain. gx must divide by the process-grid columns and gy by its rows.
+/// `force_px` > 0 overrides the default grid_dims partition shape with a
+/// `force_px` x (ranks/force_px) process grid (a tuner decision axis); it
+/// must divide `ranks`.
 [[nodiscard]] Jacobi2DProgram make_jacobi2d(std::size_t gx, std::size_t gy,
-                                            int ranks, int iterations);
+                                            int ranks, int iterations,
+                                            int force_px = 0);
 
 /// Square-domain convenience overload.
 [[nodiscard]] inline Jacobi2DProgram make_jacobi2d(std::size_t g, int ranks,
@@ -62,7 +66,8 @@ struct Jacobi2DProgram {
 }
 
 /// The §6.2.1 porting recipe: GPUTransform, then persistent fusion with
-/// NVSHMEM nodes and symmetric storage. Mutates the SDFG in place.
+/// NVSHMEM nodes and symmetric storage. Mutates the SDFG in place. This is
+/// Pipeline::apply of Recipe::cpu_free_default() — the canonical recipe.
 void to_cpu_free(Sdfg& sdfg);
 
 }  // namespace dacelite

@@ -267,4 +267,36 @@ PutExpansion select_expansion(const Subset& src, const Subset& dst) {
   return PutExpansion::kStridedIputSignal;
 }
 
+std::optional<ExpansionChoice> parse_expansion_choice(std::string_view s) {
+  for (const ExpansionChoice c :
+       {ExpansionChoice::kAuto, ExpansionChoice::kContiguousSignal,
+        ExpansionChoice::kStridedIputSignal, ExpansionChoice::kSingleElementP}) {
+    if (s == name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+PutExpansion resolve_expansion(ExpansionChoice choice, const Subset& src,
+                               const Subset& dst) {
+  switch (choice) {
+    case ExpansionChoice::kAuto:
+      return select_expansion(src, dst);
+    case ExpansionChoice::kContiguousSignal:
+      // putmem_signal needs contiguous payloads on both ends.
+      return src.contiguous() && dst.contiguous()
+                 ? PutExpansion::kContiguousSignal
+                 : select_expansion(src, dst);
+    case ExpansionChoice::kStridedIputSignal:
+      // iput handles any (offset, count, stride) shape, including count 1.
+      return PutExpansion::kStridedIputSignal;
+    case ExpansionChoice::kSingleElementP:
+      // Per-element p on a multi-element subset is word-granularity remote
+      // stores — the same wire behaviour the iput expansion models.
+      return src.single_element() && dst.single_element()
+                 ? PutExpansion::kSingleElementP
+                 : PutExpansion::kStridedIputSignal;
+  }
+  return select_expansion(src, dst);
+}
+
 }  // namespace dacelite

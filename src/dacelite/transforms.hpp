@@ -1,6 +1,9 @@
 // Pattern-matched SDFG transformations (paper §5.1, §5.3, §6.2.1).
 #pragma once
 
+#include <optional>
+#include <string_view>
+
 #include "dacelite/ir.hpp"
 
 namespace dacelite {
@@ -42,5 +45,38 @@ enum class PutExpansion : std::uint8_t {
 };
 
 [[nodiscard]] PutExpansion select_expansion(const Subset& src, const Subset& dst);
+
+/// An enumerable override of the §5.3.1 expansion selection — one axis of
+/// the tuner's decision space. `kAuto` reproduces `select_expansion` exactly;
+/// a forced choice applies wherever the subset shapes permit and falls back
+/// to the nearest legal expansion where they don't (e.g. `kSingleElementP`
+/// on a multi-element transfer becomes per-element word stores, which cost
+/// like a strided iput).
+enum class ExpansionChoice : std::uint8_t {
+  kAuto,
+  kContiguousSignal,
+  kStridedIputSignal,
+  kSingleElementP,
+};
+
+[[nodiscard]] constexpr std::string_view name(ExpansionChoice c) {
+  switch (c) {
+    case ExpansionChoice::kAuto: return "auto";
+    case ExpansionChoice::kContiguousSignal: return "contiguous_signal";
+    case ExpansionChoice::kStridedIputSignal: return "strided_iput";
+    case ExpansionChoice::kSingleElementP: return "single_p";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<ExpansionChoice> parse_expansion_choice(
+    std::string_view s);
+
+/// The expansion actually generated for a signaled put with the given subset
+/// shapes under a (possibly forced) choice. kAuto defers to select_expansion
+/// bit-for-bit; forced choices degrade as documented on ExpansionChoice.
+[[nodiscard]] PutExpansion resolve_expansion(ExpansionChoice choice,
+                                             const Subset& src,
+                                             const Subset& dst);
 
 }  // namespace dacelite

@@ -107,10 +107,19 @@ struct Plan {
 /// Resolves the number of co-resident blocks for persistent launches at
 /// plan-build time: an explicit positive request wins; 0 derives the
 /// paper's "one block of 1024 threads on each SM" default (§6.1.2) from the
-/// machine model instead of hardcoding the A100's 108.
+/// machine model instead of hardcoding the A100's 108. Either way the result
+/// is clamped against the cooperative-launch occupancy cap
+/// (DeviceSpec::max_cooperative_blocks) so an oversized request degrades to
+/// the largest launchable grid instead of failing at launch time.
+/// `threads_per_block` <= 0 evaluates the cap at the device's maximum block
+/// size (the launch configuration the persistent backends default to).
 [[nodiscard]] constexpr int resolve_persistent_blocks(
-    int requested, const vgpu::MachineSpec& spec) {
-  return requested > 0 ? requested : spec.device.sm_count;
+    int requested, const vgpu::MachineSpec& spec, int threads_per_block = 0) {
+  const int chosen = requested > 0 ? requested : spec.device.sm_count;
+  const int tpb = threads_per_block > 0 ? threads_per_block
+                                        : spec.device.max_threads_per_block;
+  const int cap = spec.device.max_cooperative_blocks(tpb);
+  return cap > 0 && chosen > cap ? cap : chosen;
 }
 
 }  // namespace exec

@@ -400,7 +400,8 @@ void run_persistent(const SlabProgram& P, const Plan& plan,
   const int n = P.n_pes;
   auto sig = alloc_halo_signals(w, n);
   vshmem::SignalSet* sigp = sig.get();
-  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec());
+  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec(),
+                                          prm.threads_per_block);
 
   std::vector<cpufree::DeviceGroups> groups(static_cast<std::size_t>(n));
   for (int dev = 0; dev < n; ++dev) {
@@ -452,7 +453,8 @@ void run_persistent_pair(const SlabProgram& P, const Plan& plan,
   const int n = P.n_pes;
   auto sig = alloc_halo_signals(w, n);
   vshmem::SignalSet* sigp = sig.get();
-  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec());
+  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec(),
+                                          prm.threads_per_block);
 
   // Local per-device flags (device memory): iteration counters.
   std::deque<sim::Flag> inner_done;

@@ -88,13 +88,27 @@ struct Actor {
 
 /// A byte range of one allocation: identity pointer + logical offsets.
 /// Ranges on different bases never overlap; `base` is never dereferenced.
+///
+/// A range is either contiguous ([lo, hi), stride == 0) or strided:
+/// `count` elements of `elem` bytes, `stride` bytes apart, starting at `lo`
+/// (with [lo, hi) still the bounding box). Strided publication keeps race
+/// checking element-accurate: two interleaved halo columns overlap as
+/// bounding boxes but touch disjoint bytes, and must not race.
 struct MemRange {
   std::uintptr_t base = 0;
   std::size_t lo = 0;
   std::size_t hi = 0;
+  std::size_t stride = 0;  // byte distance between element starts; 0 = dense
+  std::size_t elem = 0;    // bytes per element (strided ranges only)
+  std::size_t count = 0;   // elements (strided ranges only)
 
   [[nodiscard]] constexpr bool empty() const noexcept {
     return base == 0 || hi <= lo;
+  }
+
+  /// True for a range whose elements do not tile the bounding box densely.
+  [[nodiscard]] constexpr bool strided() const noexcept {
+    return stride > elem && count > 0;
   }
 
   /// Range covering `count` elements starting at element `off` of the

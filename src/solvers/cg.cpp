@@ -238,7 +238,8 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
   machine.trace().set_enabled(cfg.trace);
   const int n = machine.num_devices();
   const int persistent_blocks =
-      exec::resolve_persistent_blocks(cfg.persistent_blocks, spec);
+      exec::resolve_persistent_blocks(cfg.persistent_blocks, spec,
+                                      cfg.threads_per_block);
   auto states = make_states(cfg, n);
 
   const std::size_t vec_size =

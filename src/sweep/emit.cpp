@@ -166,6 +166,15 @@ std::string bench_json(std::string_view bench, int threads,
       w.value(v);
     }
     w.end_object();
+    if (!r.out.notes.empty()) {
+      w.key("notes");
+      w.begin_object();
+      for (const auto& [k, v] : r.out.notes) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
     w.key("metrics");
     w.raw(cpufree::to_json(r.out.metrics));
     w.key("machine");
@@ -183,6 +192,7 @@ std::string bench_csv(const std::vector<RunRecord>& records) {
   // Column set: union of param keys then value keys, first-seen order.
   std::vector<std::string> param_keys;
   std::vector<std::string> value_keys;
+  std::vector<std::string> note_keys;
   auto note = [](std::vector<std::string>& keys, const std::string& k) {
     for (const std::string& seen : keys) {
       if (seen == k) return;
@@ -192,6 +202,7 @@ std::string bench_csv(const std::vector<RunRecord>& records) {
   for (const RunRecord& r : records) {
     for (const Param& p : r.params) note(param_keys, p.key);
     for (const auto& [k, _] : r.out.values) note(value_keys, k);
+    for (const auto& [k, _] : r.out.notes) note(note_keys, k);
   }
 
   std::string out = "index,id";
@@ -200,6 +211,10 @@ std::string bench_csv(const std::vector<RunRecord>& records) {
     append_csv_cell(k, out);
   }
   for (const std::string& k : value_keys) {
+    out += ',';
+    append_csv_cell(k, out);
+  }
+  for (const std::string& k : note_keys) {
     out += ',';
     append_csv_cell(k, out);
   }
@@ -240,6 +255,10 @@ std::string bench_csv(const std::vector<RunRecord>& records) {
         }
       }
       if (!found) out += ',';
+    }
+    for (const std::string& k : note_keys) {
+      out += ',';
+      append_csv_cell(r.out.note_value(k), out);
     }
     add_double(r.wall_ms);
     const cpufree::RunMetrics& m = r.out.metrics;

@@ -11,6 +11,9 @@
 //         "params": {"<axis>": "<value>", ...},
 //         "wall_ms": <host wall-clock spent simulating the run>,
 //         "values": {"<scalar>": <double>, ...},
+//         "notes": {"<key>": "<string outcome>", ...},   // optional; only
+//                  // when the run recorded string-valued results (e.g. the
+//                  // put expansion a dacelite run selected)
 //         "metrics": {<cpufree::RunMetrics, ns-exact>},
 //         "machine": {<the vgpu::MachineSpec calibration the run used,
 //                      including pdes_threads — the sharded-engine worker

@@ -34,9 +34,22 @@ struct RunResult {
   /// Derived scalars keyed by name (e.g. "per_iter_us"); what the figure
   /// tables are built from.
   std::vector<std::pair<std::string, double>> values;
+  /// String-valued outcomes a run produced (e.g. the put expansion a
+  /// dacelite run selected) — unlike `params` these are results, not sweep
+  /// coordinates. Emitted as the optional "notes" object in the JSON.
+  std::vector<std::pair<std::string, std::string>> notes;
 
   void set(std::string key, double v) {
     values.emplace_back(std::move(key), v);
+  }
+  void note(std::string key, std::string v) {
+    notes.emplace_back(std::move(key), std::move(v));
+  }
+  [[nodiscard]] std::string note_value(std::string_view key) const {
+    for (const auto& [k, v] : notes) {
+      if (k == key) return v;
+    }
+    return {};
   }
 };
 

@@ -1,0 +1,42 @@
+// Fast analytic cost-model rollout for candidate scoring.
+//
+// predict_total estimates the simulated end-to-end time of a CPU-Free
+// (persistent-transformed) SDFG directly from the vgpu cost-model constants
+// — no engine, no events, no per-iteration work — so the tuner can score a
+// whole decision space in microseconds per candidate and spend full
+// simulated runs only on the top-K. The model mirrors what the persistent
+// backend charges:
+//
+//   per rank, per iteration:
+//     compute  — per-map DRAM streaming time, inflated by the software-
+//                tiling efficiency of the resolved resident-thread count;
+//     issue    — the sending thread's serial cost per comm node (put issue,
+//                small-op overheads; blocking expansions additionally
+//                serialize on their wire time);
+//     sync     — one grid barrier per barrier_after edge + one spin-poll
+//                alignment per signal wait;
+//     wire     — nonblocking put payloads, overlapped with compute (only
+//                the excess over compute is charged).
+//   total = launch overheads (once) + iterations x max over ranks.
+//
+// It is an estimate, not the simulator: validation runs measure the truth
+// and the tuning report records predicted vs measured per candidate.
+#pragma once
+
+#include "dacelite/exec.hpp"
+#include "dacelite/ir.hpp"
+#include "sim/time.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace tune {
+
+/// Analytic end-to-end estimate for running `sdfg` (persistent-transformed)
+/// on `spec` under `options` for `iterations` time steps. `options` must
+/// carry the already-resolved persistent block count consumers want modelled
+/// (pass it through exec::resolve_persistent_blocks first).
+[[nodiscard]] sim::Nanos predict_total(const dacelite::Sdfg& sdfg,
+                                       const vgpu::MachineSpec& spec,
+                                       const dacelite::ExecOptions& options,
+                                       int iterations);
+
+}  // namespace tune

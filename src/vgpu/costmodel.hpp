@@ -66,7 +66,7 @@ struct DeviceSpec {
   /// paper's §4.1.4 discusses. A100 with 1024-thread blocks: 2 per SM. Small
   /// blocks are capped by the per-SM resident-block limit, not just the
   /// thread count: 32-thread blocks give 32 per SM, not 2048/32 = 64.
-  [[nodiscard]] int max_cooperative_blocks(int threads_per_block) const {
+  [[nodiscard]] constexpr int max_cooperative_blocks(int threads_per_block) const {
     if (threads_per_block <= 0) return 0;
     int per_sm = max_threads_per_sm / threads_per_block;
     if (per_sm > max_blocks_per_sm) per_sm = max_blocks_per_sm;

@@ -326,8 +326,16 @@ template <typename T>
       o + static_cast<std::ptrdiff_t>(count - 1) * stride;
   const std::ptrdiff_t lo = std::min(o, last);
   const std::ptrdiff_t hi = std::max(o, last) + 1;
-  return sim::MemRange::of(s, static_cast<std::size_t>(lo),
-                           static_cast<std::size_t>(hi - lo));
+  sim::MemRange r = sim::MemRange::of(s, static_cast<std::size_t>(lo),
+                                      static_cast<std::size_t>(hi - lo));
+  // Publish the element layout: the detector checks strided ranges
+  // element-accurately (interleaved columns must not alias each other).
+  const std::size_t abs_stride =
+      static_cast<std::size_t>(stride < 0 ? -stride : stride);
+  r.stride = abs_stride * sizeof(T);
+  r.elem = sizeof(T);
+  r.count = count;
+  return r;
 }
 
 }  // namespace detail

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/policy.hpp"
 #include "hostmpi/comm.hpp"
 #include "sim/intmath.hpp"
 #include "vgpu/kernel.hpp"
@@ -216,6 +217,30 @@ TEST(IntMathOverflow, CeilNanosSaturatesAtRepresentableMax) {
   EXPECT_EQ(sim::ceil_nanos(0.25), 1);
   EXPECT_EQ(sim::ceil_nanos(3.0), 3);
   EXPECT_EQ(sim::ceil_nanos(3.5), 4);
+}
+
+TEST(PersistentBlocks, ResolveClampsToTheCooperativeLaunchCap) {
+  const MachineSpec spec = MachineSpec::hgx_a100(4);
+  // A100: 108 SMs, 2048 threads/SM, 32 blocks/SM. 1024-thread blocks give
+  // 2 per SM -> the cooperative cap is 216.
+  EXPECT_EQ(spec.device.max_cooperative_blocks(1024), 216);
+  // 0 derives one block per SM (the paper's §6.1.2 default), under the cap.
+  EXPECT_EQ(exec::resolve_persistent_blocks(0, spec, 1024), 108);
+  // Explicit requests pass through up to and including the cap...
+  EXPECT_EQ(exec::resolve_persistent_blocks(1, spec, 1024), 1);
+  EXPECT_EQ(exec::resolve_persistent_blocks(215, spec, 1024), 215);
+  EXPECT_EQ(exec::resolve_persistent_blocks(216, spec, 1024), 216);
+  // ...and one past it degrades to the largest launchable grid.
+  EXPECT_EQ(exec::resolve_persistent_blocks(217, spec, 1024), 216);
+  EXPECT_EQ(exec::resolve_persistent_blocks(100000, spec, 1024), 216);
+  // Small blocks hit the per-SM resident-block limit (32), not the thread
+  // count: 32-thread blocks cap at 32 * 108, not (2048/32) * 108.
+  EXPECT_EQ(spec.device.max_cooperative_blocks(32), 32 * 108);
+  EXPECT_EQ(exec::resolve_persistent_blocks(4000, spec, 32), 32 * 108);
+  // tpb <= 0 evaluates the cap at the device's maximum block size.
+  EXPECT_EQ(exec::resolve_persistent_blocks(1000, spec, 0),
+            spec.device.max_cooperative_blocks(
+                spec.device.max_threads_per_block));
 }
 
 }  // namespace

@@ -175,14 +175,36 @@ TEST(TwoKernel, PerformanceComparableToSingleKernel) {
   EXPECT_LT(ratio, 1.15);
 }
 
-TEST(TwoKernel, CombinedCoResidencyEnforced) {
+TEST(TwoKernel, OversizedRequestDegradesToTheCooperativeCap) {
+  // An oversized block request on a homogeneous machine is clamped by
+  // exec::resolve_persistent_blocks to the largest launchable grid (216 on
+  // the A100 model with 1024-thread blocks) instead of failing at launch.
   Jacobi2D prob;
   prob.nx = 64;
   prob.ny = 64;
   StencilConfig cfg = small_cfg(2);
   cfg.persistent_blocks = 400;  // exceeds the 216-block co-residency limit
+  const RunOutput out =
+      stencil::run_jacobi2d(Variant::kCpuFreeTwoKernels, hgx(2), prob, cfg);
+  EXPECT_TRUE(out.verified);
+}
+
+TEST(TwoKernel, CombinedCoResidencyEnforced) {
+  // The clamp resolves against the machine-level device model; a slower
+  // device override with half the SMs has a lower cap than the resolved
+  // grid, and BOTH kernels must be co-resident on it simultaneously — that
+  // per-device check must still fail loudly.
+  Jacobi2D prob;
+  prob.nx = 64;
+  prob.ny = 64;
+  StencilConfig cfg = small_cfg(2);
+  cfg.persistent_blocks = 216;  // the homogeneous cap; fine on device 1
+  MachineSpec spec = hgx(2);
+  vgpu::DeviceSpec half = spec.device;
+  half.sm_count = spec.device.sm_count / 2;  // cap drops to 108 on device 0
+  spec.device_overrides.push_back(half);
   EXPECT_THROW(static_cast<void>(stencil::run_jacobi2d(
-                   Variant::kCpuFreeTwoKernels, hgx(2), prob, cfg)),
+                   Variant::kCpuFreeTwoKernels, spec, prob, cfg)),
                vgpu::CooperativeLaunchError);
 }
 
