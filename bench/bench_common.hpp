@@ -221,11 +221,15 @@ inline bool parse_int_strict(const std::string& v, int& out) {
   return true;
 }
 
-/// Parses the --faults payload "seed=S,rate=R[,resilience=none|retry|
-/// retry+degrade]" into a fault::Config. Exits with a usage message on
-/// malformed input (bench flags fail fast, they never guess).
-inline fault::Config parse_faults(std::string_view s) {
-  fault::Config cfg;
+/// Walks a "key=value,key=value" flag payload and hands each pair to
+/// `field`. A false return (unknown key, malformed value) — or a pair with
+/// no '=' or an empty value — aborts with the canonical usage message.
+/// Every key=value bench flag (--faults, --serve, --arrival) shares this
+/// contract: whole-token validation, fail fast, never guess.
+inline void parse_kv_flag(
+    std::string_view flag, std::string_view expected, std::string_view s,
+    const std::function<bool(std::string_view key, const std::string& value)>&
+        field) {
   std::size_t pos = 0;
   while (pos <= s.size()) {
     std::size_t end = s.find(',', pos);
@@ -235,32 +239,41 @@ inline fault::Config parse_faults(std::string_view s) {
     const std::string_view key = kv.substr(0, eq);
     const std::string value(eq == std::string_view::npos ? std::string_view()
                                                          : kv.substr(eq + 1));
-    bool ok = eq != std::string_view::npos && !value.empty();
-    if (ok && key == "seed") {
-      ok = parse_u64_strict(value, cfg.seed);
-    } else if (ok && key == "rate") {
-      ok = parse_double_strict(value, cfg.rate) && cfg.rate >= 0.0 &&
-           cfg.rate <= 1.0;
-    } else if (ok && key == "resilience") {
-      if (value == "none" || value == "no-retry") {
-        cfg.resilience = fault::Resilience::kNone;
-      } else if (value == "retry") {
-        cfg.resilience = fault::Resilience::kRetry;
-      } else if (value == "retry+degrade" || value == "degrade") {
-        cfg.resilience = fault::Resilience::kRetryDegrade;
-      } else {
-        ok = false;
-      }
-    } else {
-      ok = false;
-    }
-    if (!ok) {
-      flag_usage_error(
-          "--faults",
-          "seed=S,rate=R (0<=R<=1)[,resilience=none|retry|retry+degrade]", s);
+    if (eq == std::string_view::npos || value.empty() || !field(key, value)) {
+      flag_usage_error(flag, expected, s);
     }
     pos = end + 1;
   }
+}
+
+/// Parses the --faults payload "seed=S,rate=R[,resilience=none|retry|
+/// retry+degrade]" into a fault::Config. Exits with a usage message on
+/// malformed input (bench flags fail fast, they never guess).
+inline fault::Config parse_faults(std::string_view s) {
+  fault::Config cfg;
+  parse_kv_flag(
+      "--faults",
+      "seed=S,rate=R (0<=R<=1)[,resilience=none|retry|retry+degrade]", s,
+      [&cfg](std::string_view key, const std::string& value) {
+        if (key == "seed") return parse_u64_strict(value, cfg.seed);
+        if (key == "rate") {
+          return parse_double_strict(value, cfg.rate) && cfg.rate >= 0.0 &&
+                 cfg.rate <= 1.0;
+        }
+        if (key == "resilience") {
+          if (value == "none" || value == "no-retry") {
+            cfg.resilience = fault::Resilience::kNone;
+          } else if (value == "retry") {
+            cfg.resilience = fault::Resilience::kRetry;
+          } else if (value == "retry+degrade" || value == "degrade") {
+            cfg.resilience = fault::Resilience::kRetryDegrade;
+          } else {
+            return false;
+          }
+          return true;
+        }
+        return false;
+      });
   return cfg;
 }
 

@@ -62,6 +62,12 @@ void DeadlockAnalyzer::barrier_resume(const sim::Actor& actor,
   if (pos != w.end()) w.erase(pos);
 }
 
+std::string DeadlockAnalyzer::actor_desc(const sim::Actor& actor) const {
+  std::string s = actor.str();
+  if (job_map_ != nullptr) s += job_map_->suffix(actor);
+  return s;
+}
+
 std::string DeadlockAnalyzer::flag_desc(const void* flag) const {
   auto it = flags_.find(flag);
   if (it != flags_.end() && !it->second.name.empty()) return it->second.name;
@@ -85,14 +91,14 @@ std::string DeadlockAnalyzer::analyze(std::size_t stuck_tasks) const {
   }
 
   for (const auto& [actor, wait] : waits_) {
-    os << "\n  " << actor.str() << " blocked on " << wait.what << ": "
+    os << "\n  " << actor_desc(actor) << " blocked on " << wait.what << ": "
        << flag_desc(wait.flag) << " " << sim::cmp_str(wait.cmp) << " " << wait.rhs;
     auto fit = flags_.find(wait.flag);
     if (fit == flags_.end() || !fit->second.ever_updated) {
       os << "; never updated by anyone (lost/never-sent signal)";
     } else {
       os << "; value " << fit->second.value << ", last updated by "
-         << fit->second.updates.back().first.str() << " ("
+         << actor_desc(fit->second.updates.back().first) << " ("
          << fit->second.updates.back().second << ")";
     }
   }
@@ -103,7 +109,7 @@ std::string DeadlockAnalyzer::analyze(std::size_t stuck_tasks) const {
        << b.parties << " arrived — ";
     for (std::size_t i = 0; i < b.waiting.size(); ++i) {
       if (i > 0) os << ", ";
-      os << b.waiting[i].str();
+      os << actor_desc(b.waiting[i]);
     }
   }
 
@@ -156,7 +162,7 @@ std::string DeadlockAnalyzer::analyze(std::size_t stuck_tasks) const {
     os << "\n  wait-for cycle: ";
     for (std::size_t i = 0; i < cycle.size(); ++i) {
       if (i > 0) os << " -> ";
-      os << cycle[i].str();
+      os << actor_desc(cycle[i]);
     }
   }
   return os.str();

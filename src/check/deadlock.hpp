@@ -28,6 +28,9 @@ namespace check {
 
 class DeadlockAnalyzer {
  public:
+  /// Job attribution for rendered actors (serve runs); nullptr detaches.
+  void set_job_map(const sim::JobMap* jobs) noexcept { job_map_ = jobs; }
+
   void name_flag(const void* flag, std::string_view name);
   void record_update(const void* flag, const sim::Actor& updater,
                      std::int64_t value, std::string_view what);
@@ -62,7 +65,9 @@ class DeadlockAnalyzer {
   };
 
   [[nodiscard]] std::string flag_desc(const void* flag) const;
+  [[nodiscard]] std::string actor_desc(const sim::Actor& actor) const;
 
+  const sim::JobMap* job_map_ = nullptr;
   std::map<const void*, FlagInfo> flags_;
   std::map<sim::Actor, Wait> waits_;
   std::map<const void*, BarrierInfo> barriers_;

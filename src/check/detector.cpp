@@ -20,6 +20,7 @@ std::string Detector::actor_desc(const sim::Actor& actor) const {
   if (it != actor_names_.end() && !it->second.empty()) {
     s += "(" + it->second + ")";
   }
+  if (job_map_ != nullptr) s += job_map_->suffix(actor);
   return s;
 }
 

@@ -70,6 +70,14 @@ class Detector final : public sim::Observer {
   /// Verdict line followed by every race line and the deadlock diagnosis.
   [[nodiscard]] std::string report_text() const;
 
+  /// Attaches the actor->job label map of an active multi-tenant serve run
+  /// (nullptr detaches): race and deadlock attribution lines then carry the
+  /// owning job, e.g. "pe1/k3.g0(u1@pe0) [j42:stencil]".
+  void set_job_map(const sim::JobMap* jobs) noexcept {
+    job_map_ = jobs;
+    deadlock_.set_job_map(jobs);
+  }
+
   // --- sim::Observer ---------------------------------------------------------
   void on_mem_block(const void* base, std::size_t bytes,
                     std::string_view name) override;
@@ -174,6 +182,7 @@ class Detector final : public sim::Observer {
   std::set<std::tuple<std::uintptr_t, Tid, Tid, bool, bool>> race_keys_;
   std::size_t suppressed_races_ = 0;
 
+  const sim::JobMap* job_map_ = nullptr;
   bool deadlocked_ = false;
   std::string deadlock_report_;
   DeadlockAnalyzer deadlock_;

@@ -86,8 +86,8 @@ class IterationProtocol {
                            std::int64_t iter, int dst_pe,
                            vshmem::Scope scope = vshmem::Scope::kBlock) {
     note_issue(ctx, dst_pe, flag, iter, static_cast<double>(count * sizeof(T)),
-               make_redeliver(arr, ctx.device_id(), dst_pe, src_off, dst_off,
-                              count));
+               make_redeliver(arr, world_->pe_of(ctx.device_id()), dst_pe,
+                              src_off, dst_off, count));
     co_await world_->putmem_signal_nbi(ctx, arr, src_off, dst_off, count,
                                        *signals_, flag, iter,
                                        vshmem::SignalOp::kSet, dst_pe, scope);
@@ -161,7 +161,7 @@ class IterationProtocol {
     }
     if (iter >= sh.progress) {
       sh.progress = iter;
-      sh.src_pe = ctx.device_id();
+      sh.src_pe = world_->pe_of(ctx.device_id());
       sh.bytes = bytes;
     }
     if (redeliver) sh.pending.emplace(iter, std::move(redeliver));
@@ -178,9 +178,12 @@ class IterationProtocol {
                            std::int64_t iter) {
     fault::Schedule& faults = world_->machine().faults();
     const fault::Config& fc = faults.config();
-    const int me = ctx.device_id();
+    const int me = world_->pe_of(ctx.device_id());
+    // Degradation is sticky per physical device (the fallback
+    // reconfiguration outlives any one tenant's world).
+    const int me_dev = ctx.device_id();
     sim::Flag& f = signals_->at(me, flag);
-    if (!faults.degraded(me)) {
+    if (!faults.degraded(me_dev)) {
       for (int attempt = 0; attempt <= fc.retry.max_retries; ++attempt) {
         bool ok = false;
         co_await ctx.spin_wait_for(f, sim::Cmp::kGe, iter,
@@ -208,7 +211,7 @@ class IterationProtocol {
         co_await ensure_landed(ctx, flag, iter);
         co_return;
       }
-      faults.mark_degraded(me);
+      faults.mark_degraded(me_dev);
     }
     // Degraded mode (sticky per PE): host-style polling that probes the
     // shadow record each period, so even a lost signal converges.
@@ -243,7 +246,8 @@ class IterationProtocol {
   /// this iteration is missing — re-pull it.
   sim::Task ensure_landed(vgpu::KernelCtx& ctx, std::size_t flag,
                           std::int64_t iter) {
-    const vshmem::SignalShadow& sh = signals_->shadow(ctx.device_id(), flag);
+    const vshmem::SignalShadow& sh =
+        signals_->shadow(world_->pe_of(ctx.device_id()), flag);
     if (sh.progress >= iter && sh.landed < iter) {
       co_await recover(ctx, flag);
     }
@@ -255,7 +259,7 @@ class IterationProtocol {
   /// inherits the sender's epoch — no false race) and advances the flag
   /// monotonically (a concurrent late delivery must not be rewound).
   sim::Task recover(vgpu::KernelCtx& ctx, std::size_t flag) {
-    const int me = ctx.device_id();
+    const int me = world_->pe_of(ctx.device_id());
     ++world_->machine().faults().stats().retries;
     vshmem::SignalShadow& sh = signals_->shadow(me, flag);
     const vgpu::LinkSpec& link = world_->machine().spec().link;
@@ -277,7 +281,12 @@ class IterationProtocol {
     if (sh.landed < value) sh.landed = value;
     sim::Flag& f = signals_->at(me, flag);
     if (sim::Observer* o = world_->machine().engine().observer()) {
-      o->on_signal_update(sim::Actor::wire(sh.src_pe, me), &f, value, "retry");
+      // Physical wire actor (sh.src_pe is a PE index of this world).
+      o->on_signal_update(
+          sim::Actor::wire(sh.src_pe >= 0 ? world_->device_of(sh.src_pe)
+                                          : sh.src_pe,
+                           ctx.device_id()),
+          &f, value, "retry");
       // The recovering waiter consumed that update: acquire the flag's
       // happens-before state exactly as a completed wait would (the timed-out
       // wait acquired nothing — see Detector::on_signal_wait_timeout).

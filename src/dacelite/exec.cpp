@@ -444,6 +444,41 @@ sim::Task run_device_persistent(vshmem::World& w, ProgramData& data,
   }
 }
 
+/// Runs setup states functionally (initialization only) and builds the
+/// per-PE persistent block groups. Ranks are PE indices of `world`, which
+/// may be a device slice of the machine.
+std::vector<cpufree::DeviceGroups> prepare_persistent_groups(
+    vshmem::World& world, ProgramData& data, const Sdfg& sdfg,
+    const ExecOptions& options, int iters) {
+  const int n = world.n_pes();
+  for (const State& st : sdfg.setup) {
+    for (const Node& node : st.nodes) {
+      if (const auto* map = std::get_if<MapNode>(&node)) {
+        if (data.functional() && map->body) {
+          for (int rank = 0; rank < n; ++rank) {
+            ExecCtx c = data.ctx(rank, n, 0);
+            map->body(c);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<cpufree::DeviceGroups> groups(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    vshmem::World* wp = &world;
+    ProgramData* dp = &data;
+    const Sdfg* sp = &sdfg;
+    auto body = [wp, dp, sp, rank, iters,
+                 options](vgpu::KernelCtx& k) -> sim::Task {
+      CO_AWAIT(run_device_persistent(*wp, *dp, *sp, k, rank, iters, options));
+    };
+    groups[static_cast<std::size_t>(rank)].push_back(
+        vgpu::BlockGroup{"sdfg", options.persistent_blocks, std::move(body)});
+  }
+  return groups;
+}
+
 }  // namespace
 
 ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
@@ -461,46 +496,50 @@ ExecResult execute_persistent(vgpu::Machine& machine, vshmem::World& world,
   options.persistent_blocks = exec::resolve_persistent_blocks(
       options.persistent_blocks, machine.spec(), options.threads_per_block);
 
-  // Setup states run once; they carry initialization only, executed
-  // functionally before the launch.
-  for (const State& st : sdfg.setup) {
-    for (const Node& node : st.nodes) {
-      if (const auto* map = std::get_if<MapNode>(&node)) {
-        if (data.functional() && map->body) {
-          for (int rank = 0; rank < machine.num_devices(); ++rank) {
-            ExecCtx c = data.ctx(rank, machine.num_devices(), 0);
-            map->body(c);
-          }
-        }
-      }
-    }
-  }
-
-  std::vector<cpufree::DeviceGroups> groups(
-      static_cast<std::size_t>(machine.num_devices()));
-  for (int rank = 0; rank < machine.num_devices(); ++rank) {
-    vshmem::World* wp = &world;
-    ProgramData* dp = &data;
-    const Sdfg* sp = &sdfg;
-    auto body = [wp, dp, sp, rank, iters,
-                 options](vgpu::KernelCtx& k) -> sim::Task {
-      CO_AWAIT(run_device_persistent(*wp, *dp, *sp, k, rank, iters, options));
-    };
-    groups[static_cast<std::size_t>(rank)].push_back(
-        vgpu::BlockGroup{"sdfg", options.persistent_blocks, std::move(body)});
-  }
+  auto groups = prepare_persistent_groups(world, data, sdfg, options, iters);
   exec::persistent_launch(machine, std::move(groups), options.threads_per_block,
                           "dacelite_persistent");
 
   ExecResult r;
   r.iterations = iters;
   r.persistent_blocks = options.persistent_blocks;
-  r.put_expansion =
-      describe_put_expansions(sdfg, options, machine.num_devices());
+  r.put_expansion = describe_put_expansions(sdfg, options, world.n_pes());
   r.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
                                    iters);
   cpufree::apply_fault_stats(r.metrics, machine.faults().stats());
   return r;
+}
+
+sim::Task execute_persistent_task(vgpu::Machine& machine, vshmem::World& world,
+                                  ProgramData& data, const Sdfg& sdfg,
+                                  ExecOptions options, ExecResult* result) {
+  sdfg.validate();
+  if (!sdfg.persistent) {
+    throw ValidationError(
+        "execute_persistent_task requires apply_persistent "
+        "(GPUPersistentKernel)");
+  }
+  const int iters = resolve_iterations(sdfg, options);
+  options.persistent_blocks = exec::resolve_persistent_blocks(
+      options.persistent_blocks, machine.spec(), options.threads_per_block);
+  if (result != nullptr) {
+    result->iterations = iters;
+    result->persistent_blocks = options.persistent_blocks;
+    result->put_expansion = describe_put_expansions(sdfg, options, world.n_pes());
+  }
+  auto groups = prepare_persistent_groups(world, data, sdfg, options, iters);
+  std::vector<int> devices;
+  devices.reserve(static_cast<std::size_t>(world.n_pes()));
+  for (int pe = 0; pe < world.n_pes(); ++pe) {
+    devices.push_back(world.device_of(pe));
+  }
+  cpufree::PersistentConfig pc;
+  pc.threads_per_block = options.threads_per_block;
+  pc.name = "dacelite_persistent";
+  pc.job_map = options.job_map;
+  pc.job_label = options.job_label;
+  co_await cpufree::persistent_launch_task(machine, std::move(devices),
+                                           std::move(groups), pc);
 }
 
 }  // namespace dacelite

@@ -390,16 +390,16 @@ InnerModel inner_model_for(const SlabExecParams& prm, int dev,
   return InnerModel{};
 }
 
-/// (kPersistent, kSignaledPut, kIterationFlags): one persistent cooperative
-/// kernel per device for the entire run — specialized comm groups + inner
-/// group, iteration-flag signaling, grid.sync() per step (Listing 4.1).
-void run_persistent(const SlabProgram& P, const Plan& plan,
-                    const SlabExecParams& prm) {
+/// Builds the per-PE block groups of the single-kernel persistent
+/// composition (specialized comm groups + inner group, grid.sync() per
+/// step). Shared by the machine-owning run_persistent and the spawnable
+/// serve-path task; `sig` must outlive the run.
+std::vector<cpufree::DeviceGroups> build_persistent_groups(
+    const SlabProgram& P, const SlabExecParams& prm,
+    vshmem::SignalSet* sigp) {
   vgpu::Machine& m = *P.machine;
   vshmem::World& w = *P.world;
   const int n = P.n_pes;
-  auto sig = alloc_halo_signals(w, n);
-  vshmem::SignalSet* sigp = sig.get();
   const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec(),
                                           prm.threads_per_block);
 
@@ -409,7 +409,9 @@ void run_persistent(const SlabProgram& P, const Plan& plan,
     const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
     const cpufree::TbPartition part =
         partition_for(P, prm, dev, pb, inner_slabs);
-    const vgpu::DeviceSpec& dev_spec = m.device(dev).spec();
+    // `dev` is a PE index: look the spec up on the PE's physical device (the
+    // identity map on a whole-machine world).
+    const vgpu::DeviceSpec& dev_spec = m.device(w.device_of(dev)).spec();
     const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
     const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
     const InnerModel im = inner_model_for(
@@ -437,7 +439,18 @@ void run_persistent(const SlabProgram& P, const Plan& plan,
         make_inner_group(P, dev, rows, ishare, inner_slabs, im, prm.iterations,
                          grid_only_inner)});
   }
-  persistent_launch(m, std::move(groups), prm.threads_per_block,
+  return groups;
+}
+
+/// (kPersistent, kSignaledPut, kIterationFlags): one persistent cooperative
+/// kernel per device for the entire run — specialized comm groups + inner
+/// group, iteration-flag signaling, grid.sync() per step (Listing 4.1).
+void run_persistent(const SlabProgram& P, const Plan& plan,
+                    const SlabExecParams& prm) {
+  vshmem::World& w = *P.world;
+  auto sig = alloc_halo_signals(w, P.n_pes);
+  auto groups = build_persistent_groups(P, prm, sig.get());
+  persistent_launch(*P.machine, std::move(groups), prm.threads_per_block,
                     plan.kernel_name);
 }
 
@@ -482,7 +495,7 @@ void run_persistent_pair(const SlabProgram& P, const Plan& plan,
     const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
     const cpufree::TbPartition part =
         partition_for(P, prm, dev, pb, inner_slabs);
-    const vgpu::DeviceSpec& dev_spec = m.device(dev).spec();
+    const vgpu::DeviceSpec& dev_spec = m.device(w.device_of(dev)).spec();
     // Both kernels must be co-resident simultaneously.
     const int limit = dev_spec.max_cooperative_blocks(prm.threads_per_block);
     if (part.total() > limit) {
@@ -553,6 +566,37 @@ void run_persistent_pair(const SlabProgram& P, const Plan& plan,
 }
 
 }  // namespace
+
+sim::Task run_slab_persistent_task(const SlabProgram& program,
+                                   const Plan& plan,
+                                   const SlabExecParams& params) {
+  if (!valid(plan) || plan.launch != LaunchPolicy::kPersistent) {
+    throw std::invalid_argument(
+        "run_slab_persistent_task: plan must be a valid kPersistent "
+        "composition");
+  }
+  vshmem::World& w = *program.world;
+  // World-owned, not frame-owned: the halo protocol signals iteration t+1
+  // after its last step, so the final put_signal of every boundary pair is
+  // still in flight (unconsumed) when the kernels sync and this coroutine's
+  // frame dies. Its delivery callback must find live flags.
+  vshmem::SignalSet* sigp = w.retain_signals(
+      alloc_halo_signals(w, program.n_pes));
+  auto groups = build_persistent_groups(program, params, sigp);
+  std::vector<int> devices;
+  devices.reserve(static_cast<std::size_t>(program.n_pes));
+  for (int pe = 0; pe < program.n_pes; ++pe) {
+    devices.push_back(w.device_of(pe));
+  }
+  cpufree::PersistentConfig pc;
+  pc.threads_per_block = params.threads_per_block;
+  pc.name = plan.kernel_name;
+  pc.job_map = params.job_map;
+  pc.job_label = params.job_label;
+  co_await cpufree::persistent_launch_task(*program.machine,
+                                           std::move(devices),
+                                           std::move(groups), pc);
+}
 
 void run_slab(const SlabProgram& program, const Plan& plan,
               const SlabExecParams& params) {

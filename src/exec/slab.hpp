@@ -14,6 +14,8 @@
 
 #include "cpufree/partition.hpp"
 #include "exec/policy.hpp"
+#include "sim/observe.hpp"
+#include "sim/task.hpp"
 #include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
 
@@ -70,6 +72,11 @@ struct SlabExecParams {
   std::function<cpufree::TbPartition(int dev, int tb_total)> partition;
   /// Inner-kernel cost model for persistent launches.
   std::function<InnerModel(int dev, int inner_resident_threads)> inner_model;
+  /// Multi-tenant attribution (persistent task variant only): streams the
+  /// launch creates are bound (device, lane) -> job_label in this map so
+  /// checker/hang reports can name the owning job. Must outlive the run.
+  sim::JobMap* job_map = nullptr;
+  std::string job_label;
 };
 
 /// Runs `program` under `plan`. Throws std::invalid_argument for plans that
@@ -77,5 +84,14 @@ struct SlabExecParams {
 /// composition exceeds the co-residency limit.
 void run_slab(const SlabProgram& program, const Plan& plan,
               const SlabExecParams& params);
+
+/// Spawnable variant of the persistent composition: builds the kernel groups
+/// and co_awaits completion of every device's cooperative launch WITHOUT
+/// driving the engine — the caller (e.g. the multi-tenant job server) owns
+/// the engine and may run many such tasks concurrently on one machine. Only
+/// kPersistent plans are accepted. The program's world may be a device slice;
+/// launches go to the world's physical devices.
+sim::Task run_slab_persistent_task(const SlabProgram& program, const Plan& plan,
+                                   const SlabExecParams& params);
 
 }  // namespace exec

@@ -1,17 +1,10 @@
 #include "fault/schedule.hpp"
 
+#include "sim/rng.hpp"
+
 namespace fault {
 
 namespace {
-
-/// splitmix64 finalizer: full-avalanche 64-bit mix, the standard choice for
-/// counter-based (stateless) PRNG streams.
-[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
 
 [[nodiscard]] constexpr std::uint32_t class_of(Site s) noexcept {
   switch (s) {
@@ -40,12 +33,11 @@ const char* site_name(Site s) noexcept {
 }
 
 double Schedule::uniform(Site site, std::uint64_t id, std::uint64_t n) const {
-  std::uint64_t h = mix64(cfg_.seed ^ 0xc0f5ee0ddeadull);
-  h = mix64(h ^ static_cast<std::uint64_t>(site));
-  h = mix64(h ^ id);
-  h = mix64(h ^ n);
-  // Top 53 bits -> [0, 1) with full double precision.
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  // Stream key (seed ^ domain salt, site, id, n) — byte-identical to the
+  // pre-extraction inline chain (sim::stream_uniform starts with
+  // mix64(seed), matching the old mix64(cfg_.seed ^ salt) first round).
+  return sim::stream_uniform(cfg_.seed ^ 0xc0f5ee0ddeadull,
+                             static_cast<std::uint64_t>(site), id, n);
 }
 
 bool Schedule::roll(Site site, std::uint64_t id) {

@@ -1,0 +1,39 @@
+#include "serve/arrival.hpp"
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace serve {
+
+namespace {
+/// Domain salt separating the arrival stream from every other consumer of
+/// the shared counter-based RNG (fault sites use their own salt).
+constexpr std::uint64_t kArrivalSalt = 0xa2214a150b5eull;
+}  // namespace
+
+const char* name(ArrivalConfig::Mode m) {
+  switch (m) {
+    case ArrivalConfig::Mode::kOpen: return "open";
+    case ArrivalConfig::Mode::kClosed: return "closed";
+  }
+  return "?";
+}
+
+std::vector<sim::Nanos> arrival_times(const ArrivalConfig& cfg, int n) {
+  std::vector<sim::Nanos> at(static_cast<std::size_t>(n < 0 ? 0 : n), 0);
+  if (cfg.mode == ArrivalConfig::Mode::kClosed) return at;
+  sim::Nanos t = 0;
+  for (int i = 0; i < n; ++i) {
+    // Inverse-CDF exponential draw; 1-u keeps log's argument in (0, 1].
+    const double u =
+        sim::stream_uniform(cfg.seed ^ kArrivalSalt,
+                            static_cast<std::uint64_t>(i), 0, 0);
+    const double gap_us = -cfg.mean_interarrival_us * std::log(1.0 - u);
+    t += sim::usec(gap_us);
+    at[static_cast<std::size_t>(i)] = t;
+  }
+  return at;
+}
+
+}  // namespace serve

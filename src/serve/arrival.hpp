@@ -1,0 +1,36 @@
+// Deterministic job-arrival schedules.
+//
+// Traffic is generated from the simulation's counter-based RNG stream
+// (sim/rng.hpp), never from wall clock, so a serve run is a pure function
+// of (machine spec, job list, arrival config): open-loop arrivals are a
+// Poisson process with a seeded exponential inter-arrival draw per index,
+// closed-loop traffic submits everything at t=0 and lets the admission
+// controller's concurrency cap do the pacing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace serve {
+
+struct ArrivalConfig {
+  enum class Mode { kOpen, kClosed };
+  Mode mode = Mode::kOpen;
+  /// Open loop: mean exponential inter-arrival gap in microseconds.
+  double mean_interarrival_us = 50.0;
+  /// Closed loop: at most this many jobs admitted concurrently (<=0: no cap).
+  int concurrency = 4;
+  /// Seed for the inter-arrival stream (open loop only).
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] const char* name(ArrivalConfig::Mode m);
+
+/// Arrival time of each of `n` jobs, in submission order. Open loop: strictly
+/// reproducible prefix sums of exponential draws; closed loop: all zero.
+[[nodiscard]] std::vector<sim::Nanos> arrival_times(const ArrivalConfig& cfg,
+                                                    int n);
+
+}  // namespace serve

@@ -1,0 +1,105 @@
+// Multi-tenant job model for the admission-controlled CPU-Free server.
+//
+// A JobSpec names one CPU-Free application instance (stencil, CG or a
+// dacelite SDFG) a tenant submits: a requested device-slice width, a
+// problem size and the launch knobs. The server turns each spec into a
+// JobOutcome (when it arrived / was admitted / finished and whether it
+// verified) and, with isolated baselines, a JobRecord carrying the
+// slowdown-vs-alone and SLO verdict the evaluation plots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace serve {
+
+/// The three CPU-Free application families a tenant can submit. All run
+/// functionally and are verified exactly against their serial references.
+enum class JobKind { kStencil, kCg, kDacelite };
+
+[[nodiscard]] constexpr const char* name(JobKind k) {
+  switch (k) {
+    case JobKind::kStencil: return "stencil";
+    case JobKind::kCg: return "cg";
+    case JobKind::kDacelite: return "dacelite";
+  }
+  return "?";
+}
+
+struct JobSpec {
+  int id = 0;
+  std::string tenant;  // owning tenant, e.g. "t3"
+  JobKind kind = JobKind::kStencil;
+  /// Devices the job's slice must span (contiguity preferred, not required).
+  int devices = 1;
+  int iterations = 10;
+  /// Problem size. stencil: nx x ny Jacobi2D; cg: nx x ny Laplacian;
+  /// dacelite: nx x nx Jacobi2D SDFG (must divide by the process grid).
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  int threads_per_block = 1024;
+  /// Requested co-resident blocks per device; 0 derives one block per SM,
+  /// clamped to the cooperative occupancy cap (resolve_persistent_blocks).
+  int persistent_blocks = 0;
+  /// SLO: the job must finish within slo_factor x its isolated runtime of
+  /// its ARRIVAL (so queue wait counts against the deadline).
+  double slo_factor = 4.0;
+  /// Faulty tenant: this job's world keeps put/signal-class fault injection
+  /// enabled while every clean tenant's world has it gated off.
+  bool faulty = false;
+};
+
+struct JobOutcome {
+  sim::Nanos arrival = 0;
+  sim::Nanos admit = 0;
+  sim::Nanos end = 0;
+  bool admitted = false;
+  bool completed = false;
+  bool verified = false;
+  /// Resolved co-resident blocks the admission controller charged per device.
+  int blocks_per_device = 0;
+  /// First physical device of the placement (slice anchor), -1 if never placed.
+  int first_device = -1;
+  /// Workload-specific one-liner ("32 iters, rr 1.2e-11") or reject reason.
+  std::string detail;
+
+  [[nodiscard]] sim::Nanos queue_wait() const { return admit - arrival; }
+  [[nodiscard]] sim::Nanos makespan() const { return end - admit; }
+};
+
+/// One job's full story, including the isolated-run comparison.
+struct JobRecord {
+  JobSpec spec;
+  JobOutcome out;
+  /// Runtime of the identical job alone on an otherwise idle, fault-free
+  /// machine of the same model (0 when baselines were not computed).
+  double isolated_us = 0.0;
+  /// makespan / isolated (1.0 = no interference; 0 without baselines).
+  double slowdown = 0.0;
+  bool slo_met = false;
+};
+
+struct FleetMetrics {
+  int jobs = 0;
+  int completed = 0;
+  int verified = 0;
+  int slo_met = 0;
+  int rejected = 0;  // infeasible at submit (never admitted)
+  double mean_queue_wait_us = 0.0;
+  double mean_slowdown = 0.0;
+  double max_slowdown = 0.0;
+  /// Jain's index over per-job slowdowns: 1 = perfectly fair contention.
+  double jain_fairness = 1.0;
+  /// Simulated time from first arrival to the last job's completion.
+  double fleet_makespan_us = 0.0;
+};
+
+struct ServeReport {
+  std::vector<JobRecord> jobs;  // submission order
+  FleetMetrics fleet;
+};
+
+}  // namespace serve

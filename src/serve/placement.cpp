@@ -1,0 +1,106 @@
+#include "serve/placement.hpp"
+
+#include "exec/policy.hpp"
+
+namespace serve {
+
+const char* name(PlacePolicy p) {
+  switch (p) {
+    case PlacePolicy::kFirstFit: return "first_fit";
+    case PlacePolicy::kBestFit: return "best_fit";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const vgpu::MachineSpec& spec,
+                                         PlacePolicy policy)
+    : spec_(spec), policy_(policy) {
+  capacity_ = static_cast<long long>(spec_.device.max_threads_per_sm) *
+              spec_.device.sm_count;
+  free_.assign(static_cast<std::size_t>(spec_.num_devices), capacity_);
+}
+
+int AdmissionController::resolve_blocks(const JobSpec& spec) const {
+  return exec::resolve_persistent_blocks(spec.persistent_blocks, spec_,
+                                         spec.threads_per_block);
+}
+
+bool AdmissionController::feasible(const JobSpec& spec) const {
+  if (spec.devices < 1 || spec.devices > spec_.num_devices) return false;
+  const int blocks = resolve_blocks(spec);
+  if (blocks <= 0) return false;
+  const long long need =
+      static_cast<long long>(blocks) * spec.threads_per_block;
+  return need <= capacity_;
+}
+
+std::optional<Placement> AdmissionController::try_place(const JobSpec& spec) {
+  const int blocks = resolve_blocks(spec);
+  const long long need =
+      static_cast<long long>(blocks) * spec.threads_per_block;
+  const int n = static_cast<int>(free_.size());
+  const int width = spec.devices;
+  if (blocks <= 0 || width < 1 || width > n || need > capacity_) {
+    return std::nullopt;
+  }
+
+  auto window_fits = [&](int start) {
+    for (int d = start; d < start + width; ++d) {
+      if (free_[static_cast<std::size_t>(d)] < need) return false;
+    }
+    return true;
+  };
+
+  int start = -1;
+  if (policy_ == PlacePolicy::kFirstFit) {
+    for (int s = 0; s + width <= n; ++s) {
+      if (window_fits(s)) {
+        start = s;
+        break;
+      }
+    }
+  } else {
+    // Best fit: the window leaving the least free capacity behind (ties go
+    // to the lowest index, so the choice stays deterministic).
+    long long best_left = -1;
+    for (int s = 0; s + width <= n; ++s) {
+      if (!window_fits(s)) continue;
+      long long left = 0;
+      for (int d = s; d < s + width; ++d) {
+        left += free_[static_cast<std::size_t>(d)] - need;
+      }
+      if (best_left < 0 || left < best_left) {
+        best_left = left;
+        start = s;
+      }
+    }
+  }
+
+  Placement p;
+  p.blocks_per_device = blocks;
+  p.threads_per_device = need;
+  if (start >= 0) {
+    for (int d = start; d < start + width; ++d) p.devices.push_back(d);
+  } else {
+    // No contiguous window: scatter over the lowest-indexed devices that
+    // still fit (multi-node routes pay the NIC, but the job keeps flowing).
+    for (int d = 0; d < n && static_cast<int>(p.devices.size()) < width; ++d) {
+      if (free_[static_cast<std::size_t>(d)] >= need) p.devices.push_back(d);
+    }
+    if (static_cast<int>(p.devices.size()) < width) return std::nullopt;
+  }
+  for (int d : p.devices) free_[static_cast<std::size_t>(d)] -= need;
+  return p;
+}
+
+void AdmissionController::release(const Placement& p) {
+  for (int d : p.devices) {
+    free_[static_cast<std::size_t>(d)] += p.threads_per_device;
+  }
+}
+
+long long AdmissionController::free_threads(int device) const {
+  return free_.at(static_cast<std::size_t>(device));
+}
+
+}  // namespace serve

@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "check/detector.hpp"
+#include "serve/workload.hpp"
+#include "sim/engine.hpp"
+#include "vgpu/machine.hpp"
+
+namespace serve {
+
+namespace {
+
+struct JobState {
+  JobSpec spec;
+  JobOutcome out;
+  std::string label;
+  Placement place;
+  std::unique_ptr<Workload> work;
+};
+
+std::string job_label(const JobSpec& spec) {
+  // Built with += rather than operator+ chains: GCC 12 raises a -Wrestrict
+  // false positive on concatenation into a temporary here.
+  std::string l = "j";
+  l += std::to_string(spec.id);
+  l += ':';
+  l += spec.tenant;
+  l += ':';
+  l += name(spec.kind);
+  return l;
+}
+
+class Server {
+ public:
+  Server(const ServeConfig& cfg, std::vector<JobSpec> jobs)
+      : cfg_(cfg), machine_(cfg.machine), admit_(cfg.machine, cfg.policy) {
+    machine_.trace().set_enabled(false);
+    machine_.engine().set_observer(cfg.observer);
+    machine_.engine().set_job_map(&job_map_);
+    if (auto* det = dynamic_cast<check::Detector*>(cfg.observer)) {
+      det->set_job_map(&job_map_);
+    }
+    // Every workload runs functionally (World::set_functional), which
+    // requires data-coupled (single-worker) rounds on a sharded engine.
+    // The engine samples that flag once at run() start — and the first
+    // workload is only built mid-run — so couple it up front.
+    machine_.engine().set_data_coupled(true);
+    if (cfg.arrival.mode == ArrivalConfig::Mode::kClosed) {
+      max_running_ = cfg.arrival.concurrency;
+    }
+    jobs_.reserve(jobs.size());
+    for (JobSpec& j : jobs) {
+      JobState st;
+      st.label = job_label(j);
+      st.spec = std::move(j);
+      jobs_.push_back(std::move(st));
+    }
+    arrivals_ = arrival_times(cfg.arrival, static_cast<int>(jobs_.size()));
+  }
+
+  ServeReport run() {
+    machine_.engine().spawn(dispatcher());
+    try {
+      machine_.engine().run();
+    } catch (const sim::DeadlockError&) {
+      // The engine already published its attributed hang report (stuck
+      // actors carry job labels via the job map). Jobs that never reached
+      // their end keep completed=false below.
+    }
+    return report();
+  }
+
+ private:
+  sim::Engine& eng() { return machine_.engine(); }
+
+  sim::Task dispatcher() {
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      const sim::Nanos at = arrivals_[i];
+      if (at > eng().now()) co_await eng().delay(at - eng().now());
+      JobState& js = jobs_[i];
+      js.out.arrival = eng().now();
+      std::string why = validate(js.spec);
+      if (why.empty() && !admit_.feasible(js.spec)) {
+        why = "exceeds machine capacity";
+      }
+      if (!why.empty()) {
+        js.out.detail = "rejected: ";
+        js.out.detail += why;
+        continue;
+      }
+      queue_.push_back(i);
+      try_admit();
+    }
+  }
+
+  /// FIFO, no bypass: only the queue head is considered, so a large job
+  /// blocks later small ones (head-of-line blocking keeps admission order
+  /// — and therefore the whole run — deterministic).
+  void try_admit() {
+    while (!queue_.empty()) {
+      if (max_running_ > 0 && running_ >= max_running_) break;
+      const std::size_t i = queue_.front();
+      auto p = admit_.try_place(jobs_[i].spec);
+      if (!p) break;
+      queue_.pop_front();
+      jobs_[i].place = std::move(*p);
+      ++running_;
+      eng().spawn(run_job(i));
+    }
+  }
+
+  sim::Task run_job(std::size_t i) {
+    JobState& js = jobs_[i];
+    js.out.admitted = true;
+    js.out.admit = eng().now();
+    js.out.first_device = js.place.devices.front();
+    js.out.blocks_per_device = js.place.blocks_per_device;
+    js.work = make_workload(machine_, js.spec, js.place, js.label, &job_map_);
+    co_await js.work->task();
+    js.out.end = eng().now();
+    js.out.completed = true;
+    js.out.verified = js.work->verify();
+    js.out.detail = js.work->detail();
+    // The workload (and its World) must outlive the shared run: nbi halo
+    // puts from a job's final iteration can still be in flight when the
+    // task completes, and their completion callbacks touch the World.
+    // Workloads are torn down with the server, after the engine drains.
+    admit_.release(js.place);
+    --running_;
+    try_admit();
+  }
+
+  /// Isolated baseline: the identical job alone on an idle, fault-free,
+  /// serial copy of the machine model, on the same device tuple (the tuple
+  /// matters on multi-node topologies). Deduplicated by shape + placement.
+  sim::Nanos isolated_ns(const JobState& js) {
+    std::string key = name(js.spec.kind);
+    key += '|';
+    key += std::to_string(js.spec.nx);
+    key += 'x';
+    key += std::to_string(js.spec.ny);
+    key += "|i";
+    key += std::to_string(js.spec.iterations);
+    key += "|t";
+    key += std::to_string(js.spec.threads_per_block);
+    key += "|b";
+    key += std::to_string(js.place.blocks_per_device);
+    key += "|d";
+    for (int d : js.place.devices) {
+      key += std::to_string(d);
+      key += ',';
+    }
+    auto it = isolated_cache_.find(key);
+    if (it != isolated_cache_.end()) return it->second;
+
+    vgpu::MachineSpec spec = cfg_.machine;
+    spec.faults = fault::Config{};
+    spec.pdes_threads = 1;
+    vgpu::Machine m(spec);
+    m.trace().set_enabled(false);
+    JobSpec iso = js.spec;
+    iso.faulty = false;
+    std::string iso_label = "iso:";
+    iso_label += js.label;
+    auto work = make_workload(m, iso, js.place, iso_label, nullptr);
+    m.engine().spawn(work->task());
+    m.engine().run();
+    const sim::Nanos t = m.engine().now();
+    isolated_cache_.emplace(std::move(key), t);
+    return t;
+  }
+
+  ServeReport report() {
+    ServeReport rep;
+    rep.fleet.jobs = static_cast<int>(jobs_.size());
+    rep.fleet.fleet_makespan_us = sim::to_usec(eng().now());
+    double wait_sum = 0.0;
+    int admitted = 0;
+    double sd_sum = 0.0, sd_sq = 0.0;
+    int sd_n = 0;
+    for (JobState& js : jobs_) {
+      JobRecord rec;
+      rec.spec = js.spec;
+      rec.out = js.out;
+      if (!js.out.admitted) {
+        ++rep.fleet.rejected;
+      } else {
+        ++admitted;
+        wait_sum += sim::to_usec(js.out.queue_wait());
+      }
+      if (js.out.completed) {
+        ++rep.fleet.completed;
+        if (js.out.verified) ++rep.fleet.verified;
+        if (cfg_.compute_isolated) {
+          const sim::Nanos iso = isolated_ns(js);
+          rec.isolated_us = sim::to_usec(iso);
+          rec.slowdown = iso > 0 ? static_cast<double>(js.out.makespan()) /
+                                       static_cast<double>(iso)
+                                 : 0.0;
+          rec.slo_met =
+              static_cast<double>(js.out.end - js.out.arrival) <=
+              js.spec.slo_factor * static_cast<double>(iso);
+          if (rec.slo_met) ++rep.fleet.slo_met;
+          sd_sum += rec.slowdown;
+          sd_sq += rec.slowdown * rec.slowdown;
+          ++sd_n;
+          if (rec.slowdown > rep.fleet.max_slowdown) {
+            rep.fleet.max_slowdown = rec.slowdown;
+          }
+        }
+      }
+      rep.jobs.push_back(std::move(rec));
+    }
+    if (admitted > 0) rep.fleet.mean_queue_wait_us = wait_sum / admitted;
+    if (sd_n > 0) {
+      rep.fleet.mean_slowdown = sd_sum / sd_n;
+      rep.fleet.jain_fairness =
+          sd_sq > 0.0 ? (sd_sum * sd_sum) / (sd_n * sd_sq) : 1.0;
+    }
+    return rep;
+  }
+
+  ServeConfig cfg_;
+  vgpu::Machine machine_;
+  sim::JobMap job_map_;
+  AdmissionController admit_;
+  std::vector<JobState> jobs_;
+  std::vector<sim::Nanos> arrivals_;
+  std::deque<std::size_t> queue_;
+  std::map<std::string, sim::Nanos> isolated_cache_;
+  int running_ = 0;
+  int max_running_ = 0;  // 0 = unbounded (open loop)
+};
+
+}  // namespace
+
+ServeReport run_serve(const ServeConfig& config, std::vector<JobSpec> jobs) {
+  Server server(config, std::move(jobs));
+  return server.run();
+}
+
+}  // namespace serve

@@ -1,0 +1,248 @@
+#include "serve/workload.hpp"
+
+#include <stdexcept>
+
+#include "dacelite/exec.hpp"
+#include "dacelite/frontend.hpp"
+#include "dacelite/pass.hpp"
+#include "exec/slab.hpp"
+#include "solvers/cg.hpp"
+#include "stencil/problems.hpp"
+#include "stencil/slab.hpp"
+#include "stencil/variants.hpp"
+#include "vshmem/world.hpp"
+
+namespace serve {
+
+namespace {
+
+/// CPU-Free Jacobi2D on a device slice: the standard SlabStencil packaged
+/// through the exec layer's spawnable persistent driver.
+class StencilWorkload final : public Workload {
+ public:
+  StencilWorkload(vgpu::Machine& machine, const JobSpec& spec,
+                  const Placement& place, const std::string& label,
+                  sim::JobMap* job_map)
+      : world_(machine, place.devices, label),
+        prob_(make_prob(spec)),
+        S_(world_, prob_, make_cfg(spec, place)),
+        iters_(spec.iterations) {
+    world_.set_fault_injection(spec.faulty);
+    prog_ = stencil::detail::make_program(S_);
+    params_.iterations = spec.iterations;
+    params_.threads_per_block = spec.threads_per_block;
+    params_.persistent_blocks = place.blocks_per_device;
+    params_.partition =
+        stencil::detail::make_partition(S_, stencil::Variant::kCpuFree);
+    params_.inner_model =
+        stencil::detail::make_inner_model(S_, stencil::Variant::kCpuFree);
+    params_.job_map = job_map;
+    params_.job_label = label;
+  }
+
+  sim::Task task() override {
+    // plan_ is a member: the lazy coroutine keeps its const& parameters
+    // alive only as references, so a temporary Plan would dangle.
+    return exec::run_slab_persistent_task(prog_, plan_, params_);
+  }
+
+  bool verify() override {
+    return S_.gather(iters_ & 1) == S_.reference(iters_);
+  }
+
+  std::string detail() const override {
+    // += rather than operator+ chains: GCC 12 -Wrestrict false positive.
+    std::string d = "jacobi2d ";
+    d += std::to_string(prob_.nx);
+    d += 'x';
+    d += std::to_string(prob_.ny);
+    d += " x";
+    d += std::to_string(iters_);
+    return d;
+  }
+
+ private:
+  static stencil::Jacobi2D make_prob(const JobSpec& spec) {
+    stencil::Jacobi2D p;
+    p.nx = spec.nx;
+    p.ny = spec.ny;
+    return p;
+  }
+  static stencil::StencilConfig make_cfg(const JobSpec& spec,
+                                         const Placement& place) {
+    stencil::StencilConfig cfg;
+    cfg.iterations = spec.iterations;
+    cfg.functional = true;
+    cfg.trace = false;
+    cfg.threads_per_block = spec.threads_per_block;
+    cfg.persistent_blocks = place.blocks_per_device;
+    return cfg;
+  }
+
+  vshmem::World world_;
+  stencil::Jacobi2D prob_;
+  stencil::SlabStencil<stencil::Jacobi2D> S_;
+  exec::SlabProgram prog_;
+  exec::Plan plan_ = stencil::plan_for(stencil::Variant::kCpuFree);
+  exec::SlabExecParams params_;
+  int iters_;
+};
+
+/// Device-converged CG on a device slice, verified bitwise against the
+/// partition-shaped serial reference.
+class CgWorkload final : public Workload {
+ public:
+  CgWorkload(vgpu::Machine& machine, const JobSpec& spec,
+             const Placement& place, const std::string& label,
+             sim::JobMap* job_map)
+      : world_(machine, place.devices, label) {
+    world_.set_functional(true);
+    world_.set_fault_injection(spec.faulty);
+    cfg_.nx = spec.nx;
+    cfg_.ny = spec.ny;
+    cfg_.max_iterations = spec.iterations;
+    cfg_.functional = true;
+    cfg_.trace = false;
+    cfg_.threads_per_block = spec.threads_per_block;
+    cfg_.persistent_blocks = place.blocks_per_device;
+    cfg_.job_map = job_map;
+    cfg_.job_label = label;
+    job_ = std::make_unique<solvers::CgCpufreeJob>(machine, world_, cfg_);
+  }
+
+  sim::Task task() override { return job_->task(); }
+
+  bool verify() override {
+    const solvers::CgResult ref = solvers::cg_reference(cfg_, world_.n_pes());
+    return job_->iterations_run() == ref.iterations_run &&
+           job_->final_rr() == ref.final_rr &&
+           job_->rr_history() == ref.rr_history;
+  }
+
+  std::string detail() const override {
+    std::string d = "cg ";
+    d += std::to_string(cfg_.nx);
+    d += 'x';
+    d += std::to_string(cfg_.ny);
+    d += ", ";
+    d += std::to_string(job_->iterations_run());
+    d += " iters";
+    return d;
+  }
+
+ private:
+  vshmem::World world_;
+  solvers::CgConfig cfg_;
+  std::unique_ptr<solvers::CgCpufreeJob> job_;
+};
+
+/// A dacelite Jacobi2D SDFG compiled through the persistent (CPU-Free)
+/// backend, verified exactly via gather() against the SDFG's reference.
+class DaceliteWorkload final : public Workload {
+ public:
+  DaceliteWorkload(vgpu::Machine& machine, const JobSpec& spec,
+                   const Placement& place, const std::string& label,
+                   sim::JobMap* job_map)
+      : machine_(&machine),
+        prog_(make_prog(spec, static_cast<int>(place.devices.size()))),
+        world_(machine, place.devices, label),
+        iters_(spec.iterations) {
+    world_.set_functional(true);
+    world_.set_fault_injection(spec.faulty);
+    data_ = std::make_unique<dacelite::ProgramData>(world_, prog_.sdfg,
+                                                    /*functional=*/true);
+    options_.functional = true;
+    options_.trace = false;
+    options_.threads_per_block = spec.threads_per_block;
+    options_.persistent_blocks = place.blocks_per_device;
+    options_.job_map = job_map;
+    options_.job_label = label;
+  }
+
+  sim::Task task() override {
+    return dacelite::execute_persistent_task(*machine_, world_, *data_,
+                                             prog_.sdfg, options_, &result_);
+  }
+
+  bool verify() override {
+    return prog_.gather(*data_) == prog_.reference(iters_);
+  }
+
+  std::string detail() const override {
+    std::string d = "dacelite jacobi2d ";
+    d += std::to_string(prog_.gx);
+    d += 'x';
+    d += std::to_string(prog_.gy);
+    d += " x";
+    d += std::to_string(iters_);
+    d += " (";
+    d += result_.put_expansion;
+    d += ')';
+    return d;
+  }
+
+ private:
+  static dacelite::Jacobi2DProgram make_prog(const JobSpec& spec, int ranks) {
+    dacelite::Jacobi2DProgram p =
+        dacelite::make_jacobi2d(spec.nx, ranks, spec.iterations);
+    dacelite::to_cpu_free(p.sdfg);
+    return p;
+  }
+
+  vgpu::Machine* machine_;
+  dacelite::Jacobi2DProgram prog_;
+  vshmem::World world_;
+  std::unique_ptr<dacelite::ProgramData> data_;
+  dacelite::ExecOptions options_;
+  dacelite::ExecResult result_;
+  int iters_;
+};
+
+}  // namespace
+
+std::string validate(const JobSpec& spec) {
+  if (spec.devices < 1) return "devices must be >= 1";
+  if (spec.iterations < 1) return "iterations must be >= 1";
+  switch (spec.kind) {
+    case JobKind::kStencil:
+      if (spec.ny < 2 * static_cast<std::size_t>(spec.devices)) {
+        return "stencil needs at least two slabs per device";
+      }
+      break;
+    case JobKind::kCg:
+      if (spec.ny < 2 * static_cast<std::size_t>(spec.devices)) {
+        return "cg needs at least two rows per device";
+      }
+      break;
+    case JobKind::kDacelite: {
+      const auto [px, py] = dacelite::grid_dims(spec.devices);
+      if (spec.nx % static_cast<std::size_t>(px) != 0 ||
+          spec.nx % static_cast<std::size_t>(py) != 0) {
+        return "dacelite domain must divide by the process grid";
+      }
+      break;
+    }
+  }
+  return {};
+}
+
+std::unique_ptr<Workload> make_workload(vgpu::Machine& machine,
+                                        const JobSpec& spec,
+                                        const Placement& place,
+                                        const std::string& label,
+                                        sim::JobMap* job_map) {
+  switch (spec.kind) {
+    case JobKind::kStencil:
+      return std::make_unique<StencilWorkload>(machine, spec, place, label,
+                                               job_map);
+    case JobKind::kCg:
+      return std::make_unique<CgWorkload>(machine, spec, place, label,
+                                          job_map);
+    case JobKind::kDacelite:
+      return std::make_unique<DaceliteWorkload>(machine, spec, place, label,
+                                                job_map);
+  }
+  throw std::invalid_argument("make_workload: unknown job kind");
+}
+
+}  // namespace serve

@@ -1,0 +1,53 @@
+// Job-kind adapters: one uniform spawnable interface over the three
+// CPU-Free application families (stencil, CG, dacelite SDFG).
+//
+// A Workload owns everything one job touches — its vshmem::World device
+// slice (label-prefixed allocations, per-tenant fault-injection gate), the
+// problem state and the result cells — and exposes exactly what the server
+// needs: a spawnable task() that completes when the job's persistent
+// kernels drain, and an exact host-side verify() against the family's
+// serial reference.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/placement.hpp"
+#include "sim/observe.hpp"
+#include "sim/task.hpp"
+#include "vgpu/machine.hpp"
+
+namespace serve {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Spawnable; call at most once. Completes when every device of the
+  /// job's slice has synced its persistent kernel.
+  [[nodiscard]] virtual sim::Task task() = 0;
+
+  /// Exact verification against the family's serial reference (bitwise /
+  /// zero-error); only meaningful after task() completed.
+  [[nodiscard]] virtual bool verify() = 0;
+
+  /// One-line result summary for the job record.
+  [[nodiscard]] virtual std::string detail() const = 0;
+};
+
+/// Shape errors that would throw mid-run (stencil needs two slabs per
+/// device, a dacelite domain must divide by its process grid, ...);
+/// empty string = submittable.
+[[nodiscard]] std::string validate(const JobSpec& spec);
+
+/// Builds the adapter for `spec` on the carved `place`. The world slice is
+/// labeled `label` and every stream the launch creates is bound to `label`
+/// in `job_map` (when non-null) for checker/hang attribution.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(vgpu::Machine& machine,
+                                                      const JobSpec& spec,
+                                                      const Placement& place,
+                                                      const std::string& label,
+                                                      sim::JobMap* job_map);
+
+}  // namespace serve

@@ -256,8 +256,13 @@ std::string Engine::flag_name(const void* flag) const {
 }
 
 std::string Engine::describe_wait_site(const WaitSite& site) const {
-  std::string out = "\n  " + site.who + " blocked on " + site.what + ": " +
-                    flag_name(site.flag);
+  std::string out = "\n  " + site.who;
+  if (job_map_ != nullptr && site.actor_device >= 0) {
+    const std::string job =
+        job_map_->find_lane(site.actor_device, site.actor_lane);
+    if (!job.empty()) out += " [" + job + "]";
+  }
+  out += " blocked on " + site.what + ": " + flag_name(site.flag);
   if (!site.predicate.empty()) out += " " + site.predicate;
   if (site.read_value) {
     out += "; value " + std::to_string(site.read_value());

@@ -35,6 +35,7 @@
 namespace sim {
 
 class Observer;
+class JobMap;
 class Engine;
 
 namespace pdes {
@@ -357,6 +358,10 @@ class Engine {
     const void* flag = nullptr;
     std::string predicate;
     std::function<std::int64_t()> read_value;
+    /// Waiting actor's (device, stream lane) for job attribution; -1/-1 when
+    /// the waiter is not a stream/kernel actor (host threads, wires).
+    std::int32_t actor_device = -1;
+    std::int32_t actor_lane = -1;
   };
   using WaitToken = std::uint64_t;
 
@@ -370,6 +375,12 @@ class Engine {
     flag_names_[flag] = std::move(name);
   }
   [[nodiscard]] std::string flag_name(const void* flag) const;
+
+  /// Attaches the actor->job label map of an active multi-tenant serve run
+  /// (nullptr detaches). Hang reports then name the owning job of each stuck
+  /// wait. Attribution only; never consulted for scheduling.
+  void set_job_map(const JobMap* jobs) noexcept { job_map_ = jobs; }
+  [[nodiscard]] const JobMap* job_map() const noexcept { return job_map_; }
 
   /// Multi-line description of every open registered wait ("" when none).
   [[nodiscard]] std::string describe_open_waits() const;
@@ -392,6 +403,7 @@ class Engine {
   std::exception_ptr error_;
   Trace trace_;
   Observer* observer_ = nullptr;
+  const JobMap* job_map_ = nullptr;
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_roots_ = 0;

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "sim/sync.hpp"
 
@@ -84,6 +86,46 @@ struct Actor {
     }
     return "<none>";
   }
+};
+
+/// Actor -> owning job/tenant label for multi-tenant runs (src/serve/).
+///
+/// Streams and kernel groups are keyed by (device, stream lane): a lane is
+/// created by exactly one job and never reused across jobs within a run, so
+/// the pair identifies the owner. Hosts and wires are shared infrastructure
+/// and stay unattributed. Consulted by the engine's end-of-run hang report
+/// and by check::Detector's attribution strings; it never affects simulated
+/// time.
+class JobMap {
+ public:
+  void bind(int device, int lane, std::string label) {
+    lanes_[{device, lane}] = std::move(label);
+  }
+
+  /// Label of the job owning (device, lane); "" when unbound.
+  [[nodiscard]] std::string find_lane(int device, int lane) const {
+    auto it = lanes_.find({device, lane});
+    return it == lanes_.end() ? std::string() : it->second;
+  }
+
+  /// Label of the job owning `a`; "" for unbound or shared actors.
+  [[nodiscard]] std::string find(const Actor& a) const {
+    if (a.kind != Actor::Kind::kStream && a.kind != Actor::Kind::kKernelGroup) {
+      return {};
+    }
+    return find_lane(a.a, a.b);
+  }
+
+  /// " [label]" ready to append to a rendered actor identity; "" if none.
+  [[nodiscard]] std::string suffix(const Actor& a) const {
+    std::string l = find(a);
+    return l.empty() ? l : " [" + l + "]";
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return lanes_.empty(); }
+
+ private:
+  std::map<std::pair<std::int32_t, std::int32_t>, std::string> lanes_;
 };
 
 /// A byte range of one allocation: identity pointer + logical offsets.

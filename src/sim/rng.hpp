@@ -1,0 +1,44 @@
+// Counter-based (stateless) PRNG streams shared by every deterministic
+// decision plane in the tree (fault::Schedule, serve::ArrivalSchedule).
+//
+// The idiom: a draw is a pure function of (seed, a, b, c) — typically
+// (domain-salted seed, site class, site id, consult counter) — never of wall
+// clock or call order across sites. Re-consulting the same tuple returns the
+// same answer, so schedules replay bit-identically for any thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix, the standard choice for
+/// counter-based (stateless) PRNG streams.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Mixed 64-bit word for stream (seed, a, b, c): four chained mix64 rounds,
+/// each folding in the next key component.
+[[nodiscard]] constexpr std::uint64_t stream_mix(std::uint64_t seed,
+                                                 std::uint64_t a,
+                                                 std::uint64_t b,
+                                                 std::uint64_t c) noexcept {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  return h;
+}
+
+/// U(0,1) draw for stream (seed, a, b, c). Top 53 bits -> [0, 1) with full
+/// double precision.
+[[nodiscard]] constexpr double stream_uniform(std::uint64_t seed,
+                                              std::uint64_t a, std::uint64_t b,
+                                              std::uint64_t c) noexcept {
+  return static_cast<double>(stream_mix(seed, a, b, c) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace sim

@@ -230,17 +230,42 @@ CgResult cg_reference(const CgConfig& cfg, int ranks) {
 
 // --- CPU-Free persistent CG ---------------------------------------------------
 
-CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
-  vgpu::Machine machine(spec);
-  machine.engine().set_observer(cfg.observer);
-  vshmem::World world(machine);
-  world.set_functional(cfg.functional);
-  machine.trace().set_enabled(cfg.trace);
-  const int n = machine.num_devices();
-  const int persistent_blocks =
-      exec::resolve_persistent_blocks(cfg.persistent_blocks, spec,
-                                      cfg.threads_per_block);
-  auto states = make_states(cfg, n);
+namespace {
+
+/// Everything the CPU-Free CG's persistent bodies dereference, heap-held so
+/// an externally-driven job (CgCpufreeJob) can outlive the building frame.
+struct CgCore {
+  CgConfig cfg;
+  vshmem::World* world = nullptr;
+  int n = 0;
+  int persistent_blocks = 0;
+  std::vector<RankState> states;
+  vshmem::Sym<double> p, x, r, q, b, slots0, slots1;
+  std::unique_ptr<vshmem::SignalSet> sig;
+  std::size_t top_halo = 0;
+  std::size_t bottom_halo = 0;
+  double rz0 = 1.0;
+  // Shared result cells (PE 0 publishes).
+  std::shared_ptr<std::vector<double>> history =
+      std::make_shared<std::vector<double>>();
+  std::shared_ptr<int> iterations_run = std::make_shared<int>(0);
+  std::shared_ptr<double> final_rr = std::make_shared<double>(0.0);
+};
+
+/// Allocates and initializes the CG problem on `world` (whole machine or a
+/// device slice); `spec` sizes the persistent grid.
+std::unique_ptr<CgCore> make_cg_core(vshmem::World& world,
+                                     const vgpu::MachineSpec& spec,
+                                     const CgConfig& cfg) {
+  auto core = std::make_unique<CgCore>();
+  core->cfg = cfg;
+  core->world = &world;
+  const int n = world.n_pes();
+  core->n = n;
+  core->persistent_blocks = exec::resolve_persistent_blocks(
+      cfg.persistent_blocks, spec, cfg.threads_per_block);
+  core->states = make_states(cfg, n);
+  auto& states = core->states;
 
   const std::size_t vec_size =
       cfg.functional
@@ -251,27 +276,30 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
                     cfg.nx +
                 2 * cfg.nx
           : 1;
-  vshmem::Sym<double> p = world.alloc<double>(vec_size, "p");
-  vshmem::Sym<double> x = world.alloc<double>(vec_size, "x");
-  vshmem::Sym<double> r = world.alloc<double>(vec_size, "r");
-  vshmem::Sym<double> q = world.alloc<double>(vec_size, "q");
-  vshmem::Sym<double> b = world.alloc<double>(vec_size, "b");
+  core->p = world.alloc<double>(vec_size, "p");
+  core->x = world.alloc<double>(vec_size, "x");
+  core->r = world.alloc<double>(vec_size, "r");
+  core->q = world.alloc<double>(vec_size, "q");
+  core->b = world.alloc<double>(vec_size, "b");
   // Allreduce slots and flags: channel 0 = p.q, channel 1 = r.r; per-peer
   // iteration flags at indices channel*n + peer; halo flags at 2n + {0,1}.
-  vshmem::Sym<double> slots0 = world.alloc<double>(static_cast<std::size_t>(n), "pq_slots");
-  vshmem::Sym<double> slots1 = world.alloc<double>(static_cast<std::size_t>(n), "rr_slots");
-  auto sig = world.alloc_signals(2 * static_cast<std::size_t>(n) + 2);
-  const std::size_t kTopHalo = 2 * static_cast<std::size_t>(n);
-  const std::size_t kBottomHalo = kTopHalo + 1;
+  core->slots0 =
+      world.alloc<double>(static_cast<std::size_t>(n), "pq_slots");
+  core->slots1 =
+      world.alloc<double>(static_cast<std::size_t>(n), "rr_slots");
+  core->sig = world.alloc_signals(2 * static_cast<std::size_t>(n) + 2);
+  core->top_halo = 2 * static_cast<std::size_t>(n);
+  core->bottom_halo = core->top_halo + 1;
   for (int pe = 0; pe < n; ++pe) {
-    sig->at(pe, kTopHalo).set(1);
-    sig->at(pe, kBottomHalo).set(1);
+    core->sig->at(pe, core->top_halo).set(1);
+    core->sig->at(pe, core->bottom_halo).set(1);
   }
 
+  vshmem::Sym<double>& p = core->p;
   if (cfg.functional) {
     for (int d = 0; d < n; ++d) {
-      init_vectors(states[static_cast<std::size_t>(d)], b.on(d), r.on(d),
-                   p.on(d));
+      init_vectors(states[static_cast<std::size_t>(d)], core->b.on(d),
+                   core->r.on(d), p.on(d));
     }
     // Pre-fill p halos with the initial neighbour boundaries: iteration 1's
     // halo flags are pre-signaled, so the data must already be there (the
@@ -293,21 +321,41 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
     }
   }
 
-  // Shared result cells (device 0 publishes).
-  auto history = std::make_shared<std::vector<double>>();
-  auto iterations_run = std::make_shared<int>(0);
-  auto final_rr = std::make_shared<double>(0.0);
-
   // Initial rz = dot(r0, r0): computed host-side at setup (part of problem
   // initialization, not the measured loop).
   std::vector<double> rz0_partials;
   if (cfg.functional) {
     for (int d = 0; d < n; ++d) {
       rz0_partials.push_back(
-          states[static_cast<std::size_t>(d)].dot(r.on(d), r.on(d)));
+          states[static_cast<std::size_t>(d)].dot(core->r.on(d),
+                                                  core->r.on(d)));
     }
   }
-  const double rz0 = cfg.functional ? combine(rz0_partials) : 1.0;
+  core->rz0 = cfg.functional ? combine(rz0_partials) : 1.0;
+  return core;
+}
+
+/// Builds the per-PE persistent block groups. The bodies hold references
+/// into `core`, which must stay alive until the kernels drain.
+std::vector<cpufree::DeviceGroups> build_cg_groups(CgCore& core) {
+  vshmem::World& world = *core.world;
+  const CgConfig& cfg = core.cfg;
+  const int n = core.n;
+  const int persistent_blocks = core.persistent_blocks;
+  auto& states = core.states;
+  vshmem::Sym<double>& p = core.p;
+  vshmem::Sym<double>& x = core.x;
+  vshmem::Sym<double>& r = core.r;
+  vshmem::Sym<double>& q = core.q;
+  vshmem::Sym<double>& slots0 = core.slots0;
+  vshmem::Sym<double>& slots1 = core.slots1;
+  auto& sig = core.sig;
+  const std::size_t kTopHalo = core.top_halo;
+  const std::size_t kBottomHalo = core.bottom_halo;
+  const double rz0 = core.rz0;
+  auto history = core.history;
+  auto iterations_run = core.iterations_run;
+  auto final_rr = core.final_rr;
 
   std::vector<cpufree::DeviceGroups> groups(static_cast<std::size_t>(n));
   for (int dev = 0; dev < n; ++dev) {
@@ -431,18 +479,74 @@ CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
     groups[static_cast<std::size_t>(dev)].push_back(
         vgpu::BlockGroup{"cg", persistent_blocks, std::move(body)});
   }
+  return groups;
+}
+
+}  // namespace
+
+CgResult run_cg_cpufree(const vgpu::MachineSpec& spec, const CgConfig& cfg) {
+  vgpu::Machine machine(spec);
+  machine.engine().set_observer(cfg.observer);
+  vshmem::World world(machine);
+  world.set_functional(cfg.functional);
+  machine.trace().set_enabled(cfg.trace);
+  auto core = make_cg_core(world, spec, cfg);
+  auto groups = build_cg_groups(*core);
 
   exec::persistent_launch(machine, std::move(groups), cfg.threads_per_block,
                           "cg_cpufree");
 
   CgResult res;
   res.metrics = cpufree::analyze_run(machine.trace(), machine.engine().now(),
-                                     *iterations_run);
+                                     *core->iterations_run);
   cpufree::apply_fault_stats(res.metrics, machine.faults().stats());
-  res.iterations_run = *iterations_run;
-  res.final_rr = *final_rr;
-  res.rr_history = *history;
+  res.iterations_run = *core->iterations_run;
+  res.final_rr = *core->final_rr;
+  res.rr_history = *core->history;
   return res;
+}
+
+// --- Externally-driven CG job (multi-tenant serve) ----------------------------
+
+struct CgCpufreeJob::Impl {
+  vgpu::Machine* machine = nullptr;
+  std::unique_ptr<CgCore> core;
+};
+
+CgCpufreeJob::CgCpufreeJob(vgpu::Machine& machine, vshmem::World& world,
+                           const CgConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->machine = &machine;
+  impl_->core = make_cg_core(world, machine.spec(), config);
+}
+
+CgCpufreeJob::~CgCpufreeJob() = default;
+
+sim::Task CgCpufreeJob::task() {
+  CgCore& core = *impl_->core;
+  std::vector<int> devices;
+  devices.reserve(static_cast<std::size_t>(core.n));
+  for (int pe = 0; pe < core.n; ++pe) {
+    devices.push_back(core.world->device_of(pe));
+  }
+  auto groups = build_cg_groups(core);
+  cpufree::PersistentConfig pc;
+  pc.threads_per_block = core.cfg.threads_per_block;
+  pc.name = "cg_cpufree";
+  pc.job_map = core.cfg.job_map;
+  pc.job_label = core.cfg.job_label;
+  co_await cpufree::persistent_launch_task(*impl_->machine, std::move(devices),
+                                           std::move(groups), pc);
+}
+
+int CgCpufreeJob::iterations_run() const {
+  return *impl_->core->iterations_run;
+}
+
+double CgCpufreeJob::final_rr() const { return *impl_->core->final_rr; }
+
+const std::vector<double>& CgCpufreeJob::rr_history() const {
+  return *impl_->core->history;
 }
 
 // --- Baseline CPU-controlled CG -------------------------------------------------

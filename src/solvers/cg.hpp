@@ -21,13 +21,23 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cpufree/metrics.hpp"
+#include "sim/task.hpp"
 #include "vgpu/costmodel.hpp"
 
 namespace sim {
+class JobMap;
 class Observer;
+}
+namespace vgpu {
+class Machine;
+}
+namespace vshmem {
+class World;
 }
 
 namespace solvers {
@@ -47,6 +57,11 @@ struct CgConfig {
   /// Optional execution observer (race/deadlock checker); attached to the
   /// engine before any allocation or launch. Never affects simulated time.
   sim::Observer* observer = nullptr;
+  /// Multi-tenant attribution (CgCpufreeJob only): streams the launch
+  /// creates are bound (device, lane) -> job_label in this map so checker
+  /// and hang reports can name the owning job. Must outlive the run.
+  sim::JobMap* job_map = nullptr;
+  std::string job_label;
 };
 
 struct CgResult {
@@ -68,5 +83,32 @@ struct CgResult {
 /// CPU-controlled baseline CG (discrete kernels, host reductions/sync).
 [[nodiscard]] CgResult run_cg_baseline(const vgpu::MachineSpec& spec,
                                        const CgConfig& config);
+
+/// CPU-Free CG bound to an existing machine + world whose engine is driven
+/// EXTERNALLY — the building block the multi-tenant job server schedules.
+/// The world may be a device slice; allocation and initialization happen in
+/// the constructor, the kernels launch when the engine first resumes the
+/// task() coroutine, and the result accessors are valid once it completes.
+/// Results are bitwise-comparable to cg_reference(config, world.n_pes()).
+class CgCpufreeJob {
+ public:
+  CgCpufreeJob(vgpu::Machine& machine, vshmem::World& world,
+               const CgConfig& config);
+  ~CgCpufreeJob();
+  CgCpufreeJob(const CgCpufreeJob&) = delete;
+  CgCpufreeJob& operator=(const CgCpufreeJob&) = delete;
+
+  /// Spawnable: completes when every PE's persistent kernel has drained.
+  /// Call at most once.
+  [[nodiscard]] sim::Task task();
+
+  [[nodiscard]] int iterations_run() const;
+  [[nodiscard]] double final_rr() const;
+  [[nodiscard]] const std::vector<double>& rr_history() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace solvers

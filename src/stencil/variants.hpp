@@ -136,7 +136,8 @@ std::function<exec::InnerModel(int, int)> make_inner_model(SlabStencil<P>& S,
     if (perks) {
       const cpufree::PerksModel perks_model;
       im.traffic_factor = perks_model.traffic_factor(
-          S.local_points(dev) * 8.0, S.machine().device(dev).spec());
+          S.local_points(dev) * 8.0,
+          S.machine().device(S.world().device_of(dev)).spec());
       im.tiling_efficiency = perks_model.tiling_efficiency;
     } else {
       im.tiling_efficiency = cpufree::software_tiling_efficiency(

@@ -83,10 +83,16 @@ namespace {
 sim::Engine::WaitSite wait_site(const sim::Actor& who, std::string_view what,
                                 sim::Flag& flag, sim::Cmp cmp,
                                 std::int64_t rhs) {
-  return sim::Engine::WaitSite{
+  sim::Engine::WaitSite ws{
       who.str(), std::string(what), &flag,
       std::string(sim::cmp_str(cmp)) + " " + std::to_string(rhs),
       [f = &flag] { return f->value(); }};
+  if (who.kind == sim::Actor::Kind::kStream ||
+      who.kind == sim::Actor::Kind::kKernelGroup) {
+    ws.actor_device = who.a;
+    ws.actor_lane = who.b;
+  }
+  return ws;
 }
 
 }  // namespace

@@ -4,8 +4,30 @@
 
 namespace vshmem {
 
+namespace {
+
+std::vector<int> identity_devices(int n) {
+  std::vector<int> d(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = i;
+  return d;
+}
+
+}  // namespace
+
 World::World(vgpu::Machine& machine)
-    : machine_(&machine), n_pes_(machine.num_devices()) {
+    : World(machine, identity_devices(machine.num_devices()), std::string()) {}
+
+World::World(vgpu::Machine& machine, std::vector<int> devices,
+             std::string label)
+    : machine_(&machine),
+      n_pes_(static_cast<int>(devices.size())),
+      devices_(std::move(devices)),
+      label_(std::move(label)) {
+  pe_of_.assign(static_cast<std::size_t>(machine.num_devices()), -1);
+  for (int pe = 0; pe < n_pes_; ++pe) {
+    pe_of_.at(static_cast<std::size_t>(devices_[static_cast<std::size_t>(pe)])) =
+        pe;
+  }
   // nvshmem_init establishes the all-to-all PGAS domain over NVLink.
   machine_->enable_all_peer_access();
   // Functional mode (the default) is a cross-shard data coupling; see
@@ -15,7 +37,7 @@ World::World(vgpu::Machine& machine)
   sim::Observer* const o = machine_->engine().observer();
   for (std::size_t i = 0; i < pe_.size(); ++i) {
     pe_[i].completed = std::make_unique<sim::Flag>(machine_->engine(), 0);
-    std::string nm = "nbi_completed@pe" + std::to_string(i);
+    std::string nm = label_ + "nbi_completed@pe" + std::to_string(i);
     machine_->engine().name_flag(pe_[i].completed.get(), nm);
     if (o != nullptr) o->on_flag_name(pe_[i].completed.get(), nm);
   }
@@ -26,11 +48,13 @@ World::PutFaults World::roll_put_faults(vgpu::KernelCtx& ctx, int src_pe,
                                         std::string_view label) {
   PutFaults pf;
   fault::Schedule& faults = machine_->faults();
-  if (!faults.enabled()) return pf;
-  // One PRNG stream per ordered PE pair and site class; issue order on a
-  // pair is deterministic, so the consult counters are too.
-  const std::uint64_t pair = (static_cast<std::uint64_t>(src_pe) << 20) |
-                             static_cast<std::uint64_t>(dst_pe);
+  if (!faults.enabled() || !inject_faults_) return pf;
+  // One PRNG stream per ordered *physical device* pair and site class; issue
+  // order on a pair is deterministic, so the consult counters are too. On a
+  // whole-machine world PE == device and the historical keys reproduce.
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(device_of(src_pe)) << 20) |
+      static_cast<std::uint64_t>(device_of(dst_pe));
   pf.drop = faults.roll(fault::Site::kPutDrop, pair);
   if (!pf.drop) {
     pf.duplicate = faults.roll(fault::Site::kPutDup, pair);
@@ -69,7 +93,8 @@ sim::Task World::do_put(int src_pe, int dst_pe, double bytes,
   // Bandwidth fraction below 1.0 models ops that cannot saturate the wire
   // (thread-scoped or element-wise strided): stretch the payload time.
   const double effective_bytes = bw_fraction > 0.0 ? bytes / bw_fraction : bytes;
-  co_await machine_->transfer(src_pe, dst_pe, effective_bytes,
+  co_await machine_->transfer(device_of(src_pe), device_of(dst_pe),
+                              effective_bytes,
                               vgpu::TransferKind::kDeviceInitiated, lane, label,
                               std::move(deliver), cat, obs);
 }
@@ -107,8 +132,9 @@ void World::apply_signal(SignalSet& sig, std::size_t idx, std::int64_t value,
   // the issuer's current state. Woken waiters resume later via the engine
   // queue, so they observe this publication.
   if (sim::Observer* o = machine_->engine().observer()) {
-    o->on_signal_update(sim::Actor::wire(src_pe, dst_pe), &f, f.value(),
-                        "signal");
+    // Physical wire actor — matches the wire the machine's transfer charged.
+    o->on_signal_update(sim::Actor::wire(device_of(src_pe), device_of(dst_pe)),
+                        &f, f.value(), "signal");
   }
 }
 
@@ -117,14 +143,15 @@ sim::Task World::signal_op(vgpu::KernelCtx& ctx, SignalSet& sig,
                            int dst_pe) {
   World* self = this;
   SignalSet* sigp = &sig;
-  const int src_pe = ctx.device_id();
+  const int src_pe = pe_of(ctx.device_id());
   // A lone signal update can be lost or postponed like a put-attached one;
   // it shares the per-pair decision streams (issue order is deterministic).
   PutFaults pf;
-  if (machine_->faults().enabled()) {
+  if (machine_->faults().enabled() && inject_faults_) {
     fault::Schedule& faults = machine_->faults();
-    const std::uint64_t pair = (static_cast<std::uint64_t>(src_pe) << 20) |
-                               static_cast<std::uint64_t>(dst_pe);
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(device_of(src_pe)) << 20) |
+        static_cast<std::uint64_t>(device_of(dst_pe));
     pf.lose_signal = faults.roll(fault::Site::kSignalLost, pair);
     if (!pf.lose_signal && faults.roll(fault::Site::kSignalDelay, pair)) {
       pf.delay_signal = faults.config().signal_delay;
@@ -169,12 +196,12 @@ sim::Task World::signal_op(vgpu::KernelCtx& ctx, SignalSet& sig,
 sim::Task World::signal_wait_until(vgpu::KernelCtx& ctx, SignalSet& sig,
                                    std::size_t sig_idx, sim::Cmp cmp,
                                    std::int64_t value) {
-  co_await ctx.spin_wait(sig.at(ctx.device_id(), sig_idx), cmp, value,
+  co_await ctx.spin_wait(sig.at(pe_of(ctx.device_id()), sig_idx), cmp, value,
                          "signal_wait");
 }
 
 sim::Task World::quiet(vgpu::KernelCtx& ctx) {
-  PeState& st = pe_.at(static_cast<std::size_t>(ctx.device_id()));
+  PeState& st = pe_.at(static_cast<std::size_t>(pe_of(ctx.device_id())));
   const std::int64_t target = st.issued;
   const sim::Nanos t0 = machine_->engine().now();
   sim::Observer* const o = machine_->engine().observer();
@@ -182,10 +209,12 @@ sim::Task World::quiet(vgpu::KernelCtx& ctx) {
     o->on_signal_wait_begin(ctx.obs_actor(), st.completed.get(), sim::Cmp::kGe,
                             target, "quiet");
   }
+  const sim::Actor quiet_actor = ctx.obs_actor();
   const sim::Engine::WaitToken wt = machine_->engine().note_wait_begin(
-      {ctx.obs_actor().str(), "quiet", st.completed.get(),
+      {quiet_actor.str(), "quiet", st.completed.get(),
        ">= " + std::to_string(target),
-       [f = st.completed.get()] { return f->value(); }});
+       [f = st.completed.get()] { return f->value(); }, quiet_actor.a,
+       quiet_actor.b});
   co_await st.completed->wait_geq(target);
   machine_->engine().note_wait_end(wt);
   if (o != nullptr) {

@@ -128,14 +128,41 @@ class SignalSet {
 
 /// The PGAS world: one PE per device (nvshmem_init on an 8-GPU node gives
 /// PEs 0..7). Owns the symmetric heap and the nbi-completion bookkeeping.
+///
+/// A World may also span a *slice* of the machine (the multi-tenant serve
+/// path): PEs 0..k-1 map onto an arbitrary device subset, so every workload
+/// written against PE indices runs unchanged on a carved-out slice. The
+/// default whole-machine World is the identity mapping and behaves (and
+/// costs) byte-identically to the pre-slice code.
 class World {
  public:
   explicit World(vgpu::Machine& machine);
+  /// Slice world: PE i lives on physical device `devices[i]`. `label`
+  /// prefixes symmetric-heap / signal names (e.g. "j42.") so concurrent
+  /// tenants' allocations stay distinguishable in checker reports.
+  World(vgpu::Machine& machine, std::vector<int> devices, std::string label);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   [[nodiscard]] vgpu::Machine& machine() noexcept { return *machine_; }
   [[nodiscard]] int n_pes() const noexcept { return n_pes_; }
+
+  /// Physical device hosting PE `pe` (identity on a whole-machine world).
+  [[nodiscard]] int device_of(int pe) const {
+    return devices_.at(static_cast<std::size_t>(pe));
+  }
+  /// PE index of physical device `device`; -1 if outside this world's slice.
+  [[nodiscard]] int pe_of(int device) const {
+    return pe_of_.at(static_cast<std::size_t>(device));
+  }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+  /// Per-world fault-injection gate (default on). A multi-tenant server
+  /// scopes put/signal-class injections to the faulty tenant's world by
+  /// switching every other tenant off; machine-wide window faults
+  /// (link/stall) are not affected by this gate.
+  void set_fault_injection(bool on) noexcept { inject_faults_ = on; }
+  [[nodiscard]] bool fault_injection() const noexcept { return inject_faults_; }
 
   /// Timing-only switch: when false, data-movement ops charge full costs and
   /// apply signals, but skip the functional payload copies (so benchmark
@@ -156,7 +183,8 @@ class World {
     inst.reserve(static_cast<std::size_t>(n_pes_));
     for (int pe = 0; pe < n_pes_; ++pe) {
       inst.push_back(machine_->alloc_array<T>(
-          pe, count, std::string(name) + "@pe" + std::to_string(pe)));
+          device_of(pe), count,
+          label_ + std::string(name) + "@pe" + std::to_string(pe)));
     }
     return Sym<T>(std::move(inst));
   }
@@ -169,8 +197,8 @@ class World {
     sim::Observer* const o = machine_->engine().observer();
     for (int pe = 0; pe < n_pes_; ++pe) {
       for (std::size_t i = 0; i < count; ++i) {
-        std::string nm = std::string(name) + std::to_string(i) + "@pe" +
-                         std::to_string(pe);
+        std::string nm = label_ + std::string(name) + std::to_string(i) +
+                         "@pe" + std::to_string(pe);
         // Registered unconditionally with the engine so an end-of-run hang
         // report can name the flag even without an attached checker.
         machine_->engine().name_flag(&s->at(pe, i), nm);
@@ -178,6 +206,17 @@ class World {
       }
     }
     return s;
+  }
+
+  /// Transfers ownership of a SignalSet to the world, returning the raw
+  /// pointer. For protocols whose final put_signal is fired and forgotten
+  /// (e.g. the slab halo handshake signalling iteration t+1 after its last
+  /// step): the delivery callback of an in-flight nbi put may run after the
+  /// issuing task's frame is gone, so the flags must live as long as the
+  /// world — not as long as the coroutine that allocated them.
+  SignalSet* retain_signals(std::unique_ptr<SignalSet> s) {
+    retained_signals_.push_back(std::move(s));
+    return retained_signals_.back().get();
   }
 
   // --- Contiguous data movement -------------------------------------------
@@ -306,8 +345,13 @@ class World {
   vgpu::Machine* machine_;
   int n_pes_;
   bool functional_ = true;
+  bool inject_faults_ = true;
+  std::vector<int> devices_;  // PE index -> physical device
+  std::vector<int> pe_of_;    // physical device -> PE index (-1 outside)
+  std::string label_;
   std::vector<PeState> pe_;
   std::unique_ptr<sim::Barrier> barrier_;  // lazily created for sync_all
+  std::vector<std::unique_ptr<SignalSet>> retained_signals_;
 };
 
 // ---- template implementations ----------------------------------------------
@@ -344,7 +388,7 @@ template <typename T>
 sim::Task World::putmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
                         std::size_t dst_off, std::size_t count, int dst_pe,
                         Scope scope) {
-  const int src_pe = ctx.device_id();
+  const int src_pe = pe_of(ctx.device_id());
   World* self = this;
   std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
                                    count]() {
@@ -371,7 +415,7 @@ template <typename T>
 sim::Task World::putmem_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
                             std::size_t src_off, std::size_t dst_off,
                             std::size_t count, int dst_pe, Scope scope) {
-  const int src_pe = ctx.device_id();
+  const int src_pe = pe_of(ctx.device_id());
   World* self = this;
   std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
                                    count]() {
@@ -417,7 +461,7 @@ sim::Task World::putmem_signal_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
                                    std::size_t count, SignalSet& sig,
                                    std::size_t sig_idx, std::int64_t sig_val,
                                    SignalOp op, int dst_pe, Scope scope) {
-  const int src_pe = ctx.device_id();
+  const int src_pe = pe_of(ctx.device_id());
   World* self = this;
   SignalSet* sigp = &sig;
   // Fault plane, decided at issue (counter-based, per ordered PE pair): a
@@ -476,7 +520,7 @@ template <typename T>
 sim::Task World::iput(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
                       std::ptrdiff_t src_stride, std::size_t dst_off,
                       std::ptrdiff_t dst_stride, std::size_t count, int dst_pe) {
-  const int src_pe = ctx.device_id();
+  const int src_pe = pe_of(ctx.device_id());
   World* self = this;
   std::function<void()> deliver = [self, &arr, src_pe, dst_pe, src_off, dst_off,
                                    src_stride, dst_stride, count]() {
@@ -511,7 +555,7 @@ sim::Task World::iput(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
 template <typename T>
 sim::Task World::p(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t dst_off,
                    T value, int dst_pe) {
-  const int src_pe = ctx.device_id();
+  const int src_pe = pe_of(ctx.device_id());
   World* self = this;
   std::function<void()> deliver = [self, &arr, dst_pe, dst_off, value]() {
     if (!self->functional_) return;
@@ -533,7 +577,7 @@ template <typename T>
 sim::Task World::getmem(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
                         std::size_t dst_off, std::size_t count, int src_pe,
                         Scope scope) {
-  const int me = ctx.device_id();
+  const int me = pe_of(ctx.device_id());
   // Request leg: a small message to the source PE...
   co_await do_put(me, src_pe, 8.0, 1.0, ctx.lane(), "get_request", {},
                   sim::Cat::kSync);
@@ -562,7 +606,7 @@ template <typename T>
 sim::Task World::iget(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
                       std::ptrdiff_t src_stride, std::size_t dst_off,
                       std::ptrdiff_t dst_stride, std::size_t count, int src_pe) {
-  const int me = ctx.device_id();
+  const int me = pe_of(ctx.device_id());
   co_await do_put(me, src_pe, 8.0, 1.0, ctx.lane(), "get_request", {},
                   sim::Cat::kSync);
   World* self = this;
@@ -596,7 +640,7 @@ sim::Task World::iget(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
 template <typename T>
 sim::Task World::g(vgpu::KernelCtx& ctx, Sym<T>& arr, std::size_t src_off,
                    int src_pe, T& out) {
-  const int me = ctx.device_id();
+  const int me = pe_of(ctx.device_id());
   const sim::Nanos extra = machine_->spec().link.small_op_overhead;
   co_await machine_->engine().delay(extra);
   co_await do_put(me, src_pe, 8.0, 1.0, ctx.lane(), "get_request", {},
