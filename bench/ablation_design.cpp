@@ -51,6 +51,7 @@ sweep::RunResult run3d(TbPolicy policy, vshmem::Scope scope, int gpus,
   res.spec = spec;
   res.metrics = out.result.metrics;
   res.set("per_iter_us", out.result.metrics.per_iteration_us());
+  bench::tag_workload(res, "jacobi3d", bench::slab_imbalance(p.nz, gpus));
   return res;
 }
 
@@ -69,6 +70,7 @@ sweep::RunResult run_stencil2d(Variant v, int gpus) {
   res.spec = spec;
   res.metrics = out.result.metrics;
   res.set("per_iter_us", out.result.metrics.per_iteration_us());
+  bench::tag_workload(res, "jacobi2d", bench::slab_imbalance(p.ny, gpus));
   return res;
 }
 
@@ -95,6 +97,9 @@ sweep::RunResult run_dace2d(bool blocking, bool conservative, int gpus,
   res.set("per_iter_us", sim::to_usec(r.metrics.per_iteration));
   res.set("persistent_blocks", r.persistent_blocks);
   res.note("put_expansion", r.put_expansion);
+  // The dacelite frontend requires the domain to divide by the process
+  // grid, so its partition is exactly even.
+  bench::tag_workload(res, "dacelite", 1.0);
   return res;
 }
 

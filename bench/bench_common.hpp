@@ -130,6 +130,25 @@ inline void print_policies(const std::vector<PolicyRow>& rows) {
   std::printf("\n");
 }
 
+/// Tags a run result with its workload family and realized
+/// partition-imbalance factor, so every cpufree-bench-v1 record
+/// self-describes what ran and how skewed its per-rank partition was.
+inline void tag_workload(sweep::RunResult& r, std::string_view kind,
+                         double partition_imbalance) {
+  r.workload = std::string(kind);
+  r.partition_imbalance = partition_imbalance;
+}
+
+/// Imbalance factor of the even slab row split the regular workloads use:
+/// max rows per rank / mean rows per rank (exactly 1.0 when ranks | ny).
+[[nodiscard]] inline double slab_imbalance(std::size_t ny, int ranks) {
+  if (ranks <= 0 || ny == 0) return 1.0;
+  const std::size_t ru = static_cast<std::size_t>(ranks);
+  const std::size_t max_rows = ny / ru + (ny % ru != 0 ? 1 : 0);
+  return static_cast<double>(max_rows) * static_cast<double>(ru) /
+         static_cast<double>(ny);
+}
+
 /// One table row: label + one value per GPU count.
 struct Row {
   std::string label;

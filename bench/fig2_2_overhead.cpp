@@ -131,6 +131,9 @@ int main(int argc, char** argv) {
                  res.metrics = out.result.metrics;
                }
                res.set("per_iter_us", stats.min());
+               bench::tag_workload(
+                   res, "jacobi2d",
+                   bench::slab_imbalance(weak_scaled(256, g).ny, g));
                return res;
              });
     }
@@ -159,6 +162,9 @@ int main(int argc, char** argv) {
                        out.result.metrics.hidden_comm_ratio * 100.0);
                res.set("noncompute_pct",
                        out.result.metrics.noncompute_fraction * 100.0);
+               bench::tag_workload(
+                   res, "jacobi2d",
+                   bench::slab_imbalance(weak_scaled(1024, g).ny, g));
                return res;
              });
     }

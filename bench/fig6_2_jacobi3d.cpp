@@ -131,6 +131,9 @@ int main(int argc, char** argv) {
                  res.spec = spec;
                  res.metrics = out.result.metrics;
                  res.set("per_iter_us", out.result.metrics.per_iteration_us());
+                 bench::tag_workload(
+                     res, "jacobi3d",
+                     bench::slab_imbalance(domain_for(part, g).nz, g));
                  return res;
                });
       }

@@ -53,6 +53,9 @@ sweep::RunResult run_sdfg(dacelite::Sdfg& sdfg, bool cpufree, int ranks,
   res.set("noncompute_pct", r.metrics.noncompute_fraction * 100.0);
   res.set("persistent_blocks", r.persistent_blocks);
   res.note("put_expansion", r.put_expansion);
+  // The dacelite frontend requires the domain to divide by the process
+  // grid, so its partition is exactly even.
+  bench::tag_workload(res, "dacelite", 1.0);
   return res;
 }
 

@@ -113,6 +113,8 @@ sweep::RunResult run_case(const Workload& w, const fault::Config& faults,
   res.set("degraded_iters", static_cast<double>(res.metrics.degraded_iters));
   res.set("faults_injected",
           static_cast<double>(res.metrics.faults_injected));
+  bench::tag_workload(res, w.is_cg ? "cg" : "jacobi2d",
+                      bench::slab_imbalance(w.is_cg ? 96 : 256, kGpus));
   return res;
 }
 

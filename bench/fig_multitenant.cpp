@@ -35,6 +35,8 @@
 #include "bench_common.hpp"
 #include "serve/server.hpp"
 #include "sim/rng.hpp"
+#include "solvers/sparse_cg.hpp"
+#include "workloads/histogram/histogram.hpp"
 
 namespace {
 
@@ -64,6 +66,8 @@ const MixDef kMixes[] = {
     {"all",
      {serve::JobKind::kStencil, serve::JobKind::kCg,
       serve::JobKind::kDacelite}},
+    {"irregular",
+     {serve::JobKind::kHistogram, serve::JobKind::kSparseCg}},
 };
 
 constexpr int kTenantAxis[] = {2, 8, 32};
@@ -151,6 +155,8 @@ std::vector<serve::JobSpec> make_fleet(const MixDef& mix, int tenants,
   static constexpr int kDevices[] = {1, 2, 4};
   static constexpr std::size_t kStencilN[] = {48, 64, 96};
   static constexpr std::size_t kCgN[] = {32, 48, 64};
+  static constexpr std::size_t kHistBins[] = {61, 97, 193};
+  static constexpr std::size_t kSparseN[] = {16, 24, 32};
   std::vector<serve::JobSpec> jobs;
   jobs.reserve(static_cast<std::size_t>(tenants) *
                static_cast<std::size_t>(jobs_per_tenant));
@@ -187,6 +193,18 @@ std::vector<serve::JobSpec> make_fleet(const MixDef& mix, int tenants,
         case serve::JobKind::kDacelite:
           s.nx = s.ny = (shape & 1) != 0 ? 48 : 24;
           s.iterations = ((shape >> 8) & 1) != 0 ? 10 : 6;
+          break;
+        case serve::JobKind::kHistogram:
+          s.nx = kHistBins[shape % 3];  // bins (owner-partitioned)
+          s.ny = 192;                   // keys per PE per round
+          s.skew = static_cast<int>((shape >> 4) & 3);
+          s.iterations = ((shape >> 8) & 1) != 0 ? 6 : 4;
+          s.threads_per_block = 128;
+          break;
+        case serve::JobKind::kSparseCg:
+          s.nx = s.ny = kSparseN[shape % 3];
+          s.imbalance = ((shape >> 4) & 1) != 0 ? 4.0 : 1.0;
+          s.iterations = ((shape >> 8) & 1) != 0 ? 20 : 12;
           break;
       }
       s.faulty = tenant0_faulty && t == 0;
@@ -231,8 +249,39 @@ sweep::RunResult run_cell(const bench::Args& args, const ServeArgs& sargs,
   res.set("max_slowdown", f.max_slowdown);
   res.set("jain_fairness", f.jain_fairness);
   res.set("fleet_makespan_us", f.fleet_makespan_us);
+  // A fleet cell mixes job kinds; per-job records below carry each job's
+  // own workload tag and realized partition imbalance.
+  bench::tag_workload(res, "serve_fleet", 1.0);
   if (report_out != nullptr) *report_out = std::move(rep);
   return res;
+}
+
+/// Realized partition-imbalance factor of one job's data split across its
+/// device slice (what the per-job bench records are tagged with).
+double job_imbalance(const serve::JobSpec& s) {
+  switch (s.kind) {
+    case serve::JobKind::kStencil:
+    case serve::JobKind::kCg:
+      return bench::slab_imbalance(s.ny, s.devices);
+    case serve::JobKind::kDacelite:
+      return 1.0;  // domain must divide by the process grid
+    case serve::JobKind::kHistogram: {
+      workloads::HistogramConfig cfg;
+      cfg.bins = s.nx;
+      cfg.keys_per_round = s.ny;
+      cfg.rounds = s.iterations;
+      cfg.skew = s.skew;
+      return workloads::histogram_imbalance(cfg, s.devices);
+    }
+    case serve::JobKind::kSparseCg: {
+      solvers::SparseCgConfig cfg;
+      cfg.nx = s.nx;
+      cfg.ny = s.ny;
+      cfg.imbalance = s.imbalance;
+      return solvers::sparse_partition_imbalance(cfg, s.devices);
+    }
+  }
+  return 1.0;
 }
 
 }  // namespace
@@ -394,6 +443,8 @@ int main(int argc, char** argv) {
                         {"kind", serve::name(jr.spec.kind)},
                         {"devices", std::to_string(jr.spec.devices)}};
           rec.out.spec = args.with_faults(m.make());
+          bench::tag_workload(rec.out, serve::name(jr.spec.kind),
+                              job_imbalance(jr.spec));
           rec.out.set("arrival_us", sim::to_usec(jr.out.arrival));
           rec.out.set("admit_us", sim::to_usec(jr.out.admit));
           rec.out.set("end_us", sim::to_usec(jr.out.end));

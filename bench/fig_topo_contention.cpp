@@ -137,6 +137,9 @@ int main(int argc, char** argv) {
                  res.metrics = out.result.metrics;
                }
                res.set("per_iter_us", stats.min());
+               bench::tag_workload(
+                   res, "jacobi2d",
+                   bench::slab_imbalance(sweep_problem().ny, spec.num_devices));
                return res;
              });
     }

@@ -46,10 +46,13 @@ sim::Task pong(sim::Flag& a, sim::Flag& b, int n) {
 /// Runs `workload` (which returns the number of simulated items processed
 /// and fills `sim_end`) `repeats` times; reports the best items/sec.
 template <typename Fn>
-sweep::RunResult measure(int repeats, double items_per_rep,
-                         const vgpu::MachineSpec& spec, Fn&& workload) {
+sweep::RunResult measure(std::string_view name, int repeats,
+                         double items_per_rep, const vgpu::MachineSpec& spec,
+                         Fn&& workload) {
   sweep::RunResult res;
   res.spec = spec;
+  // Substrate microbenchmarks have no data partition: imbalance is 1.0.
+  bench::tag_workload(res, name, 1.0);
   double best_sec = 1e300;
   sim::Nanos sim_end = 0;
   for (int rep = 0; rep < repeats; ++rep) {
@@ -110,7 +113,8 @@ int main(int argc, char** argv) {
     ex.add("engine_delay_events/n=" + std::to_string(n),
            {{"workload", "engine_delay_events"}, {"n", std::to_string(n)}},
            [n, repeats] {
-             return measure(repeats, n, vgpu::MachineSpec::hgx_a100(1), [n] {
+             return measure("engine_delay_events", repeats, n,
+                            vgpu::MachineSpec::hgx_a100(1), [n] {
                sim::Engine eng;
                eng.spawn(delay_loop(eng, n));
                eng.run();
@@ -122,7 +126,8 @@ int main(int argc, char** argv) {
   ex.add("flag_ping_pong/n=4096",
          {{"workload", "flag_ping_pong"}, {"n", "4096"}}, [repeats] {
            constexpr int n = 4096;
-           return measure(repeats, 2.0 * n, vgpu::MachineSpec::hgx_a100(1), [] {
+           return measure("flag_ping_pong", repeats, 2.0 * n,
+                          vgpu::MachineSpec::hgx_a100(1), [] {
              sim::Engine eng;
              sim::Flag a(eng, 0), b(eng, 0);
              eng.spawn(ping(a, b, n));
@@ -137,7 +142,7 @@ int main(int argc, char** argv) {
            constexpr int n = 4096;
            const vgpu::MachineSpec spec =
                args.with_faults(vgpu::MachineSpec::hgx_a100(1));
-           return measure(repeats, n, spec, [&spec] {
+           return measure("stream_ops", repeats, n, spec, [&spec] {
              vgpu::Machine m(spec);
              vgpu::Stream& s = m.device(0).create_stream();
              for (int i = 0; i < n; ++i) {
@@ -153,7 +158,7 @@ int main(int argc, char** argv) {
          [repeats, &args] {
            const vgpu::MachineSpec spec =
                args.with_faults(vgpu::MachineSpec::hgx_a100(2));
-           return measure(repeats, 1000, spec, [&spec] {
+           return measure("transfer_accounting", repeats, 1000, spec, [&spec] {
              vgpu::Machine m(spec);
              m.enable_all_peer_access();
              m.engine().spawn([](vgpu::Machine& mm) -> sim::Task {
@@ -173,7 +178,7 @@ int main(int argc, char** argv) {
          [repeats, &args] {
            const vgpu::MachineSpec spec =
                args.with_faults(vgpu::MachineSpec::hgx_a100(4));
-           return measure(repeats, 1, spec, [&spec] {
+           return measure("full_stencil_run", repeats, 1, spec, [&spec] {
              stencil::Jacobi2D p;
              p.nx = 256;
              p.ny = 256;

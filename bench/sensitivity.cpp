@@ -170,6 +170,10 @@ int main(int argc, char** argv) {
                  res.spec = spec;
                  res.set("per_iter_us",
                          small ? run_small(v, spec) : run_large(v, spec));
+                 // ny of run_small / run_large over the 8-GPU slab split.
+                 bench::tag_workload(
+                     res, "jacobi2d",
+                     bench::slab_imbalance(small ? 1024 : 32768, 8));
                  return res;
                });
       };

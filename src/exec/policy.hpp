@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "vgpu/costmodel.hpp"
@@ -102,6 +103,65 @@ struct Plan {
              p.sync == SyncPolicy::kIterationFlags;
   }
   return false;
+}
+
+/// Names the policy component that breaks an invalid composition and why,
+/// e.g. "sync: persistent launches pace iterations with device-side flag
+/// semaphores (sync must be iteration_flags, got host_barrier)". Empty for
+/// valid plans.
+[[nodiscard]] inline std::string invalid_plan_detail(const Plan& p) {
+  if (valid(p)) return {};
+  std::string why;
+  if (p.launch != LaunchPolicy::kHostLoop) {
+    // Persistent launches: the host is out of the loop, so halos must move
+    // device-side and steps must pace on device flags.
+    if (p.comm != CommPolicy::kSignaledPut) {
+      why += "comm: ";
+      why += name(p.launch);
+      why += " launches are device-driven and need device-initiated halo "
+             "delivery (comm must be signaled_put, got ";
+      why += name(p.comm);
+      why += ')';
+    } else {
+      why += "sync: ";
+      why += name(p.launch);
+      why += " launches pace iterations with device-side flag semaphores "
+             "(sync must be iteration_flags, got ";
+      why += name(p.sync);
+      why += ')';
+    }
+    return why;
+  }
+  if (p.comm != CommPolicy::kSignaledPut) {
+    why += "sync: host_loop with ";
+    why += name(p.comm);
+    why += " has no device-side arrival signal to wait on (sync must be "
+           "host_barrier, got ";
+    why += name(p.sync);
+    why += ')';
+    return why;
+  }
+  why += "sync: host_loop with signaled_put already agrees on arrival "
+         "device-side (sync must be stream_sync or iteration_flags, got ";
+  why += name(p.sync);
+  why += ')';
+  return why;
+}
+
+/// "<fn>: invalid plan (launch=…, comm=…, sync=…): <component detail>" —
+/// the std::invalid_argument text every driver throws for invalid plans.
+[[nodiscard]] inline std::string invalid_plan_message(std::string_view fn,
+                                                      const Plan& p) {
+  std::string msg(fn);
+  msg += ": invalid plan (launch=";
+  msg += name(p.launch);
+  msg += ", comm=";
+  msg += name(p.comm);
+  msg += ", sync=";
+  msg += name(p.sync);
+  msg += "): ";
+  msg += invalid_plan_detail(p);
+  return msg;
 }
 
 /// Resolves the number of co-resident blocks for persistent launches at

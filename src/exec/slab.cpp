@@ -1,11 +1,14 @@
-// run_slab(): the slab-problem driver behind every evaluated stencil
-// variant. Each launch path composes the launch/comm/sync primitives into
-// exactly the event sequence the paper's variants issue (§6.1.1, Listing
-// 4.1) — metric traces are bit-identical to the pre-refactor monoliths.
+// run_slab(): the slab-problem adapter over the generic exec::Program
+// driver. The slab-shaped pieces — halo signal presets, boundary/inner
+// specialization, the per-step host bodies of every discrete baseline —
+// live here; who creates streams, allocates signals, drives the loop, or
+// joins persistent iterations is run_program()'s job. Each composition
+// still issues exactly the event sequence the paper's variants describe
+// (§6.1.1, Listing 4.1) — metric traces are bit-identical to the
+// pre-refactor slab-only driver.
 #include "exec/slab.hpp"
 
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -14,9 +17,9 @@
 #include <vector>
 
 #include "cpufree/halo.hpp"
-#include "cpufree/launch.hpp"
 #include "exec/comm.hpp"
 #include "exec/launch.hpp"
+#include "exec/program.hpp"
 #include "exec/sync.hpp"
 #include "sim/observe.hpp"
 #include "sim/sync.hpp"
@@ -95,218 +98,169 @@ std::unique_ptr<vshmem::SignalSet> alloc_halo_signals(vshmem::World& w,
   return sig;
 }
 
-/// (kHostLoop, kStagedCopy, kHostBarrier): one kernel per step, halo
-/// memcpys in the same stream, stream sync + host barrier.
-void run_host_staged(const SlabProgram& P, const Plan& plan,
-                     const SlabExecParams& prm) {
-  vgpu::Machine& m = *P.machine;
+/// (kHostLoop, kStagedCopy, kHostBarrier) step: one kernel, halo memcpys in
+/// the same stream, stream sync + host barrier.
+sim::Task staged_step(const SlabProgram& P, const Plan& plan,
+                      const SlabExecParams& prm, vgpu::HostCtx& h, int dev,
+                      int t, vgpu::Stream& stream) {
   const int n = P.n_pes;
-  std::vector<vgpu::Stream*> st;
-  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
-  host_loop(m, prm.iterations,
-            [&P, &plan, &prm, &st, n](vgpu::HostCtx& h, int dev,
-                                      int t) -> sim::Task {
-              vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
-              const std::size_t rows = P.rows(dev);
-              const int blocks =
-                  discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
-                                  prm.threads_per_block);
-              vgpu::LaunchConfig lc;
-              lc.threads_per_block = prm.threads_per_block;
-              lc.name = plan.kernel_name;
-              auto fnl = P.update_body(dev, t, 1, rows + 1);
-              auto body = compute_only_body(
-                  P.compute_bytes(static_cast<double>(rows)), 1.0, "stencil",
-                  std::move(fnl), observe_both_sides(P, dev, t));
-              CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body)));
-              CO_AWAIT(staged_halo_exchange(
-                  h, stream, dev, n, P.halo_bytes,
-                  [&P, dev, t](bool to_top) {
-                    return P.halo_deliver(dev, to_top, t);
-                  },
-                  make_halo_ranges(P, dev, t)));
-              vgpu::Stream* const streams[] = {&stream};
-              co_await end_host_step(h, plan.sync, streams);
-            });
+  const std::size_t rows = P.rows(dev);
+  const int blocks = discrete_blocks(
+      static_cast<std::size_t>(P.local_points(dev)), prm.threads_per_block);
+  vgpu::LaunchConfig lc;
+  lc.threads_per_block = prm.threads_per_block;
+  lc.name = plan.kernel_name;
+  auto fnl = P.update_body(dev, t, 1, rows + 1);
+  auto body = compute_only_body(P.compute_bytes(static_cast<double>(rows)),
+                                1.0, "stencil", std::move(fnl),
+                                observe_both_sides(P, dev, t));
+  CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body)));
+  CO_AWAIT(staged_halo_exchange(
+      h, stream, dev, n, P.halo_bytes,
+      [&P, dev, t](bool to_top) { return P.halo_deliver(dev, to_top, t); },
+      make_halo_ranges(P, dev, t)));
+  vgpu::Stream* const streams[] = {&stream};
+  co_await end_host_step(h, plan.sync, streams);
 }
 
-/// (kHostLoop, kOverlapStreams, kHostBarrier): boundary kernel + halo
+/// (kHostLoop, kOverlapStreams, kHostBarrier) step: boundary kernel + halo
 /// memcpys in a comm stream concurrent with the inner kernel in a comp
 /// stream; host syncs both, then barriers.
-void run_host_overlap(const SlabProgram& P, const Plan& plan,
-                      const SlabExecParams& prm) {
-  vgpu::Machine& m = *P.machine;
+sim::Task overlap_step(const SlabProgram& P, const Plan& plan,
+                       const SlabExecParams& prm, vgpu::HostCtx& h, int dev,
+                       int t, vgpu::Stream& comp_s, vgpu::Stream& comm_s) {
   const int n = P.n_pes;
-  std::vector<vgpu::Stream*> comp, comm;
-  for (int d = 0; d < n; ++d) {
-    comp.push_back(&m.device(d).create_stream());
-    comm.push_back(&m.device(d).create_stream());
-  }
-  host_loop(m, prm.iterations,
-            [&P, &plan, &prm, &comp, &comm, n](vgpu::HostCtx& h, int dev,
-                                               int t) -> sim::Task {
-              vgpu::Stream& comp_s = *comp[static_cast<std::size_t>(dev)];
-              vgpu::Stream& comm_s = *comm[static_cast<std::size_t>(dev)];
-              const std::size_t rows = P.rows(dev);
-              const int inner_blocks =
-                  discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
-                                  prm.threads_per_block);
-              const int bnd_blocks =
-                  discrete_blocks(2 * P.plane, prm.threads_per_block);
-              vgpu::LaunchConfig lci;
-              lci.threads_per_block = prm.threads_per_block;
-              lci.name = "inner";
-              vgpu::LaunchConfig lcb;
-              lcb.threads_per_block = prm.threads_per_block;
-              lcb.name = "boundary";
-              // Boundary rows + halo pushes in the comm stream...
-              auto fnl_top = P.update_body(dev, t, 1, 2);
-              auto fnl_bot = P.update_body(dev, t, rows, rows + 1);
-              auto fnl_bnd = [f1 = std::move(fnl_top),
-                              f2 = std::move(fnl_bot)] {
-                if (f1) f1();
-                if (f2) f2();
-              };
-              auto bnd_body = compute_only_body(P.compute_bytes(2.0), 1.0,
-                                                "boundary", std::move(fnl_bnd),
-                                                observe_both_sides(P, dev, t));
-              CO_AWAIT(
-                  h.launch_single(comm_s, lcb, bnd_blocks, std::move(bnd_body)));
-              // ...overlapped with the inner kernel in the comp stream.
-              auto fnl_in = P.update_body(dev, t, 2, rows);
-              auto in_body = compute_only_body(
-                  P.compute_bytes(static_cast<double>(rows) - 2.0), 1.0,
-                  "inner", std::move(fnl_in));
-              CO_AWAIT(h.launch_single(comp_s, lci, inner_blocks,
-                                       std::move(in_body)));
-              CO_AWAIT(staged_halo_exchange(
-                  h, comm_s, dev, n, P.halo_bytes,
-                  [&P, dev, t](bool to_top) {
-                    return P.halo_deliver(dev, to_top, t);
-                  },
-                  make_halo_ranges(P, dev, t)));
-              vgpu::Stream* const streams[] = {&comm_s, &comp_s};
-              co_await end_host_step(h, plan.sync, streams);
-            });
+  const std::size_t rows = P.rows(dev);
+  const int inner_blocks = discrete_blocks(
+      static_cast<std::size_t>(P.local_points(dev)), prm.threads_per_block);
+  const int bnd_blocks = discrete_blocks(2 * P.plane, prm.threads_per_block);
+  vgpu::LaunchConfig lci;
+  lci.threads_per_block = prm.threads_per_block;
+  lci.name = "inner";
+  vgpu::LaunchConfig lcb;
+  lcb.threads_per_block = prm.threads_per_block;
+  lcb.name = "boundary";
+  // Boundary rows + halo pushes in the comm stream...
+  auto fnl_top = P.update_body(dev, t, 1, 2);
+  auto fnl_bot = P.update_body(dev, t, rows, rows + 1);
+  auto fnl_bnd = [f1 = std::move(fnl_top), f2 = std::move(fnl_bot)] {
+    if (f1) f1();
+    if (f2) f2();
+  };
+  auto bnd_body =
+      compute_only_body(P.compute_bytes(2.0), 1.0, "boundary",
+                        std::move(fnl_bnd), observe_both_sides(P, dev, t));
+  CO_AWAIT(h.launch_single(comm_s, lcb, bnd_blocks, std::move(bnd_body)));
+  // ...overlapped with the inner kernel in the comp stream.
+  auto fnl_in = P.update_body(dev, t, 2, rows);
+  auto in_body =
+      compute_only_body(P.compute_bytes(static_cast<double>(rows) - 2.0), 1.0,
+                        "inner", std::move(fnl_in));
+  CO_AWAIT(h.launch_single(comp_s, lci, inner_blocks, std::move(in_body)));
+  CO_AWAIT(staged_halo_exchange(
+      h, comm_s, dev, n, P.halo_bytes,
+      [&P, dev, t](bool to_top) { return P.halo_deliver(dev, to_top, t); },
+      make_halo_ranges(P, dev, t)));
+  vgpu::Stream* const streams[] = {&comm_s, &comp_s};
+  co_await end_host_step(h, plan.sync, streams);
 }
 
-/// (kHostLoop, kPeerStore, kHostBarrier): one kernel per step writes halos
+/// (kHostLoop, kPeerStore, kHostBarrier) step: one kernel writes halos
 /// straight into neighbour memory; host still synchronizes every step.
-void run_host_peer_store(const SlabProgram& P, const Plan& plan,
-                         const SlabExecParams& prm) {
-  vgpu::Machine& m = *P.machine;
+sim::Task peer_store_step(const SlabProgram& P, const Plan& plan,
+                          const SlabExecParams& prm, vgpu::HostCtx& h, int dev,
+                          int t, vgpu::Stream& stream) {
   const int n = P.n_pes;
-  m.enable_all_peer_access();
-  std::vector<vgpu::Stream*> st;
-  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
-  host_loop(
-      m, prm.iterations,
-      [&P, &plan, &prm, &st, n](vgpu::HostCtx& h, int dev, int t) -> sim::Task {
-        vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
-        const std::size_t rows = P.rows(dev);
-        const int blocks =
-            discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
-                            prm.threads_per_block);
-        vgpu::LaunchConfig lc;
-        lc.threads_per_block = prm.threads_per_block;
-        lc.name = plan.kernel_name;
-        auto fnl = P.update_body(dev, t, 1, rows + 1);
-        auto body = [&P, dev, t, n, rows,
-                     fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
-          if (k.engine().observer() != nullptr) {
-            observe_boundary_update(P, k, dev, /*top_side=*/true, t);
-            observe_boundary_update(P, k, dev, /*top_side=*/false, t);
-          }
-          std::function<void()> f = fnl;
-          co_await k.compute(P.compute_bytes(static_cast<double>(rows)), 1.0,
-                             "stencil", std::move(f));
-          // Device-initiated halo stores straight into neighbour memory.
-          CO_AWAIT(peer_store_halos(
-              k, dev, n, P.halo_bytes,
-              [&P, dev, t](bool to_top) {
-                return P.halo_deliver(dev, to_top, t);
-              },
-              make_halo_ranges(P, dev, t)));
-        };
-        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-        vgpu::Stream* const streams[] = {&stream};
-        co_await end_host_step(h, plan.sync, streams);
-      });
+  const std::size_t rows = P.rows(dev);
+  const int blocks = discrete_blocks(
+      static_cast<std::size_t>(P.local_points(dev)), prm.threads_per_block);
+  vgpu::LaunchConfig lc;
+  lc.threads_per_block = prm.threads_per_block;
+  lc.name = plan.kernel_name;
+  auto fnl = P.update_body(dev, t, 1, rows + 1);
+  auto body = [&P, dev, t, n, rows,
+               fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+    if (k.engine().observer() != nullptr) {
+      observe_boundary_update(P, k, dev, /*top_side=*/true, t);
+      observe_boundary_update(P, k, dev, /*top_side=*/false, t);
+    }
+    std::function<void()> f = fnl;
+    co_await k.compute(P.compute_bytes(static_cast<double>(rows)), 1.0,
+                       "stencil", std::move(f));
+    // Device-initiated halo stores straight into neighbour memory.
+    CO_AWAIT(peer_store_halos(
+        k, dev, n, P.halo_bytes,
+        [&P, dev, t](bool to_top) { return P.halo_deliver(dev, to_top, t); },
+        make_halo_ranges(P, dev, t)));
+  };
+  std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+  CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+  vgpu::Stream* const streams[] = {&stream};
+  co_await end_host_step(h, plan.sync, streams);
 }
 
-/// (kHostLoop, kSignaledPut, kStreamSync): compute kernel with device-side
-/// signaled puts plus a dedicated neighbour-sync kernel, both launched by
-/// the CPU every step; no host barrier (§6.1.1's NVSHMEM baseline).
-void run_host_signaled(const SlabProgram& P, const Plan& plan,
-                       const SlabExecParams& prm) {
-  vgpu::Machine& m = *P.machine;
+/// (kHostLoop, kSignaledPut, kStreamSync) step: compute kernel with
+/// device-side signaled puts plus a dedicated neighbour-sync kernel, both
+/// launched by the CPU every step; no host barrier (§6.1.1's NVSHMEM
+/// baseline).
+sim::Task signaled_step(const SlabProgram& P, const Plan& plan,
+                        const SlabExecParams& prm, vgpu::HostCtx& h, int dev,
+                        int t, vgpu::Stream& stream,
+                        vshmem::SignalSet* sigp) {
   vshmem::World& w = *P.world;
   const int n = P.n_pes;
-  auto sig = alloc_halo_signals(w, n);
-  std::vector<vgpu::Stream*> st;
-  for (int d = 0; d < n; ++d) st.push_back(&m.device(d).create_stream());
-  vshmem::SignalSet* sigp = sig.get();
-  host_loop(
-      m, prm.iterations,
-      [&P, &plan, &prm, &w, &st, sigp, n](vgpu::HostCtx& h, int dev,
-                                          int t) -> sim::Task {
-        vgpu::Stream& stream = *st[static_cast<std::size_t>(dev)];
-        const std::size_t rows = P.rows(dev);
-        const int blocks =
-            discrete_blocks(static_cast<std::size_t>(P.local_points(dev)),
-                            prm.threads_per_block);
-        vgpu::LaunchConfig lc;
-        lc.threads_per_block = prm.threads_per_block;
-        lc.name = plan.kernel_name;
-        vgpu::LaunchConfig lsync;
-        lsync.threads_per_block = 32;
-        lsync.name = "neighbor_sync";
-        auto fnl = P.update_body(dev, t, 1, rows + 1);
-        auto body = [&P, &w, &prm, sigp, dev, t, n,
-                     fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
-          cpufree::IterationProtocol proto(w, *sigp);
-          if (k.engine().observer() != nullptr) {
-            observe_boundary_update(P, k, dev, /*top_side=*/true, t);
-            observe_boundary_update(P, k, dev, /*top_side=*/false, t);
-          }
-          std::function<void()> f = fnl;
-          co_await k.compute(P.compute_bytes(static_cast<double>(P.rows(dev))),
-                             1.0, "stencil", std::move(f));
-          // Device-side signaled puts of the fresh boundary slabs.
-          if (dev > 0) {
-            co_await proto.put_and_signal(
-                k, P.buffer(t & 1), P.send_offset(dev, true),
-                P.recv_offset(dev - 1, true), P.plane,
-                cpufree::kBottomHaloReady, t + 1, dev - 1, prm.comm_scope);
-          }
-          if (dev + 1 < n) {
-            co_await proto.put_and_signal(
-                k, P.buffer(t & 1), P.send_offset(dev, false),
-                P.recv_offset(dev + 1, false), P.plane, cpufree::kTopHaloReady,
-                t + 1, dev + 1, prm.comm_scope);
-          }
-        };
-        std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
-        CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
-        // Dedicated kernel that synchronizes with the two neighbours only
-        // (avoids redundantly synchronizing all PEs, §6.1.1).
-        auto sync_body = [&w, sigp, dev, t, n](vgpu::KernelCtx& k) -> sim::Task {
-          cpufree::IterationProtocol proto(w, *sigp);
-          if (dev > 0) {
-            co_await proto.wait_iteration(k, cpufree::kTopHaloReady, t + 1);
-          }
-          if (dev + 1 < n) {
-            co_await proto.wait_iteration(k, cpufree::kBottomHaloReady, t + 1);
-          }
-          co_await w.quiet(k);
-        };
-        std::function<sim::Task(vgpu::KernelCtx&)> sync_fn =
-            std::move(sync_body);
-        CO_AWAIT(h.launch_single(stream, lsync, 1, std::move(sync_fn)));
-        vgpu::Stream* const streams[] = {&stream};
-        co_await end_host_step(h, plan.sync, streams);
-      });
+  const std::size_t rows = P.rows(dev);
+  const int blocks = discrete_blocks(
+      static_cast<std::size_t>(P.local_points(dev)), prm.threads_per_block);
+  vgpu::LaunchConfig lc;
+  lc.threads_per_block = prm.threads_per_block;
+  lc.name = plan.kernel_name;
+  vgpu::LaunchConfig lsync;
+  lsync.threads_per_block = 32;
+  lsync.name = "neighbor_sync";
+  auto fnl = P.update_body(dev, t, 1, rows + 1);
+  auto body = [&P, &w, &prm, sigp, dev, t, n,
+               fnl = std::move(fnl)](vgpu::KernelCtx& k) -> sim::Task {
+    cpufree::IterationProtocol proto(w, *sigp);
+    if (k.engine().observer() != nullptr) {
+      observe_boundary_update(P, k, dev, /*top_side=*/true, t);
+      observe_boundary_update(P, k, dev, /*top_side=*/false, t);
+    }
+    std::function<void()> f = fnl;
+    co_await k.compute(P.compute_bytes(static_cast<double>(P.rows(dev))), 1.0,
+                       "stencil", std::move(f));
+    // Device-side signaled puts of the fresh boundary slabs.
+    if (dev > 0) {
+      co_await proto.put_and_signal(
+          k, P.buffer(t & 1), P.send_offset(dev, true),
+          P.recv_offset(dev - 1, true), P.plane, cpufree::kBottomHaloReady,
+          t + 1, dev - 1, prm.comm_scope);
+    }
+    if (dev + 1 < n) {
+      co_await proto.put_and_signal(
+          k, P.buffer(t & 1), P.send_offset(dev, false),
+          P.recv_offset(dev + 1, false), P.plane, cpufree::kTopHaloReady,
+          t + 1, dev + 1, prm.comm_scope);
+    }
+  };
+  std::function<sim::Task(vgpu::KernelCtx&)> body_fn = std::move(body);
+  CO_AWAIT(h.launch_single(stream, lc, blocks, std::move(body_fn)));
+  // Dedicated kernel that synchronizes with the two neighbours only
+  // (avoids redundantly synchronizing all PEs, §6.1.1).
+  auto sync_body = [&w, sigp, dev, t, n](vgpu::KernelCtx& k) -> sim::Task {
+    cpufree::IterationProtocol proto(w, *sigp);
+    if (dev > 0) {
+      co_await proto.wait_iteration(k, cpufree::kTopHaloReady, t + 1);
+    }
+    if (dev + 1 < n) {
+      co_await proto.wait_iteration(k, cpufree::kBottomHaloReady, t + 1);
+    }
+    co_await w.quiet(k);
+  };
+  std::function<sim::Task(vgpu::KernelCtx&)> sync_fn = std::move(sync_body);
+  CO_AWAIT(h.launch_single(stream, lsync, 1, std::move(sync_fn)));
+  vgpu::Stream* const streams[] = {&stream};
+  co_await end_host_step(h, plan.sync, streams);
 }
 
 /// The comm TB group of a persistent composition: wait for the neighbour's
@@ -390,179 +344,110 @@ InnerModel inner_model_for(const SlabExecParams& prm, int dev,
   return InnerModel{};
 }
 
-/// Builds the per-PE block groups of the single-kernel persistent
-/// composition (specialized comm groups + inner group, grid.sync() per
-/// step). Shared by the machine-owning run_persistent and the spawnable
-/// serve-path task; `sig` must outlive the run.
-std::vector<cpufree::DeviceGroups> build_persistent_groups(
-    const SlabProgram& P, const SlabExecParams& prm,
-    vshmem::SignalSet* sigp) {
+/// PE `dev`'s persistent block groups (specialized comm pair + inner group)
+/// under the composition's join protocol. The comm_top group `lead`s the
+/// two-kernel handshake, matching the pre-refactor driver.
+ProgramGroups build_slab_groups(const SlabProgram& P,
+                                const SlabExecParams& prm, int dev,
+                                vshmem::SignalSet* sigp,
+                                const IterationJoin& join) {
   vgpu::Machine& m = *P.machine;
   vshmem::World& w = *P.world;
-  const int n = P.n_pes;
   const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec(),
-                                          prm.threads_per_block);
+                                           prm.threads_per_block);
+  const std::size_t rows = P.rows(dev);
+  const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
+  const cpufree::TbPartition part = partition_for(P, prm, dev, pb, inner_slabs);
+  // `dev` is a PE index: look the spec up on the PE's physical device (the
+  // identity map on a whole-machine world).
+  const vgpu::DeviceSpec& dev_spec = m.device(w.device_of(dev)).spec();
+  const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
+  const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
+  const InnerModel im =
+      inner_model_for(prm, dev, part.inner_blocks * prm.threads_per_block);
 
-  std::vector<cpufree::DeviceGroups> groups(static_cast<std::size_t>(n));
-  for (int dev = 0; dev < n; ++dev) {
-    const std::size_t rows = P.rows(dev);
-    const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
-    const cpufree::TbPartition part =
-        partition_for(P, prm, dev, pb, inner_slabs);
-    // `dev` is a PE index: look the spec up on the PE's physical device (the
-    // identity map on a whole-machine world).
-    const vgpu::DeviceSpec& dev_spec = m.device(w.device_of(dev)).spec();
-    const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
-    const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
-    const InnerModel im = inner_model_for(
-        prm, dev, part.inner_blocks * prm.threads_per_block);
-
-    // All groups of the single kernel join with grid.sync() alone.
-    auto grid_only_comm = [](vgpu::KernelCtx& k, bool, int) -> sim::Task {
-      co_await k.grid_sync();
-    };
-    auto grid_only_inner = [](vgpu::KernelCtx& k, int) -> sim::Task {
-      co_await k.grid_sync();
-    };
-
-    auto& dg = groups[static_cast<std::size_t>(dev)];
-    dg.push_back(vgpu::BlockGroup{
-        "comm_top", part.boundary_blocks,
-        make_comm_group(P, w, sigp, dev, rows, bshare, prm, true,
-                        grid_only_comm)});
-    dg.push_back(vgpu::BlockGroup{
-        "comm_bottom", part.boundary_blocks,
-        make_comm_group(P, w, sigp, dev, rows, bshare, prm, false,
-                        grid_only_comm)});
-    dg.push_back(vgpu::BlockGroup{
-        "inner", part.inner_blocks,
-        make_inner_group(P, dev, rows, ishare, inner_slabs, im, prm.iterations,
-                         grid_only_inner)});
-  }
-  return groups;
+  ProgramGroups pg;
+  pg.comm.push_back(vgpu::BlockGroup{
+      "comm_top", part.boundary_blocks,
+      make_comm_group(P, w, sigp, dev, rows, bshare, prm, true,
+                      join.comm_end)});
+  pg.comm.push_back(vgpu::BlockGroup{
+      "comm_bottom", part.boundary_blocks,
+      make_comm_group(P, w, sigp, dev, rows, bshare, prm, false,
+                      join.comm_end)});
+  pg.inner.push_back(vgpu::BlockGroup{
+      "inner", part.inner_blocks,
+      make_inner_group(P, dev, rows, ishare, inner_slabs, im, prm.iterations,
+                       join.inner_end)});
+  return pg;
 }
 
-/// (kPersistent, kSignaledPut, kIterationFlags): one persistent cooperative
-/// kernel per device for the entire run — specialized comm groups + inner
-/// group, iteration-flag signaling, grid.sync() per step (Listing 4.1).
-void run_persistent(const SlabProgram& P, const Plan& plan,
-                    const SlabExecParams& prm) {
-  vshmem::World& w = *P.world;
-  auto sig = alloc_halo_signals(w, P.n_pes);
-  auto groups = build_persistent_groups(P, prm, sig.get());
-  persistent_launch(*P.machine, std::move(groups), prm.threads_per_block,
-                    plan.kernel_name);
+/// Wraps the slab problem as an exec::Program: halo signal allocation, the
+/// four host-loop step bodies, and the persistent group builder. The
+/// returned Program captures `program`, `plan` and `params` by reference —
+/// all three must outlive the run (run_slab's synchronous scope, or the
+/// spawnable task's frame).
+Program make_slab_program(const SlabProgram& program, const Plan& plan,
+                          const SlabExecParams& params) {
+  Program prog;
+  prog.machine = program.machine;
+  prog.world = program.world;
+  prog.n_pes = program.n_pes;
+  prog.signals = [&program](vshmem::World& w) {
+    return alloc_halo_signals(w, program.n_pes);
+  };
+  prog.streams_per_device =
+      plan.comm == CommPolicy::kOverlapStreams ? 2 : 1;
+  switch (plan.comm) {
+    case CommPolicy::kStagedCopy:
+      prog.host_step = [&program, &plan, &params](
+                           vgpu::HostCtx& h, int dev, int t,
+                           std::span<vgpu::Stream* const> streams,
+                           vshmem::SignalSet*) {
+        return staged_step(program, plan, params, h, dev, t, *streams[0]);
+      };
+      break;
+    case CommPolicy::kOverlapStreams:
+      prog.host_step = [&program, &plan, &params](
+                           vgpu::HostCtx& h, int dev, int t,
+                           std::span<vgpu::Stream* const> streams,
+                           vshmem::SignalSet*) {
+        return overlap_step(program, plan, params, h, dev, t, *streams[0],
+                            *streams[1]);
+      };
+      break;
+    case CommPolicy::kPeerStore:
+      prog.host_step = [&program, &plan, &params](
+                           vgpu::HostCtx& h, int dev, int t,
+                           std::span<vgpu::Stream* const> streams,
+                           vshmem::SignalSet*) {
+        return peer_store_step(program, plan, params, h, dev, t, *streams[0]);
+      };
+      break;
+    case CommPolicy::kSignaledPut:
+      prog.host_step = [&program, &plan, &params](
+                           vgpu::HostCtx& h, int dev, int t,
+                           std::span<vgpu::Stream* const> streams,
+                           vshmem::SignalSet* sigp) {
+        return signaled_step(program, plan, params, h, dev, t, *streams[0],
+                             sigp);
+      };
+      break;
+  }
+  prog.groups = [&program, &params](int dev, vshmem::SignalSet* sigp,
+                                    const IterationJoin& join) {
+    return build_slab_groups(program, params, dev, sigp, join);
+  };
+  return prog;
 }
 
-/// (kPersistentPair, kSignaledPut, kIterationFlags): the §4 alternative —
-/// two co-resident persistent kernels per device in separate streams. The
-/// comm kernel and the inner kernel synchronize once per iteration by
-/// busy-waiting on flags in local device memory — the "extra sync point
-/// between the local pairs of streams" the paper describes.
-void run_persistent_pair(const SlabProgram& P, const Plan& plan,
-                         const SlabExecParams& prm) {
-  vgpu::Machine& m = *P.machine;
-  vshmem::World& w = *P.world;
-  const int n = P.n_pes;
-  auto sig = alloc_halo_signals(w, n);
-  vshmem::SignalSet* sigp = sig.get();
-  const int pb = resolve_persistent_blocks(prm.persistent_blocks, m.spec(),
-                                          prm.threads_per_block);
-
-  // Local per-device flags (device memory): iteration counters.
-  std::deque<sim::Flag> inner_done;
-  std::deque<sim::Flag> comm_done;
-  for (int d = 0; d < n; ++d) {
-    inner_done.emplace_back(m.engine(), 0);
-    comm_done.emplace_back(m.engine(), 0);
-    if (sim::Observer* o = m.engine().observer()) {
-      o->on_flag_name(&inner_done.back(),
-                      "inner_done@pe" + std::to_string(d));
-      o->on_flag_name(&comm_done.back(), "comm_done@pe" + std::to_string(d));
-    }
-  }
-
-  std::vector<vgpu::Stream*> comm_streams, comp_streams;
-  for (int d = 0; d < n; ++d) {
-    comm_streams.push_back(&m.device(d).create_stream());
-    comp_streams.push_back(&m.device(d).create_stream());
-  }
-
-  m.run_host_threads([&P, &plan, &prm, &m, &w, sigp, &inner_done, &comm_done,
-                      &comm_streams, &comp_streams, pb](int dev) -> sim::Task {
-    vgpu::HostCtx h(m, dev);
-    const std::size_t rows = P.rows(dev);
-    const double inner_slabs = rows > 2 ? static_cast<double>(rows - 2) : 0.0;
-    const cpufree::TbPartition part =
-        partition_for(P, prm, dev, pb, inner_slabs);
-    const vgpu::DeviceSpec& dev_spec = m.device(w.device_of(dev)).spec();
-    // Both kernels must be co-resident simultaneously.
-    const int limit = dev_spec.max_cooperative_blocks(prm.threads_per_block);
-    if (part.total() > limit) {
-      throw vgpu::CooperativeLaunchError(part.total(), limit);
-    }
-    const double bshare = dev_spec.bw_share(part.boundary_blocks, part.total());
-    const double ishare = dev_spec.bw_share(part.inner_blocks, part.total());
-    const InnerModel im = inner_model_for(
-        prm, dev, part.inner_blocks * prm.threads_per_block);
-
-    sim::Flag* my_inner_done = &inner_done[static_cast<std::size_t>(dev)];
-    sim::Flag* my_comm_done = &comm_done[static_cast<std::size_t>(dev)];
-
-    // Comm groups join with grid.sync(), publish "comm done" (top group
-    // speaks for the kernel), then handshake with the local inner kernel.
-    auto comm_end = [my_inner_done, my_comm_done](
-                        vgpu::KernelCtx& k, bool top_side, int t) -> sim::Task {
-      co_await k.grid_sync();
-      if (top_side) {
-        my_comm_done->set(t);
-        if (sim::Observer* o = k.engine().observer()) {
-          o->on_signal_update(k.obs_actor(), my_comm_done, t, "comm_done");
-        }
-      }
-      co_await local_pair_handshake(k, *my_inner_done, t, "inner_done");
-    };
-    // The inner kernel publishes "inner done" and handshakes back.
-    auto inner_end = [my_inner_done, my_comm_done](vgpu::KernelCtx& k,
-                                                   int t) -> sim::Task {
-      my_inner_done->set(t);
-      if (sim::Observer* o = k.engine().observer()) {
-        o->on_signal_update(k.obs_actor(), my_inner_done, t, "inner_done");
-      }
-      co_await local_pair_handshake(k, *my_comm_done, t, "comm_done");
-    };
-
-    vgpu::LaunchConfig lc_comm;
-    lc_comm.threads_per_block = prm.threads_per_block;
-    lc_comm.cooperative = true;
-    lc_comm.name = "cpu_free_comm";
-    std::vector<vgpu::BlockGroup> cg;
-    cg.push_back(vgpu::BlockGroup{
-        "comm_top", part.boundary_blocks,
-        make_comm_group(P, w, sigp, dev, rows, bshare, prm, true, comm_end)});
-    cg.push_back(vgpu::BlockGroup{
-        "comm_bottom", part.boundary_blocks,
-        make_comm_group(P, w, sigp, dev, rows, bshare, prm, false, comm_end)});
-    CO_AWAIT(h.launch(*comm_streams[static_cast<std::size_t>(dev)], lc_comm,
-                      std::move(cg)));
-
-    vgpu::LaunchConfig lc_inner;
-    lc_inner.threads_per_block = prm.threads_per_block;
-    lc_inner.cooperative = true;
-    lc_inner.name = "cpu_free_inner";
-    std::vector<vgpu::BlockGroup> ig;
-    ig.push_back(vgpu::BlockGroup{
-        "inner", part.inner_blocks,
-        make_inner_group(P, dev, rows, ishare, inner_slabs, im, prm.iterations,
-                         inner_end)});
-    CO_AWAIT(h.launch(*comp_streams[static_cast<std::size_t>(dev)], lc_inner,
-                      std::move(ig)));
-
-    vgpu::Stream* const streams[] = {
-        comm_streams[static_cast<std::size_t>(dev)],
-        comp_streams[static_cast<std::size_t>(dev)]};
-    co_await end_host_step(h, plan.sync, streams);
-  });
+ProgramExecParams make_exec_params(const SlabExecParams& params) {
+  ProgramExecParams prm;
+  prm.iterations = params.iterations;
+  prm.threads_per_block = params.threads_per_block;
+  prm.job_map = params.job_map;
+  prm.job_label = params.job_label;
+  return prm;
 }
 
 }  // namespace
@@ -570,63 +455,31 @@ void run_persistent_pair(const SlabProgram& P, const Plan& plan,
 sim::Task run_slab_persistent_task(const SlabProgram& program,
                                    const Plan& plan,
                                    const SlabExecParams& params) {
-  if (!valid(plan) || plan.launch != LaunchPolicy::kPersistent) {
+  if (!valid(plan)) {
     throw std::invalid_argument(
-        "run_slab_persistent_task: plan must be a valid kPersistent "
-        "composition");
+        invalid_plan_message("run_slab_persistent_task", plan));
   }
-  vshmem::World& w = *program.world;
-  // World-owned, not frame-owned: the halo protocol signals iteration t+1
-  // after its last step, so the final put_signal of every boundary pair is
-  // still in flight (unconsumed) when the kernels sync and this coroutine's
-  // frame dies. Its delivery callback must find live flags.
-  vshmem::SignalSet* sigp = w.retain_signals(
-      alloc_halo_signals(w, program.n_pes));
-  auto groups = build_persistent_groups(program, params, sigp);
-  std::vector<int> devices;
-  devices.reserve(static_cast<std::size_t>(program.n_pes));
-  for (int pe = 0; pe < program.n_pes; ++pe) {
-    devices.push_back(w.device_of(pe));
+  if (plan.launch != LaunchPolicy::kPersistent) {
+    std::string msg =
+        "run_slab_persistent_task: launch: plan must be a kPersistent "
+        "composition (got ";
+    msg += name(plan.launch);
+    msg += ')';
+    throw std::invalid_argument(msg);
   }
-  cpufree::PersistentConfig pc;
-  pc.threads_per_block = params.threads_per_block;
-  pc.name = plan.kernel_name;
-  pc.job_map = params.job_map;
-  pc.job_label = params.job_label;
-  co_await cpufree::persistent_launch_task(*program.machine,
-                                           std::move(devices),
-                                           std::move(groups), pc);
+  // The adapter Program lives on this frame, which outlives the inner task.
+  const Program prog = make_slab_program(program, plan, params);
+  const ProgramExecParams prm = make_exec_params(params);
+  co_await run_program_persistent_task(prog, plan, prm);
 }
 
 void run_slab(const SlabProgram& program, const Plan& plan,
               const SlabExecParams& params) {
   if (!valid(plan)) {
-    throw std::invalid_argument("run_slab: invalid (launch, comm, sync) plan");
+    throw std::invalid_argument(invalid_plan_message("run_slab", plan));
   }
-  switch (plan.launch) {
-    case LaunchPolicy::kHostLoop:
-      switch (plan.comm) {
-        case CommPolicy::kStagedCopy:
-          run_host_staged(program, plan, params);
-          break;
-        case CommPolicy::kOverlapStreams:
-          run_host_overlap(program, plan, params);
-          break;
-        case CommPolicy::kPeerStore:
-          run_host_peer_store(program, plan, params);
-          break;
-        case CommPolicy::kSignaledPut:
-          run_host_signaled(program, plan, params);
-          break;
-      }
-      break;
-    case LaunchPolicy::kPersistent:
-      run_persistent(program, plan, params);
-      break;
-    case LaunchPolicy::kPersistentPair:
-      run_persistent_pair(program, plan, params);
-      break;
-  }
+  const Program prog = make_slab_program(program, plan, params);
+  run_program(prog, plan, make_exec_params(params));
 }
 
 }  // namespace exec

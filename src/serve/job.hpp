@@ -1,7 +1,8 @@
 // Multi-tenant job model for the admission-controlled CPU-Free server.
 //
-// A JobSpec names one CPU-Free application instance (stencil, CG or a
-// dacelite SDFG) a tenant submits: a requested device-slice width, a
+// A JobSpec names one CPU-Free application instance (stencil, CG, a
+// dacelite SDFG, a generalized histogram or a sparse SpMV-CG solve) a
+// tenant submits: a requested device-slice width, a
 // problem size and the launch knobs. The server turns each spec into a
 // JobOutcome (when it arrived / was admitted / finished and whether it
 // verified) and, with isolated baselines, a JobRecord carrying the
@@ -16,15 +17,19 @@
 
 namespace serve {
 
-/// The three CPU-Free application families a tenant can submit. All run
-/// functionally and are verified exactly against their serial references.
-enum class JobKind { kStencil, kCg, kDacelite };
+/// The CPU-Free application families a tenant can submit: the regular slab
+/// workloads (stencil, CG, dacelite SDFG) plus the irregular ones
+/// (generalized histogram, sparse SpMV-CG). All run functionally and are
+/// verified exactly against their serial references.
+enum class JobKind { kStencil, kCg, kDacelite, kHistogram, kSparseCg };
 
 [[nodiscard]] constexpr const char* name(JobKind k) {
   switch (k) {
     case JobKind::kStencil: return "stencil";
     case JobKind::kCg: return "cg";
     case JobKind::kDacelite: return "dacelite";
+    case JobKind::kHistogram: return "histogram";
+    case JobKind::kSparseCg: return "sparse_cg";
   }
   return "?";
 }
@@ -37,9 +42,16 @@ struct JobSpec {
   int devices = 1;
   int iterations = 10;
   /// Problem size. stencil: nx x ny Jacobi2D; cg: nx x ny Laplacian;
-  /// dacelite: nx x nx Jacobi2D SDFG (must divide by the process grid).
+  /// dacelite: nx x nx Jacobi2D SDFG (must divide by the process grid);
+  /// histogram: nx bins, ny keys per PE per round; sparse_cg: nx x ny.
   std::size_t nx = 64;
   std::size_t ny = 64;
+  /// Histogram key skew (0 = uniform; k > 0 concentrates keys onto low
+  /// bins, making the low-bin owner the contended hot spot).
+  int skew = 0;
+  /// Sparse CG row-partition imbalance: target row-count ratio between the
+  /// heaviest rank and the lightest (1.0 = even split).
+  double imbalance = 1.0;
   int threads_per_block = 1024;
   /// Requested co-resident blocks per device; 0 derives one block per SM,
   /// clamped to the cooperative occupancy cap (resolve_persistent_blocks).

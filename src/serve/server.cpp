@@ -147,6 +147,10 @@ class Server {
     key += std::to_string(js.spec.ny);
     key += "|i";
     key += std::to_string(js.spec.iterations);
+    key += "|s";
+    key += std::to_string(js.spec.skew);
+    key += "|w";
+    key += std::to_string(js.spec.imbalance);
     key += "|t";
     key += std::to_string(js.spec.threads_per_block);
     key += "|b";

@@ -7,10 +7,12 @@
 #include "dacelite/pass.hpp"
 #include "exec/slab.hpp"
 #include "solvers/cg.hpp"
+#include "solvers/sparse_cg.hpp"
 #include "stencil/problems.hpp"
 #include "stencil/slab.hpp"
 #include "stencil/variants.hpp"
 #include "vshmem/world.hpp"
+#include "workloads/histogram/histogram.hpp"
 
 namespace serve {
 
@@ -28,22 +30,18 @@ class StencilWorkload final : public Workload {
         S_(world_, prob_, make_cfg(spec, place)),
         iters_(spec.iterations) {
     world_.set_fault_injection(spec.faulty);
-    prog_ = stencil::detail::make_program(S_);
-    params_.iterations = spec.iterations;
-    params_.threads_per_block = spec.threads_per_block;
-    params_.persistent_blocks = place.blocks_per_device;
-    params_.partition =
-        stencil::detail::make_partition(S_, stencil::Variant::kCpuFree);
-    params_.inner_model =
-        stencil::detail::make_inner_model(S_, stencil::Variant::kCpuFree);
-    params_.job_map = job_map;
-    params_.job_label = label;
+    // Same factory as the bench runner (run_variant); only the multi-tenant
+    // attribution is layered on top.
+    setup_ = stencil::make_slab_setup(S_, stencil::Variant::kCpuFree);
+    setup_.params.job_map = job_map;
+    setup_.params.job_label = label;
   }
 
   sim::Task task() override {
-    // plan_ is a member: the lazy coroutine keeps its const& parameters
-    // alive only as references, so a temporary Plan would dangle.
-    return exec::run_slab_persistent_task(prog_, plan_, params_);
+    // setup_ is a member: the lazy coroutine keeps its const& parameters
+    // alive only as references, so a temporary program/plan would dangle.
+    return exec::run_slab_persistent_task(setup_.program, setup_.plan,
+                                          setup_.params);
   }
 
   bool verify() override {
@@ -82,9 +80,7 @@ class StencilWorkload final : public Workload {
   vshmem::World world_;
   stencil::Jacobi2D prob_;
   stencil::SlabStencil<stencil::Jacobi2D> S_;
-  exec::SlabProgram prog_;
-  exec::Plan plan_ = stencil::plan_for(stencil::Variant::kCpuFree);
-  exec::SlabExecParams params_;
+  stencil::SlabSetup setup_;
   int iters_;
 };
 
@@ -198,6 +194,105 @@ class DaceliteWorkload final : public Workload {
   int iters_;
 };
 
+/// Generalized histogram on a device slice: data-dependent contended puts
+/// to owner-partitioned bins, verified bitwise against the source-ordered
+/// serial reference.
+class HistogramWorkload final : public Workload {
+ public:
+  HistogramWorkload(vgpu::Machine& machine, const JobSpec& spec,
+                    const Placement& place, const std::string& label,
+                    sim::JobMap* job_map)
+      : world_(machine, place.devices, label) {
+    world_.set_functional(true);
+    world_.set_fault_injection(spec.faulty);
+    cfg_.bins = spec.nx;
+    cfg_.keys_per_round = spec.ny;
+    cfg_.rounds = spec.iterations;
+    cfg_.skew = spec.skew;
+    cfg_.functional = true;
+    cfg_.trace = false;
+    cfg_.threads_per_block = spec.threads_per_block;
+    cfg_.persistent_blocks = place.blocks_per_device;
+    cfg_.job_map = job_map;
+    cfg_.job_label = label;
+    job_ =
+        std::make_unique<workloads::HistogramCpufreeJob>(machine, world_, cfg_);
+  }
+
+  sim::Task task() override { return job_->task(); }
+
+  bool verify() override {
+    return job_->gather_bins() ==
+           workloads::histogram_reference(cfg_, world_.n_pes());
+  }
+
+  std::string detail() const override {
+    std::string d = "histogram ";
+    d += std::to_string(cfg_.bins);
+    d += " bins x";
+    d += std::to_string(cfg_.rounds);
+    d += ", skew ";
+    d += std::to_string(cfg_.skew);
+    return d;
+  }
+
+ private:
+  vshmem::World world_;
+  workloads::HistogramConfig cfg_;
+  std::unique_ptr<workloads::HistogramCpufreeJob> job_;
+};
+
+/// Sparse SpMV-CG on a device slice with a deliberately imbalanced row
+/// partition, verified bitwise against the CSR-shaped serial reference.
+class SparseCgWorkload final : public Workload {
+ public:
+  SparseCgWorkload(vgpu::Machine& machine, const JobSpec& spec,
+                   const Placement& place, const std::string& label,
+                   sim::JobMap* job_map)
+      : world_(machine, place.devices, label) {
+    world_.set_functional(true);
+    world_.set_fault_injection(spec.faulty);
+    cfg_.nx = spec.nx;
+    cfg_.ny = spec.ny;
+    cfg_.max_iterations = spec.iterations;
+    cfg_.imbalance = spec.imbalance;
+    cfg_.functional = true;
+    cfg_.trace = false;
+    cfg_.threads_per_block = spec.threads_per_block;
+    cfg_.persistent_blocks = place.blocks_per_device;
+    cfg_.job_map = job_map;
+    cfg_.job_label = label;
+    job_ =
+        std::make_unique<solvers::SparseCgCpufreeJob>(machine, world_, cfg_);
+  }
+
+  sim::Task task() override { return job_->task(); }
+
+  bool verify() override {
+    const solvers::CgResult ref =
+        solvers::sparse_cg_reference(cfg_, world_.n_pes());
+    return job_->iterations_run() == ref.iterations_run &&
+           job_->final_rr() == ref.final_rr &&
+           job_->rr_history() == ref.rr_history;
+  }
+
+  std::string detail() const override {
+    std::string d = "sparse_cg ";
+    d += std::to_string(cfg_.nx);
+    d += 'x';
+    d += std::to_string(cfg_.ny);
+    d += ", ";
+    d += std::to_string(job_->iterations_run());
+    d += " iters";
+    return d;
+  }
+
+ private:
+  vshmem::World world_;
+  solvers::SparseCgConfig cfg_;
+  std::unique_ptr<solvers::SparseCgCpufreeJob> job_;
+};
+
 }  // namespace
 
 std::string validate(const JobSpec& spec) {
@@ -222,6 +317,16 @@ std::string validate(const JobSpec& spec) {
       }
       break;
     }
+    case JobKind::kHistogram:
+      if (spec.nx < static_cast<std::size_t>(spec.devices)) {
+        return "histogram needs at least one bin per device";
+      }
+      break;
+    case JobKind::kSparseCg:
+      if (spec.ny < 2 * static_cast<std::size_t>(spec.devices)) {
+        return "sparse_cg needs at least two rows per device";
+      }
+      break;
   }
   return {};
 }
@@ -240,6 +345,12 @@ std::unique_ptr<Workload> make_workload(vgpu::Machine& machine,
                                           job_map);
     case JobKind::kDacelite:
       return std::make_unique<DaceliteWorkload>(machine, spec, place, label,
+                                                job_map);
+    case JobKind::kHistogram:
+      return std::make_unique<HistogramWorkload>(machine, spec, place, label,
+                                                 job_map);
+    case JobKind::kSparseCg:
+      return std::make_unique<SparseCgWorkload>(machine, spec, place, label,
                                                 job_map);
   }
   throw std::invalid_argument("make_workload: unknown job kind");

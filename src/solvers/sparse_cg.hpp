@@ -1,0 +1,113 @@
+// Sparse SpMV-based Conjugate Gradient with deliberately imbalanced row
+// partitions.
+//
+// Where cg.hpp applies the 5-point Laplacian matrix-free over an even row
+// split, this solver materializes the operator as a per-rank CSR matrix and
+// splits the rows by a WEIGHTED partition: rank 0 receives ~`imbalance`×
+// the rows of the last rank (linear taper, largest-remainder rounding).
+// That makes the per-iteration load irregular two ways:
+//
+//  * the SpMV cost is nnz-proportional (boundary rows carry shorter CSR
+//    rows than interior ones), and
+//  * the heavy low ranks finish their local phases late, so the global
+//    dot-product reductions — which every rank must join — expose exactly
+//    the straggler behaviour the CPU-Free model claims to absorb better
+//    than a host-orchestrated loop (no per-iteration host round-trips to
+//    amplify the wait).
+//
+// Both variants run through the generic exec::Program driver:
+//  * (persistent, signaled_put, iteration_flags) — one persistent kernel
+//    per device, device-side allreduce, device-side convergence test.
+//  * (host_loop, staged_copy, host_barrier) — CPU-orchestrated loop, MPI
+//    allreduce, host convergence test.
+// Distributed runs are verified bit-for-bit against a serial reference
+// reproducing the same CSR accumulation and reduction order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/policy.hpp"
+#include "sim/task.hpp"
+#include "solvers/cg.hpp"
+#include "vgpu/costmodel.hpp"
+
+namespace solvers {
+
+struct SparseCgConfig {
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  int max_iterations = 100;
+  double tolerance = 1e-10;
+  /// Target row-count ratio between the heaviest rank (rank 0) and the
+  /// lightest (the last): weights taper linearly from `imbalance` to 1.
+  /// 1.0 reproduces the even slab split; values < 1 are clamped to 1.
+  double imbalance = 1.0;
+  bool functional = true;  // false: timing-only (no numerics, no verify)
+  bool trace = true;
+  int threads_per_block = 1024;
+  /// Co-resident blocks for the persistent variant; 0 derives one block per
+  /// SM at plan-build time.
+  int persistent_blocks = 0;
+  /// Optional execution observer (race/deadlock checker).
+  sim::Observer* observer = nullptr;
+  /// Multi-tenant attribution (SparseCgCpufreeJob only). Must outlive the
+  /// run.
+  sim::JobMap* job_map = nullptr;
+  std::string job_label;
+};
+
+/// Weighted row split: rank r's weight tapers linearly from `imbalance`
+/// (r = 0) to 1 (r = ranks-1); rows are apportioned by largest remainder
+/// and every rank keeps at least two rows (stolen from the largest).
+/// Exposed for tests and the bench drivers' imbalance tagging.
+[[nodiscard]] std::vector<std::size_t> split_rows_weighted(std::size_t ny,
+                                                           int ranks,
+                                                           double imbalance);
+
+/// Realized partition-imbalance factor: max per-rank CSR nonzeros / mean.
+[[nodiscard]] double sparse_partition_imbalance(const SparseCgConfig& config,
+                                                int ranks);
+
+/// Serial reference with the distributed variants' CSR accumulation and
+/// rank-ordered reduction, so `ranks`-device runs match bitwise.
+[[nodiscard]] CgResult sparse_cg_reference(const SparseCgConfig& config,
+                                           int ranks);
+
+/// Runs sparse CG under `plan` on a fresh machine. Supported compositions:
+/// (persistent, signaled_put, iteration_flags) and (host_loop, staged_copy,
+/// host_barrier); anything else throws std::invalid_argument naming the
+/// offending policy component.
+[[nodiscard]] CgResult run_sparse_cg(const vgpu::MachineSpec& spec,
+                                     const SparseCgConfig& config,
+                                     const exec::Plan& plan);
+
+/// CPU-Free sparse CG bound to an existing machine + world whose engine is
+/// driven EXTERNALLY (the multi-tenant job server's building block). The
+/// world may be a device slice. Results are bitwise comparable to
+/// sparse_cg_reference(config, world.n_pes()).
+class SparseCgCpufreeJob {
+ public:
+  SparseCgCpufreeJob(vgpu::Machine& machine, vshmem::World& world,
+                     const SparseCgConfig& config);
+  ~SparseCgCpufreeJob();
+  SparseCgCpufreeJob(const SparseCgCpufreeJob&) = delete;
+  SparseCgCpufreeJob& operator=(const SparseCgCpufreeJob&) = delete;
+
+  /// Spawnable: completes when every PE's persistent kernel has drained.
+  /// Call at most once.
+  [[nodiscard]] sim::Task task();
+
+  [[nodiscard]] int iterations_run() const;
+  [[nodiscard]] double final_rr() const;
+  [[nodiscard]] const std::vector<double>& rr_history() const;
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace solvers

@@ -149,6 +149,32 @@ std::function<exec::InnerModel(int, int)> make_inner_model(SlabStencil<P>& S,
 
 }  // namespace detail
 
+/// A variant's complete exec-layer wiring: the type-erased problem view,
+/// the exec params drawn from the stencil's config, and the plan. One
+/// factory serves both the bench runner (run_variant) and the serve
+/// workload path, so jobs and figures can never drift apart. The setup
+/// captures the SlabStencil by reference — it must outlive every run.
+struct SlabSetup {
+  exec::SlabProgram program;
+  exec::SlabExecParams params;
+  exec::Plan plan;
+};
+
+template <class P>
+SlabSetup make_slab_setup(SlabStencil<P>& S, Variant v) {
+  const StencilConfig& cfg = S.config();
+  SlabSetup setup;
+  setup.program = detail::make_program(S);
+  setup.params.iterations = cfg.iterations;
+  setup.params.threads_per_block = cfg.threads_per_block;
+  setup.params.persistent_blocks = cfg.persistent_blocks;
+  setup.params.comm_scope = cfg.comm_scope;
+  setup.params.partition = detail::make_partition(S, v);
+  setup.params.inner_model = detail::make_inner_model(S, v);
+  setup.plan = plan_for(v);
+  return setup;
+}
+
 /// Runs `variant` over a prepared SlabStencil and returns timing metrics.
 template <class P>
 StencilResult run_variant(SlabStencil<P>& S, Variant v) {
@@ -156,15 +182,8 @@ StencilResult run_variant(SlabStencil<P>& S, Variant v) {
   const StencilConfig& cfg = S.config();
   m.trace().set_enabled(cfg.trace);
 
-  const exec::SlabProgram prog = detail::make_program(S);
-  exec::SlabExecParams params;
-  params.iterations = cfg.iterations;
-  params.threads_per_block = cfg.threads_per_block;
-  params.persistent_blocks = cfg.persistent_blocks;
-  params.comm_scope = cfg.comm_scope;
-  params.partition = detail::make_partition(S, v);
-  params.inner_model = detail::make_inner_model(S, v);
-  exec::run_slab(prog, plan_for(v), params);
+  const SlabSetup setup = make_slab_setup(S, v);
+  exec::run_slab(setup.program, setup.plan, setup.params);
 
   StencilResult r;
   r.metrics = cpufree::analyze_run(m.trace(), m.engine().now(),

@@ -157,6 +157,10 @@ std::string bench_json(std::string_view bench, int threads,
       w.value(p.value);
     }
     w.end_object();
+    w.key("workload");
+    w.value(r.out.workload);
+    w.key("partition_imbalance");
+    w.value(r.out.partition_imbalance);
     w.key("wall_ms");
     w.value(r.wall_ms);
     w.key("values");
@@ -205,7 +209,7 @@ std::string bench_csv(const std::vector<RunRecord>& records) {
     for (const auto& [k, _] : r.out.notes) note(note_keys, k);
   }
 
-  std::string out = "index,id";
+  std::string out = "index,id,workload,partition_imbalance";
   for (const std::string& k : param_keys) {
     out += ',';
     append_csv_cell(k, out);
@@ -236,6 +240,9 @@ std::string bench_csv(const std::vector<RunRecord>& records) {
     std::snprintf(buf, sizeof(buf), "%zu,", r.index);
     out += buf;
     append_csv_cell(r.id, out);
+    out += ',';
+    append_csv_cell(r.out.workload, out);
+    add_double(r.out.partition_imbalance);
     for (const std::string& k : param_keys) {
       out += ',';
       for (const Param& p : r.params) {

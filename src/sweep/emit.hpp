@@ -9,6 +9,8 @@
 //       {
 //         "id": "<unique run id>",
 //         "params": {"<axis>": "<value>", ...},
+//         "workload": "<family: jacobi2d | cg | histogram | sparse_cg | ...>",
+//         "partition_imbalance": <max per-rank work / mean; 1.0 = balanced>,
 //         "wall_ms": <host wall-clock spent simulating the run>,
 //         "values": {"<scalar>": <double>, ...},
 //         "notes": {"<key>": "<string outcome>", ...},   // optional; only

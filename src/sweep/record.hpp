@@ -31,6 +31,14 @@ struct RunResult {
   cpufree::RunMetrics metrics;
   /// Calibration the run was simulated with (embedded per run in the JSON).
   vgpu::MachineSpec spec;
+  /// Workload family the run executed ("jacobi2d", "cg", "histogram",
+  /// "sparse_cg", ...). Emitted in every record so downstream analysis can
+  /// group runs without parsing driver-specific ids.
+  std::string workload;
+  /// Realized partition-imbalance factor: max per-rank work / mean work
+  /// (1.0 = perfectly balanced). Regular slab workloads compute it from the
+  /// row split; irregular workloads from keys/nonzeros per rank.
+  double partition_imbalance = 1.0;
   /// Derived scalars keyed by name (e.g. "per_iter_us"); what the figure
   /// tables are built from.
   std::vector<std::pair<std::string, double>> values;

@@ -22,13 +22,16 @@
 #include "dacelite/transforms.hpp"
 #include "hostmpi/comm.hpp"
 #include "sim/engine.hpp"
+#include "exec/policy.hpp"
 #include "solvers/cg.hpp"
+#include "solvers/sparse_cg.hpp"
 #include "stencil/problems.hpp"
 #include "stencil/runner.hpp"
 #include "stencil/variants.hpp"
 #include "vgpu/kernel.hpp"
 #include "vgpu/machine.hpp"
 #include "vshmem/world.hpp"
+#include "workloads/histogram/histogram.hpp"
 
 namespace {
 
@@ -183,6 +186,58 @@ TEST(CheckRace, QuietAfterIputMakesColumnReuseSafe) {
       << report;
 }
 
+/// The histogram merge protocol, with its synchronization optionally broken:
+/// a contributor PE puts its per-owner partial row into the owner's inbox and
+/// signals; the owner folds the inbox into its bin slice. When `owner_waits`
+/// the owner observes the signal first (the shipping protocol); otherwise the
+/// two PEs update the same bins with no happens-before — the incoming put
+/// races with the owner's merge.
+Verdict run_histogram_merge(bool owner_waits, std::string* report) {
+  Machine m(MachineSpec::hgx_a100(2));
+  Detector det;
+  m.engine().set_observer(&det);
+  World w(m);
+  constexpr std::size_t kBins = 8;
+  Sym<double> bins = w.alloc<double>(kBins, "bin_slice");
+  Sym<double> inbox = w.alloc<double>(kBins, "bin_inbox");
+  auto sig = w.alloc_signals(1, "partial_ready");
+  auto contributor = [&](KernelCtx& k) -> Task {
+    // Pre-aggregate locally, then one signaled put of the touched range.
+    k.obs_access(sim::MemRange::of(inbox.on(1), 0, kBins), /*is_write=*/true,
+                 "accumulate_partials");
+    co_await w.putmem_signal_nbi(k, inbox, /*src_off=*/0, /*dst_off=*/0,
+                                 kBins, *sig, 0, 1, SignalOp::kSet, 0);
+  };
+  auto owner = [&, owner_waits](KernelCtx& k) -> Task {
+    if (owner_waits) {
+      co_await w.signal_wait_until(k, *sig, 0, Cmp::kGe, 1);
+    }
+    k.obs_access(sim::MemRange::of(inbox.on(0), 0, kBins), /*is_write=*/false,
+                 "merge_read_inbox");
+    k.obs_access(sim::MemRange::of(bins.on(0), 0, kBins), /*is_write=*/true,
+                 "merge_bin_updates");
+    co_return;
+  };
+  run_on_devices(m, {{0, owner}, {1, contributor}});
+  if (report != nullptr) *report = det.report_text();
+  return det.verdict();
+}
+
+TEST(CheckRace, HistogramMergeWithoutHappensBeforeIsFlagged) {
+  std::string report;
+  EXPECT_EQ(run_histogram_merge(/*owner_waits=*/false, &report),
+            Verdict::kRace);
+  // Attribution names the contended inbox and the merge-side access.
+  EXPECT_NE(report.find("bin_inbox"), std::string::npos) << report;
+  EXPECT_NE(report.find("merge_read_inbox"), std::string::npos) << report;
+}
+
+TEST(CheckRace, SignaledPartialRowOrdersHistogramMerge) {
+  std::string report;
+  EXPECT_EQ(run_histogram_merge(/*owner_waits=*/true, &report), Verdict::kPass)
+      << report;
+}
+
 // --- seeded bugs: deadlocks ----------------------------------------------------
 
 TEST(CheckDeadlock, MissingBarrierParticipantIsCounted) {
@@ -316,6 +371,61 @@ TEST(CheckClean, DaceliteBackendsRunClean) {
     }
     EXPECT_TRUE(det.clean()) << (cpu_free ? "persistent" : "discrete") << ": "
                              << det.report_text();
+  }
+}
+
+TEST(CheckClean, HistogramRunsCleanUnderEveryPolicyTriple) {
+  const exec::Plan plans[] = {
+      {exec::LaunchPolicy::kHostLoop, exec::CommPolicy::kStagedCopy,
+       exec::SyncPolicy::kHostBarrier, "hist"},
+      {exec::LaunchPolicy::kHostLoop, exec::CommPolicy::kOverlapStreams,
+       exec::SyncPolicy::kHostBarrier, "hist"},
+      {exec::LaunchPolicy::kHostLoop, exec::CommPolicy::kPeerStore,
+       exec::SyncPolicy::kHostBarrier, "hist_p2p"},
+      {exec::LaunchPolicy::kHostLoop, exec::CommPolicy::kSignaledPut,
+       exec::SyncPolicy::kStreamSync, "hist_nvshmem"},
+      {exec::LaunchPolicy::kPersistent, exec::CommPolicy::kSignaledPut,
+       exec::SyncPolicy::kIterationFlags, "hist_cpufree"},
+      {exec::LaunchPolicy::kPersistentPair, exec::CommPolicy::kSignaledPut,
+       exec::SyncPolicy::kIterationFlags, "hist_cpufree"},
+  };
+  for (const exec::Plan& plan : plans) {
+    // Skew 2 concentrates the updates: the hot owner's merge is exactly the
+    // contended path the seeded-bug fixture above breaks on purpose.
+    Detector det;
+    workloads::HistogramConfig cfg;
+    cfg.bins = 61;
+    cfg.keys_per_round = 192;
+    cfg.rounds = 3;
+    cfg.skew = 2;
+    cfg.threads_per_block = 128;
+    cfg.persistent_blocks = 8;
+    cfg.observer = &det;
+    const workloads::HistogramResult out =
+        workloads::run_histogram(MachineSpec::hgx_a100(2), cfg, plan);
+    EXPECT_TRUE(det.clean()) << exec::name(plan.comm) << ": " << det.report_text();
+    EXPECT_EQ(out.bins, workloads::histogram_reference(cfg, 2))
+        << exec::name(plan.comm);
+  }
+}
+
+TEST(CheckClean, SparseCgRunsCleanWithImbalancedRows) {
+  const exec::Plan plans[] = {
+      {exec::LaunchPolicy::kPersistent, exec::CommPolicy::kSignaledPut,
+       exec::SyncPolicy::kIterationFlags, "sparse_cg_cpufree"},
+      {exec::LaunchPolicy::kHostLoop, exec::CommPolicy::kStagedCopy,
+       exec::SyncPolicy::kHostBarrier, "sparse_cg_baseline"},
+  };
+  for (const exec::Plan& plan : plans) {
+    Detector det;
+    solvers::SparseCgConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 16;
+    cfg.max_iterations = 8;
+    cfg.imbalance = 4.0;  // deliberate straggler rank
+    cfg.observer = &det;
+    (void)solvers::run_sparse_cg(MachineSpec::hgx_a100(2), cfg, plan);
+    EXPECT_TRUE(det.clean()) << exec::name(plan.comm) << ": " << det.report_text();
   }
 }
 

@@ -32,7 +32,8 @@ JobSpec job(int id, std::string tenant, JobKind kind, int devices,
   return j;
 }
 
-/// A small mixed fleet: all three workload families, 1- and 2-device slices.
+/// A small mixed fleet: all five workload families, 1- and 2-device slices,
+/// including the irregular ones (skewed histogram, imbalanced sparse CG).
 std::vector<JobSpec> mixed_fleet() {
   std::vector<JobSpec> jobs;
   jobs.push_back(job(0, "t0", JobKind::kStencil, 2, 64, 8));
@@ -44,6 +45,14 @@ std::vector<JobSpec> mixed_fleet() {
   jobs.push_back(job(6, "t0", JobKind::kStencil, 4, 64, 8));
   jobs.push_back(job(7, "t1", JobKind::kCg, 2, 40, 10));
   jobs.push_back(job(8, "t2", JobKind::kStencil, 2, 56, 6));
+  JobSpec hist = job(9, "t1", JobKind::kHistogram, 2, 97, 4);
+  hist.ny = 256;  // keys per PE per round
+  hist.skew = 2;
+  hist.threads_per_block = 128;
+  jobs.push_back(hist);
+  JobSpec sparse = job(10, "t2", JobKind::kSparseCg, 2, 24, 20);
+  sparse.imbalance = 3.0;
+  jobs.push_back(sparse);
   return jobs;
 }
 
@@ -75,10 +84,10 @@ std::string fingerprint(const ServeReport& rep) {
 TEST(Serve, MixedFleetCompletesAndVerifies) {
   ServeConfig cfg = open_loop_config(vgpu::MachineSpec::hgx_a100(4));
   const ServeReport rep = serve::run_serve(cfg, mixed_fleet());
-  EXPECT_EQ(rep.fleet.jobs, 9);
+  EXPECT_EQ(rep.fleet.jobs, 11);
   EXPECT_EQ(rep.fleet.rejected, 0);
-  EXPECT_EQ(rep.fleet.completed, 9);
-  EXPECT_EQ(rep.fleet.verified, 9);
+  EXPECT_EQ(rep.fleet.completed, 11);
+  EXPECT_EQ(rep.fleet.verified, 11);
   for (const auto& r : rep.jobs) {
     EXPECT_TRUE(r.out.verified) << r.spec.id << ": " << r.out.detail;
     EXPECT_GT(r.isolated_us, 0.0);
@@ -258,6 +267,60 @@ TEST(Serve, FaultyTenantDoesNotPerturbNeighbors) {
   // ...but tenant B's timeline is byte-identical either way.
   EXPECT_EQ(faulty.jobs[1].out.admit, clean.jobs[1].out.admit);
   EXPECT_EQ(faulty.jobs[1].out.end, clean.jobs[1].out.end);
+}
+
+TEST(Serve, IrregularJobsVerifyBitwiseUnderContention) {
+  // A skewed histogram and an imbalanced sparse CG co-resident on the SAME
+  // 2-device slice (default blocks = half the cooperative cap): contended
+  // links and interleaved engine events must not perturb either job's
+  // numerics — both verify bitwise against their serial references.
+  std::vector<JobSpec> jobs;
+  JobSpec hist = job(0, "a", JobKind::kHistogram, 2, 61, 5);
+  hist.ny = 192;
+  hist.skew = 3;
+  hist.threads_per_block = 128;
+  jobs.push_back(hist);
+  JobSpec sparse = job(1, "b", JobKind::kSparseCg, 2, 20, 24);
+  sparse.imbalance = 4.0;
+  jobs.push_back(sparse);
+
+  ServeConfig cfg;
+  cfg.machine = vgpu::MachineSpec::hgx_a100(2);
+  cfg.arrival.mode = ArrivalConfig::Mode::kClosed;
+  cfg.arrival.concurrency = 0;
+  const ServeReport rep = serve::run_serve(cfg, jobs);
+
+  ASSERT_EQ(rep.fleet.completed, 2);
+  EXPECT_EQ(rep.fleet.verified, 2);
+  // Co-resident from t=0 on the same slice.
+  EXPECT_EQ(rep.jobs[0].out.admit, 0);
+  EXPECT_EQ(rep.jobs[1].out.admit, 0);
+  EXPECT_EQ(rep.jobs[0].out.first_device, rep.jobs[1].out.first_device);
+  EXPECT_EQ(rep.jobs[0].out.detail.rfind("histogram", 0), 0u)
+      << rep.jobs[0].out.detail;
+  EXPECT_EQ(rep.jobs[1].out.detail.rfind("sparse_cg", 0), 0u)
+      << rep.jobs[1].out.detail;
+}
+
+TEST(Serve, IrregularSpecsAreValidated) {
+  std::vector<JobSpec> jobs;
+  JobSpec hist = job(0, "a", JobKind::kHistogram, 4, 3, 4);  // 3 bins < 4 PEs
+  jobs.push_back(hist);
+  JobSpec sparse = job(1, "b", JobKind::kSparseCg, 4, 24, 10);
+  sparse.ny = 6;  // fewer than two rows per device
+  jobs.push_back(sparse);
+  jobs.push_back(job(2, "c", JobKind::kSparseCg, 2, 16, 10));
+
+  ServeConfig cfg = open_loop_config(vgpu::MachineSpec::hgx_a100(4));
+  const ServeReport rep = serve::run_serve(cfg, jobs);
+  EXPECT_EQ(rep.fleet.rejected, 2);
+  EXPECT_EQ(rep.fleet.completed, 1);
+  EXPECT_EQ(rep.fleet.verified, 1);
+  EXPECT_NE(rep.jobs[0].out.detail.find("bin per device"), std::string::npos)
+      << rep.jobs[0].out.detail;
+  EXPECT_NE(rep.jobs[1].out.detail.find("two rows per device"),
+            std::string::npos)
+      << rep.jobs[1].out.detail;
 }
 
 TEST(Serve, InfeasibleJobsAreRejectedNotWedged) {

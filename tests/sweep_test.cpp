@@ -225,6 +225,8 @@ RunRecord sample_record() {
   rec.out.metrics.total = 12345;
   rec.out.metrics.per_iteration = 123;
   rec.out.set("per_iter_us", 0.123);
+  rec.out.workload = "jacobi2d";
+  rec.out.partition_imbalance = 1.25;
   rec.wall_ms = 1.5;
   return rec;
 }
@@ -235,6 +237,7 @@ TEST(Emit, BenchJsonContainsSchemaParamsMetricsAndMachine) {
        {"\"schema\":\"cpufree-bench-v1\"", "\"bench\":\"fig_test\"",
         "\"threads\":4", "\"id\":\"small/cpu_free/gpus=8\"",
         "\"variant\":\"cpu_free\"", "\"gpus\":\"8\"", "\"per_iter_us\":0.123",
+        "\"workload\":\"jacobi2d\"", "\"partition_imbalance\":1.25",
         "\"total_ns\":12345", "\"per_iteration_ns\":123", "\"sm_count\":108",
         "\"max_blocks_per_sm\":32", "\"wall_ms\":"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
@@ -248,7 +251,8 @@ TEST(Emit, BenchCsvFlattensAndQuotes) {
   const auto newline = csv.find('\n');
   ASSERT_NE(newline, std::string::npos);
   const std::string header = csv.substr(0, newline);
-  EXPECT_NE(header.find("index,id,variant,gpus,note,per_iter_us,wall_ms"),
+  EXPECT_NE(header.find("index,id,workload,partition_imbalance,variant,gpus,"
+                        "note,per_iter_us,wall_ms"),
             std::string::npos)
       << header;
   EXPECT_NE(header.find("total_ns"), std::string::npos);
