@@ -266,18 +266,46 @@ inline void parse_kv_flag(
 }
 
 /// Parses the --faults payload "seed=S,rate=R[,resilience=none|retry|
-/// retry+degrade]" into a fault::Config. Exits with a usage message on
-/// malformed input (bench flags fail fast, they never guess).
+/// retry+degrade][,classes=a+b+...]" into a fault::Config. Exits with a
+/// usage message on malformed input (bench flags fail fast, they never
+/// guess). `classes=` restricts injection to the named window classes
+/// (link, flap, stall, signal_lost, signal_delay, put_drop, put_dup, or
+/// `all`); link/stall-only masks are exactly the ones the sharded engine
+/// can run without lockstep rounds.
 inline fault::Config parse_faults(std::string_view s) {
   fault::Config cfg;
   parse_kv_flag(
       "--faults",
-      "seed=S,rate=R (0<=R<=1)[,resilience=none|retry|retry+degrade]", s,
-      [&cfg](std::string_view key, const std::string& value) {
+      "seed=S,rate=R (0<=R<=1)[,resilience=none|retry|retry+degrade]"
+      "[,classes=link+flap+stall+signal_lost+signal_delay+put_drop+put_dup"
+      "|all]",
+      s, [&cfg](std::string_view key, const std::string& value) {
         if (key == "seed") return parse_u64_strict(value, cfg.seed);
         if (key == "rate") {
           return parse_double_strict(value, cfg.rate) && cfg.rate >= 0.0 &&
                  cfg.rate <= 1.0;
+        }
+        if (key == "classes") {
+          unsigned mask = 0;
+          std::string_view rest = value;
+          while (!rest.empty()) {
+            std::size_t plus = rest.find('+');
+            const std::string_view tok = rest.substr(0, plus);
+            if (tok == "link") mask |= fault::kClassLink;
+            else if (tok == "flap") mask |= fault::kClassFlap;
+            else if (tok == "stall") mask |= fault::kClassStall;
+            else if (tok == "signal_lost") mask |= fault::kClassSignalLost;
+            else if (tok == "signal_delay") mask |= fault::kClassSignalDelay;
+            else if (tok == "put_drop") mask |= fault::kClassPutDrop;
+            else if (tok == "put_dup") mask |= fault::kClassPutDup;
+            else if (tok == "all") mask |= fault::kClassAll;
+            else return false;
+            if (plus == std::string_view::npos) break;
+            rest = rest.substr(plus + 1);
+          }
+          if (mask == 0) return false;
+          cfg.classes = mask;
+          return true;
         }
         if (key == "resilience") {
           if (value == "none" || value == "no-retry") {
@@ -294,6 +322,46 @@ inline fault::Config parse_faults(std::string_view s) {
         return false;
       });
   return cfg;
+}
+
+/// Parses the strict --hard-faults payload "kill_device=D,at_iter=K[,ckpt=N]"
+/// into a permanent device fail-stop appended to `cfg.hard`: device D is
+/// declared dead the first time a resident persistent kernel reaches
+/// iteration K (it completes 1..K-1 and never executes K). ckpt=N sets the
+/// recovery checkpoint interval for drivers that fail over (fig_failover);
+/// drivers without a recovery path ignore it. Exits 2 with the canonical
+/// usage message on malformed input — hard faults kill hardware, so a typo
+/// must never half-parse into a different kill.
+inline void parse_hard_faults(std::string_view s, fault::Config& cfg,
+                              int& checkpoint_every) {
+  constexpr std::string_view kExpected =
+      "kill_device=D (D>=0),at_iter=K (K>=1)[,ckpt=N (N>=1)]";
+  fault::HardFault h;
+  h.kind = fault::HardFault::Kind::kDevice;
+  bool have_device = false;
+  bool have_iter = false;
+  parse_kv_flag(
+      "--hard-faults", kExpected, s,
+      [&](std::string_view key, const std::string& value) {
+        if (key == "kill_device") {
+          have_device = parse_int_strict(value, h.device) && h.device >= 0;
+          return have_device;
+        }
+        if (key == "at_iter") {
+          int k = 0;
+          have_iter = parse_int_strict(value, k) && k >= 1;
+          h.at = k;
+          return have_iter;
+        }
+        if (key == "ckpt") {
+          return parse_int_strict(value, checkpoint_every) &&
+                 checkpoint_every >= 1;
+        }
+        return false;
+      });
+  if (!have_device || !have_iter) flag_usage_error("--hard-faults", kExpected, s);
+  cfg.hard.push_back(h);
+  cfg.classes |= fault::kClassDeviceDead;
 }
 
 /// Parses "--repeats N" / "--threads N" / "--trace" style flags trivially.
@@ -315,6 +383,10 @@ struct Args {
   /// --faults seed=S,rate=R[,resilience=...]: the fault plane every swept
   /// machine runs under. Default (rate 0) is structurally inert.
   fault::Config faults;
+  /// --hard-faults kill_device=D,at_iter=K[,ckpt=N]: permanent device
+  /// fail-stop layered onto `faults` (repeatable). ckpt lands here; only
+  /// recovery-capable drivers consume it.
+  int hard_checkpoint_every = 0;
   /// --pdes-threads N: worker threads for the intra-run sharded event
   /// engine. 1 (default) is the serial engine, byte-for-byte.
   int pdes_threads = 1;
@@ -362,6 +434,11 @@ struct Args {
         a.topo = true;
       } else if (s == "--faults" && i + 1 < argc) {
         a.faults = parse_faults(argv[++i]);
+      } else if (s == "--hard-faults" && i + 1 < argc) {
+        parse_hard_faults(argv[++i], a.faults, a.hard_checkpoint_every);
+      } else if (s.rfind("--hard-faults=", 0) == 0) {
+        parse_hard_faults(s.substr(sizeof("--hard-faults=") - 1), a.faults,
+                          a.hard_checkpoint_every);
       } else if (s == "--out" && i + 1 < argc) {
         a.out_json = argv[++i];
       } else if (s == "--csv" && i + 1 < argc) {
@@ -395,13 +472,26 @@ struct Args {
 /// One line stating the fault plane a sweep runs under (printed only when
 /// --faults enabled it, so faultless reports are unchanged).
 inline void print_faults(const fault::Config& cfg) {
-  if (!cfg.enabled()) return;
-  std::printf(
-      "fault plane: seed=%llu rate=%g resilience=%s (retries %d, watchdog "
-      "%.0f us + %.0f us/attempt)\n\n",
-      static_cast<unsigned long long>(cfg.seed), cfg.rate,
-      fault::name(cfg.resilience), cfg.retry.max_retries,
-      sim::to_usec(cfg.retry.timeout), sim::to_usec(cfg.retry.backoff));
+  if (cfg.enabled()) {
+    std::printf(
+        "fault plane: seed=%llu rate=%g resilience=%s (retries %d, watchdog "
+        "%.0f us + %.0f us/attempt)\n\n",
+        static_cast<unsigned long long>(cfg.seed), cfg.rate,
+        fault::name(cfg.resilience), cfg.retry.max_retries,
+        sim::to_usec(cfg.retry.timeout), sim::to_usec(cfg.retry.backoff));
+  }
+  if (cfg.hard_enabled()) {
+    for (const fault::HardFault& h : cfg.hard) {
+      if (h.kind == fault::HardFault::Kind::kDevice) {
+        std::printf("hard fault: kill device %d at iteration %lld\n", h.device,
+                    static_cast<long long>(h.at));
+      } else {
+        std::printf("hard fault: kill link %d->%d at crossing %lld\n", h.src,
+                    h.dst, static_cast<long long>(h.at));
+      }
+    }
+    std::printf("\n");
+  }
 }
 
 /// One workload validated under --check. `run` must attach the observer to

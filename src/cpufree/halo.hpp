@@ -99,13 +99,76 @@ class IterationProtocol {
   sim::Task wait_iteration(vgpu::KernelCtx& ctx, std::size_t flag,
                            std::int64_t iter) {
     const fault::Schedule& faults = world_->machine().faults();
-    if (!faults.enabled() ||
+    // Only the signal-coupled classes can lose or reorder updates; window
+    // masks (link/flap/stall) merely stretch time, so their waits stay
+    // plain — and shadow-free, which lets those runs shard at full width.
+    if (!faults.signal_coupled() ||
         faults.config().resilience == fault::Resilience::kNone) {
       co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
                                          iter);
       co_return;
     }
     co_await wait_resilient(ctx, flag, iter);
+  }
+
+  /// Receiver side with job-level fail-stop escalation: like wait_iteration,
+  /// but a watchdog expiry also consults the hard-fault plane. Once a device
+  /// (or link) inside this world's slice has been declared dead the wait
+  /// gives up, records a hard stop on the world and returns with
+  /// *aborted = true; the caller is expected to skip-join the remaining
+  /// iterations so every barrier still sees all parties. Falls back to
+  /// wait_iteration when no hard faults are configured.
+  sim::Task wait_iteration_abortable(vgpu::KernelCtx& ctx, std::size_t flag,
+                                     std::int64_t iter, bool* aborted) {
+    fault::Schedule& faults = world_->machine().faults();
+    *aborted = false;
+    if (!faults.hard_enabled()) {
+      co_await wait_iteration(ctx, flag, iter);
+      co_return;
+    }
+    const fault::Config& fc = faults.config();
+    const int me = world_->pe_of(ctx.device_id());
+    sim::Flag& f = signals_->at(me, flag);
+    // Probe period: the configured watchdog deadline, or a generous default
+    // when no transient-resilience rung supplied one (hard faults always
+    // need a watchdog to turn a silent peer into a verdict).
+    const sim::Nanos probe =
+        fc.retry.timeout > 0 ? fc.retry.timeout : kDefaultHardProbe;
+    for (int probes = 0;; ++probes) {
+      if (world_->hard_stopped()) {
+        // Another group of this job already reached the verdict.
+        *aborted = true;
+        co_return;
+      }
+      bool ok = false;
+      co_await ctx.spin_wait_for(f, sim::Cmp::kGe, iter, probe, "signal_wait",
+                                 &ok);
+      if (ok) {
+        if (faults.signal_coupled() &&
+            fc.resilience != fault::Resilience::kNone) {
+          co_await ensure_landed(ctx, flag, iter);
+        }
+        co_return;
+      }
+      ++faults.stats().watchdog_fires;
+      if (faults.signal_coupled() &&
+          fc.resilience != fault::Resilience::kNone &&
+          signals_->shadow(me, flag).progress >= iter) {
+        // Transient loss with a live sender: re-pull, no escalation.
+        co_await recover(ctx, flag);
+        co_return;
+      }
+      if (escalate_if_dead(aborted)) co_return;
+      if (probes >= kMaxHardProbes) {
+        // Nothing in the slice is dead and the sender still has not issued:
+        // this is a genuine protocol hang, not a hard fault. Fall back to
+        // the plain blocking wait so the engine's attributed hang report
+        // fires instead of an unbounded poll loop.
+        co_await world_->signal_wait_until(ctx, *signals_, flag, sim::Cmp::kGe,
+                                           iter);
+        co_return;
+      }
+    }
   }
 
   /// Pure signal without payload (ack / flow-control edges).
@@ -125,6 +188,49 @@ class IterationProtocol {
   /// real deadlock and should surface through the engine's attributed
   /// hang report, not an unbounded poll loop.
   static constexpr int kMaxDegradedPolls = 1 << 14;
+  /// Watchdog deadline for the hard-fault path when no transient rung
+  /// configured one, and the matching probe bound before an abortable wait
+  /// concludes the hang is real rather than a not-yet-declared death.
+  static constexpr sim::Nanos kDefaultHardProbe = 200'000;
+  static constexpr int kMaxHardProbes = 1 << 10;
+
+  /// Scans this world's slice for declared-dead components and, on a hit,
+  /// records the job-level hard stop. Returns true when the caller must
+  /// abort. Non-coroutine so the scan is atomic w.r.t. the engine.
+  bool escalate_if_dead(bool* aborted) {
+    fault::Schedule& faults = world_->machine().faults();
+    for (int pe = 0; pe < world_->n_pes(); ++pe) {
+      const int dev = world_->device_of(pe);
+      if (faults.device_dead(dev)) {
+        std::string why = "device ";
+        why += std::to_string(dev);
+        why += " declared dead";
+        world_->hard_stop(std::move(why));
+        *aborted = true;
+        return true;
+      }
+    }
+    if (faults.has_hard_links()) {
+      for (int a = 0; a < world_->n_pes(); ++a) {
+        for (int b = 0; b < world_->n_pes(); ++b) {
+          if (a == b) continue;
+          const int da = world_->device_of(a);
+          const int db = world_->device_of(b);
+          if (faults.link_dead(da, db)) {
+            std::string why = "link ";
+            why += std::to_string(da);
+            why += "->";
+            why += std::to_string(db);
+            why += " declared dead";
+            world_->hard_stop(std::move(why));
+            *aborted = true;
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
 
   template <typename T>
   [[nodiscard]] std::function<void()> make_redeliver(vshmem::Sym<T>& arr,
@@ -148,7 +254,10 @@ class IterationProtocol {
                   std::int64_t iter, double bytes,
                   std::function<void()> redeliver) {
     const fault::Schedule& faults = world_->machine().faults();
-    if (!faults.enabled() ||
+    // Shadows are recovery state for the signal-coupled classes only;
+    // window and hard masks never re-pull, so they skip the (cross-shard)
+    // write entirely.
+    if (!faults.signal_coupled() ||
         faults.config().resilience == fault::Resilience::kNone) {
       return;
     }

@@ -35,11 +35,51 @@ IterationJoin grid_only_join() {
   return join;
 }
 
+/// The single-kernel join with periodic checkpointing layered on: after the
+/// grid_sync of a capture iteration, the lead comm group snapshots the PE's
+/// owned state into the store and charges the capture's DRAM drain to
+/// simulated time. The guard is a pure function of (device, t): a PE whose
+/// device is dead at t, or whose job has been hard-stopped (always set
+/// before the join's barrier releases when any group skipped part of t),
+/// must not commit a slice of a half-finished iteration.
+IterationJoin checkpointing_join(const Program& P,
+                                 const ProgramExecParams& prm) {
+  IterationJoin join = grid_only_join();
+  if (prm.checkpoint_every <= 0 || prm.checkpoint_store == nullptr ||
+      !P.capture) {
+    return join;
+  }
+  const Program* Pp = &P;
+  const int every = prm.checkpoint_every;
+  const int iterations = prm.iterations;
+  CheckpointStore* store = prm.checkpoint_store;
+  join.comm_end = [Pp, every, iterations, store](vgpu::KernelCtx& k, bool lead,
+                                                 int t) -> sim::Task {
+    co_await k.grid_sync();
+    if (!lead || t % every != 0 || t >= iterations) co_return;
+    vshmem::World& w = *Pp->world;
+    if (w.hard_stopped() ||
+        w.machine().faults().device_dead(k.device_id()) ||
+        w.machine().faults().device_dead_at(k.device_id(), t)) {
+      co_return;
+    }
+    const int pe = w.pe_of(k.device_id());
+    std::vector<double> slice = Pp->capture(pe, t);
+    const double bytes =
+        static_cast<double>(slice.size()) * static_cast<double>(sizeof(double));
+    co_await k.busy(w.machine().spec().device.dram_time(bytes), sim::Cat::kComm,
+                    "checkpoint");
+    store->put(t, pe, std::move(slice));
+  };
+  return join;
+}
+
 /// Per-PE groups of the single-kernel composition: comm groups first, then
 /// inner groups, concatenated into one cooperative launch.
 std::vector<cpufree::DeviceGroups> build_single_kernel_groups(
-    const Program& P, vshmem::SignalSet* sigp) {
-  const IterationJoin join = grid_only_join();
+    const Program& P, vshmem::SignalSet* sigp,
+    const ProgramExecParams& prm) {
+  const IterationJoin join = checkpointing_join(P, prm);
   std::vector<cpufree::DeviceGroups> groups(
       static_cast<std::size_t>(P.n_pes));
   for (int dev = 0; dev < P.n_pes; ++dev) {
@@ -88,7 +128,7 @@ void run_persistent_single(const Program& P, const Plan& plan,
                            const ProgramExecParams& prm) {
   std::unique_ptr<vshmem::SignalSet> sig;
   if (P.signals) sig = P.signals(*P.world);
-  auto groups = build_single_kernel_groups(P, sig.get());
+  auto groups = build_single_kernel_groups(P, sig.get(), prm);
   persistent_launch(*P.machine, std::move(groups), prm.threads_per_block,
                     plan.kernel_name);
 }
@@ -227,7 +267,7 @@ sim::Task run_program_persistent_task(const Program& program, const Plan& plan,
   // dies. Its delivery callback must find live flags.
   vshmem::SignalSet* sigp =
       program.signals ? w.retain_signals(program.signals(w)) : nullptr;
-  auto groups = build_single_kernel_groups(program, sigp);
+  auto groups = build_single_kernel_groups(program, sigp, params);
   std::vector<int> devices;
   devices.reserve(static_cast<std::size_t>(program.n_pes));
   for (int pe = 0; pe < program.n_pes; ++pe) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -47,6 +48,40 @@ namespace exec {
 struct IterationJoin {
   std::function<sim::Task(vgpu::KernelCtx&, bool lead, int t)> comm_end;
   std::function<sim::Task(vgpu::KernelCtx&, int t)> inner_end;
+};
+
+/// Deterministic checkpoint store for persistent runs. Every
+/// `checkpoint_every` iterations the lead comm group of each PE snapshots
+/// the PE's owned state at the iteration join — after every group of the PE
+/// committed iteration t and before any t+1 write can touch the captured
+/// parity (double buffering isolates it) — so the bytes are a pure function
+/// of (workload, t) and identical across --pdes-threads / --threads and
+/// reruns. The capture's DRAM drain is charged to simulated time.
+///
+/// A snapshot at iteration t is usable for restart only once EVERY PE
+/// committed its slice; last_complete() reports the newest such t.
+struct CheckpointStore {
+  explicit CheckpointStore(int pes = 0) : n_pes(pes) {}
+
+  int n_pes = 0;
+  /// snapshots[t][pe] -> that PE's owned interior at the end of iteration t.
+  std::map<int, std::map<int, std::vector<double>>> snapshots;
+
+  void put(int t, int pe, std::vector<double> slice) {
+    snapshots[t][pe] = std::move(slice);
+  }
+  /// Newest iteration with a slice from every PE; 0 when none (restart from
+  /// scratch).
+  [[nodiscard]] int last_complete() const {
+    int best = 0;
+    for (const auto& [t, slices] : snapshots) {
+      if (static_cast<int>(slices.size()) == n_pes && t > best) best = t;
+    }
+    return best;
+  }
+  [[nodiscard]] const std::vector<double>& slice(int t, int pe) const {
+    return snapshots.at(t).at(pe);
+  }
 };
 
 /// One PE's persistent block groups, split by role: `comm` groups run the
@@ -91,6 +126,12 @@ struct Program {
   std::function<ProgramGroups(int dev, vshmem::SignalSet* sig,
                               const IterationJoin& join)>
       groups;
+
+  /// Checkpoint hook (nullable): PE `pe`'s owned state at the end of
+  /// iteration `t`, read under the capture-safety window described on
+  /// CheckpointStore. Only consulted when the run's exec params configure a
+  /// checkpoint interval and store.
+  std::function<std::vector<double>(int pe, int t)> capture;
 };
 
 /// Composition knobs that belong to the run, not the workload shape.
@@ -102,6 +143,11 @@ struct ProgramExecParams {
   /// checker/hang reports can name the owning job. Must outlive the run.
   sim::JobMap* job_map = nullptr;
   std::string job_label;
+  /// Persistent compositions: snapshot every N iterations into
+  /// `checkpoint_store` via the program's capture hook (0 = off). The store
+  /// must outlive the run.
+  int checkpoint_every = 0;
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 /// Runs `program` under `plan`, driving the machine to completion. Throws

@@ -263,6 +263,38 @@ sim::Task signaled_step(const SlabProgram& P, const Plan& plan,
   co_await end_host_step(h, plan.sync, streams);
 }
 
+/// Loop-top hard-fault check for one persistent group: declares the
+/// counter-based device death the first time any resident group reaches the
+/// kill iteration (publishing the incident and the job-level verdict), and
+/// reports whether the group must skip iteration `t`'s work. A skipping
+/// group still runs the per-iteration join — every barrier keeps seeing all
+/// parties (skip-join), so aborted kernels drain cooperatively instead of
+/// stranding survivors, and the launch retires through the normal path.
+bool hard_skip_at(vshmem::World& w, vgpu::KernelCtx& k, int t) {
+  fault::Schedule& faults = w.machine().faults();
+  if (!faults.hard_enabled()) return false;
+  const int dev = k.device_id();
+  if (faults.note_device_iteration(dev, t, k.engine().now())) {
+    std::string line = "hard-fault: device ";
+    line += std::to_string(dev);
+    line += " declared dead at iteration ";
+    line += std::to_string(t);
+    k.engine().note_incident(std::move(line));
+    if (sim::Observer* o = k.engine().observer()) {
+      o->on_fault(k.obs_actor(), "device-dead", "persistent_loop");
+    }
+    std::string why = "device ";
+    why += std::to_string(dev);
+    why += " declared dead";
+    w.hard_stop(std::move(why));
+  }
+  // device_dead() (not just device_dead_at) also catches a death declared
+  // by ANOTHER tenant's kernel resident on this device — iteration counters
+  // differ across jobs, but a fail-stopped device is dead for everyone.
+  return w.hard_stopped() || faults.device_dead(dev) ||
+         faults.device_dead_at(dev, t);
+}
+
 /// The comm TB group of a persistent composition: wait for the neighbour's
 /// halo, compute my boundary slab, commit it with a signaled put (Listing
 /// 4.1 a/b). `end_iteration` is the composition's per-step join: grid_sync
@@ -283,26 +315,35 @@ std::function<sim::Task(vgpu::KernelCtx&)> make_comm_group(
     const auto wait_flag = cpufree::HaloPlan1D::my_ready_flag(top_side);
     const auto dest_flag = cpufree::HaloPlan1D::ready_flag_at_neighbor(top_side);
     for (int t = 1; t <= prm.iterations; ++t) {
-      if (has_neighbor) {
-        // 1. Wait for the neighbour's halo of the previous step.
-        co_await proto.wait_iteration(k, wait_flag, t);
-        // The halo read is only safe AFTER that wait: publish it here so a
-        // protocol that skips the wait is flagged.
-        if (k.engine().observer() != nullptr) {
-          observe_boundary_update(P, k, dev, top_side, t);
+      if (has_neighbor && !hard_skip_at(w, k, t)) {
+        // 1. Wait for the neighbour's halo of the previous step. Under a
+        // hard-fault plane the wait is watchdog-guarded: a dead neighbour
+        // turns it into a job-level abort instead of a wedge.
+        bool aborted = false;
+        co_await proto.wait_iteration_abortable(k, wait_flag, t, &aborted);
+        if (!aborted) {
+          // The halo read is only safe AFTER that wait: publish it here so a
+          // protocol that skips the wait is flagged.
+          if (k.engine().observer() != nullptr) {
+            observe_boundary_update(P, k, dev, top_side, t);
+          }
+          // 2. Compute my boundary slab.
+          auto fnl = P.update_body(dev, t, slab, slab + 1);
+          std::function<void()> f = std::move(fnl);
+          co_await k.compute(P.compute_bytes(1.0), bshare, "boundary",
+                             std::move(f));
+          // 3+4. Commit it into the neighbour's halo and signal t+1.
+          co_await proto.put_and_signal(
+              k, P.buffer(t & 1), P.send_offset(dev, top_side),
+              P.recv_offset(neighbor, top_side), P.plane, dest_flag, t + 1,
+              neighbor, prm.comm_scope);
         }
-        // 2. Compute my boundary slab.
-        auto fnl = P.update_body(dev, t, slab, slab + 1);
-        std::function<void()> f = std::move(fnl);
-        co_await k.compute(P.compute_bytes(1.0), bshare, "boundary",
-                           std::move(f));
-        // 3+4. Commit it into the neighbour's halo and signal t+1.
-        co_await proto.put_and_signal(
-            k, P.buffer(t & 1), P.send_offset(dev, top_side),
-            P.recv_offset(neighbor, top_side), P.plane, dest_flag, t + 1,
-            neighbor, prm.comm_scope);
+      } else if (!has_neighbor) {
+        // End PEs still participate in death declaration / skip decisions.
+        (void)hard_skip_at(w, k, t);
       }
-      // 5. Join before the next iteration (policy-specific).
+      // 5. Join before the next iteration (policy-specific) — even on
+      // skipped iterations, so every barrier sees all parties.
       CO_AWAIT(end_iteration(k, top_side, t));
     }
   };
@@ -318,12 +359,15 @@ std::function<sim::Task(vgpu::KernelCtx&)> make_inner_group(
           end_iteration = std::move(end_iteration)](
              vgpu::KernelCtx& k) -> sim::Task {
     for (int t = 1; t <= iterations; ++t) {
-      auto fnl = P.update_body(dev, t, 2, rows);
-      std::function<void()> f = std::move(fnl);
-      const double bytes =
-          P.compute_bytes(inner_slabs) * im.traffic_factor /
-          im.tiling_efficiency;
-      co_await k.compute(bytes, ishare, "inner", std::move(f));
+      if (!hard_skip_at(*P.world, k, t)) {
+        auto fnl = P.update_body(dev, t, 2, rows);
+        std::function<void()> f = std::move(fnl);
+        const double bytes =
+            P.compute_bytes(inner_slabs) * im.traffic_factor /
+            im.tiling_efficiency;
+        co_await k.compute(bytes, ishare, "inner", std::move(f));
+      }
+      // Skip-join: the per-iteration join runs unconditionally.
       CO_AWAIT(end_iteration(k, t));
     }
   };
@@ -438,6 +482,15 @@ Program make_slab_program(const SlabProgram& program, const Plan& plan,
                                     const IterationJoin& join) {
     return build_slab_groups(program, params, dev, sigp, join);
   };
+  // Checkpoint capture: PE `pe`'s owned interior rows 1..rows of the parity
+  // buffer iteration t wrote. Stable at the capture point: iteration t+1
+  // writes the opposite parity and remote puts only touch the halo rows.
+  prog.capture = [&program](int pe, int t) {
+    const std::size_t rows = program.rows(pe);
+    auto span = program.buffer(t & 1).on(pe).subspan(program.plane,
+                                                     rows * program.plane);
+    return std::vector<double>(span.begin(), span.end());
+  };
   return prog;
 }
 
@@ -447,6 +500,8 @@ ProgramExecParams make_exec_params(const SlabExecParams& params) {
   prm.threads_per_block = params.threads_per_block;
   prm.job_map = params.job_map;
   prm.job_label = params.job_label;
+  prm.checkpoint_every = params.checkpoint_every;
+  prm.checkpoint_store = params.checkpoint_store;
   return prm;
 }
 

@@ -21,6 +21,8 @@
 
 namespace exec {
 
+struct CheckpointStore;  // exec/program.hpp
+
 /// Type-erased view of a slab-decomposed iterative problem: geometry, cost
 /// helpers and functional bodies. All hooks must stay valid for the run.
 struct SlabProgram {
@@ -77,6 +79,11 @@ struct SlabExecParams {
   /// checker/hang reports can name the owning job. Must outlive the run.
   sim::JobMap* job_map = nullptr;
   std::string job_label;
+  /// Persistent compositions: snapshot each PE's owned interior every N
+  /// iterations into `checkpoint_store` (0 = off). The store must outlive
+  /// the run; see exec::CheckpointStore for the determinism contract.
+  int checkpoint_every = 0;
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 /// Runs `program` under `plan`. Throws std::invalid_argument for plans that

@@ -26,12 +26,27 @@
 //   4. The observer only *sees* injections (on_fault); it is never
 //      consulted, so attaching check::Detector cannot change the schedule.
 //   5. Under the sharded engine (--pdes-threads > 1) consult counters stay
-//      pure: a fault-enabled Machine demands lockstep rounds
-//      (Engine::require_lockstep), so every consult happens in global
-//      (time, shard, seq) order exactly as in the serial engine — the same
-//      seed produces the same injections for every thread count. Shadows
-//      written at issue time and read by remote watchdogs are zero-latency
-//      cross-shard couplings, which is why wide windows are off the table.
+//      pure: a Machine whose enabled class mask touches the signal shadows
+//      (signal/put classes), or whose config lists hard faults, demands
+//      lockstep rounds (Engine::require_lockstep), so every consult happens
+//      in global (time, shard, seq) order exactly as in the serial engine —
+//      the same seed produces the same injections for every thread count.
+//      Shadows written at issue time and read by remote watchdogs — and the
+//      dead-device set read at delivery time — are zero-latency cross-shard
+//      couplings, which is why wide windows are off the table for them.
+//      Window-only masks (link/flap/stall) are pure functions of simulated
+//      time and shard freely.
+//
+// Hard (fail-stop) faults are configured as an explicit list (Config::hard),
+// not as a rate: each entry kills one device after it completes a given
+// number of persistent-kernel iterations, or one directed link after a given
+// number of transfer crossings. Both triggers are counter-based, so the same
+// spec kills the same component at the same simulated instant for every
+// thread count. Death is permanent: payloads to/from a dead component are
+// blackholed (the wire still completes so quiet() drains), kernels launched
+// on a dead device retire immediately, and the wait-side protocol escalates
+// a starved watchdog into a job-level verdict (see cpufree::IterationProtocol
+// and serve::Server).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +54,7 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -85,7 +101,33 @@ enum : std::uint32_t {
   kClassSignalDelay = 1u << 4,  ///< signal delivery postponed
   kClassPutDrop = 1u << 5,      ///< put payload never lands
   kClassPutDup = 1u << 6,       ///< put payload lands twice
+  /// All *transient* classes (what a bare --faults rate draws from).
   kClassAll = (1u << 7) - 1,
+  /// Permanent fail-stop classes. Never part of kClassAll: they fire from
+  /// the explicit Config::hard list, not from the rate, and must be opted
+  /// into by mask so a rate-only config can never kill hardware.
+  kClassDeviceDead = 1u << 7,   ///< device fail-stop (Config::hard entries)
+  kClassLinkDead = 1u << 8,     ///< link fail-stop (Config::hard entries)
+  /// Classes whose injection or recovery reads the SignalShadow plane (a
+  /// zero-latency cross-shard coupling): these demand lockstep rounds under
+  /// --pdes-threads. Window-shaped classes (link/flap/stall) are pure in
+  /// simulated time and do not.
+  kClassSignalCoupled =
+      kClassSignalLost | kClassSignalDelay | kClassPutDrop | kClassPutDup,
+};
+
+/// One permanent fail-stop event. Device deaths trigger on an iteration
+/// counter (the device dies at the top of persistent-kernel iteration `at`
+/// of whichever resident kernel first reaches it — it completes 1..at-1 and
+/// never executes `at`). Link deaths trigger on a transfer-crossing counter
+/// of the directed (src, dst) device pair.
+struct HardFault {
+  enum class Kind : std::uint8_t { kDevice, kLink };
+  Kind kind = Kind::kDevice;
+  int device = -1;         ///< kDevice: the device to kill
+  int src = -1;            ///< kLink: source endpoint device
+  int dst = -1;            ///< kLink: destination endpoint device
+  std::int64_t at = 1;     ///< kDevice: iteration index; kLink: crossing count
 };
 
 /// Everything a Schedule needs to decide and price faults. rate == 0 means
@@ -104,7 +146,24 @@ struct Config {
   sim::Nanos fault_window = sim::usec(400);  ///< degradation window length
   sim::Nanos signal_delay = sim::usec(150);  ///< kSignalDelay postponement
 
+  /// Permanent fail-stop events (independent of `rate`; each entry is live
+  /// only while its class bit — kClassDeviceDead / kClassLinkDead — is set).
+  std::vector<HardFault> hard;
+
   [[nodiscard]] bool enabled() const noexcept { return rate > 0.0; }
+
+  /// True iff any hard-fault entry is active under the class mask. Note
+  /// this is independent of enabled(): a config may kill hardware without
+  /// injecting any transient faults (rate == 0).
+  [[nodiscard]] bool hard_enabled() const noexcept {
+    for (const HardFault& h : hard) {
+      const std::uint32_t c = h.kind == HardFault::Kind::kDevice
+                                  ? kClassDeviceDead
+                                  : kClassLinkDead;
+      if ((classes & c) != 0) return true;
+    }
+    return false;
+  }
 };
 
 /// Counters surfaced into cpufree::RunMetrics (cpufree-bench-v1 JSON).
@@ -113,6 +172,8 @@ struct Stats {
   std::int64_t retries = 0;         ///< recovery re-issues
   std::int64_t watchdog_fires = 0;  ///< timed waits that expired
   std::int64_t degraded_iters = 0;  ///< iterations completed degraded
+  std::int64_t devices_dead = 0;    ///< permanent device deaths fired
+  std::int64_t links_dead = 0;      ///< permanent link deaths fired
 };
 
 /// Injection-site classes; combined with a site-local id (link index, device
@@ -139,6 +200,73 @@ class Schedule {
   [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled(); }
   [[nodiscard]] bool has_class(std::uint32_t c) const noexcept {
     return enabled() && (cfg_.classes & c) != 0;
+  }
+
+  /// True iff the transient class mask touches the SignalShadow plane (the
+  /// zero-latency coupling that demands lockstep under --pdes-threads).
+  /// Window-only masks (link/flap/stall) return false and shard freely.
+  [[nodiscard]] bool signal_coupled() const noexcept {
+    return has_class(kClassSignalCoupled);
+  }
+
+  /// True iff any permanent fail-stop entry is active (independent of the
+  /// transient rate). Gates every hard-fault branch: when false, no timed
+  /// waits are armed and no death state is ever consulted, keeping the
+  /// no-hard-faults path byte-identical to builds without the plane.
+  [[nodiscard]] bool hard_enabled() const noexcept {
+    return cfg_.hard_enabled();
+  }
+
+  // --- Permanent device death -------------------------------------------
+  // Trigger and state are split so callers in the persistent-kernel loop
+  // can make schedule-order-independent decisions: device_dead_at() is a
+  // pure function of (device, iteration) and config, identical for every
+  // group of a device at the same loop top; note_device_iteration()
+  // performs the stateful transition (death time, stats) exactly once.
+
+  /// Pure: would `device` be dead at the top of iteration `iter`?
+  [[nodiscard]] bool device_dead_at(int device, std::int64_t iter) const;
+
+  /// Stateful transition: `device` reached the top of iteration `iter` at
+  /// simulated time `now`. Returns true exactly once per device — at the
+  /// first consult at/after its kill point — so the caller can publish the
+  /// death (engine incident, observer on_fault) without duplicates.
+  [[nodiscard]] bool note_device_iteration(int device, std::int64_t iter,
+                                           sim::Nanos now);
+
+  /// Current death state (set by note_device_iteration).
+  [[nodiscard]] bool device_dead(int device) const {
+    return dead_devices_.count(device) != 0;
+  }
+  [[nodiscard]] bool any_device_dead() const noexcept {
+    return !dead_devices_.empty();
+  }
+  /// Devices currently declared dead (iteration order = device id order).
+  [[nodiscard]] const std::map<int, sim::Nanos>& dead_devices() const {
+    return dead_devices_;
+  }
+  /// Kill iteration K of `device`'s hard-fault entry (for lost/replayed-
+  /// iteration accounting); -1 when no entry targets it.
+  [[nodiscard]] std::int64_t device_kill_iteration(int device) const;
+
+  // --- Permanent link death ---------------------------------------------
+
+  [[nodiscard]] bool has_hard_links() const;
+
+  /// Stateful: one transfer crossed the directed (src, dst) device pair at
+  /// `now`. Returns true exactly once — when the crossing counter reaches a
+  /// matching entry's kill point.
+  [[nodiscard]] bool note_link_crossing(int src, int dst, sim::Nanos now);
+
+  [[nodiscard]] bool link_dead(int src, int dst) const {
+    return dead_links_.count({src, dst}) != 0;
+  }
+
+  /// True iff a delivery from `src` to `dst` must be blackholed: either
+  /// endpoint device is dead, or the directed link between them is.
+  [[nodiscard]] bool delivery_blackholed(int src, int dst) const {
+    if (dead_devices_.empty() && dead_links_.empty()) return false;
+    return device_dead(src) || device_dead(dst) || link_dead(src, dst);
   }
 
   [[nodiscard]] Stats& stats() noexcept { return stats_; }
@@ -189,6 +317,11 @@ class Schedule {
   // (site, id) -> last window already counted/published
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> seen_;
   std::set<int> degraded_;
+  // Fail-stop state: device -> death time; (src, dst) -> death time;
+  // (src, dst) -> crossings so far (only tracked while hard links exist).
+  std::map<int, sim::Nanos> dead_devices_;
+  std::map<std::pair<int, int>, sim::Nanos> dead_links_;
+  std::map<std::pair<int, int>, std::int64_t> crossings_;
 };
 
 }  // namespace fault

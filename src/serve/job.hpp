@@ -62,6 +62,11 @@ struct JobSpec {
   /// Faulty tenant: this job's world keeps put/signal-class fault injection
   /// enabled while every clean tenant's world has it gated off.
   bool faulty = false;
+  /// Checkpoint interval under the hard-fault plane (stencil jobs only):
+  /// snapshot the job's state every N iterations so a device death can be
+  /// recovered by restarting from the last complete snapshot. 0 = no
+  /// checkpointing — an aborted job is lost.
+  int checkpoint_every = 0;
 };
 
 struct JobOutcome {
@@ -78,8 +83,29 @@ struct JobOutcome {
   /// Workload-specific one-liner ("32 iters, rr 1.2e-11") or reject reason.
   std::string detail;
 
+  // --- Failover bookkeeping (hard-fault runs) ------------------------------
+  /// Admission attempts that actually started running (1 = no failover).
+  int attempts = 1;
+  /// Aborted with no recovery path (no checkpointing, or no feasible
+  /// placement on the surviving devices).
+  bool lost = false;
+  /// Checkpoint iteration the last restart resumed from (-1 = never
+  /// restarted; 0 = restarted from scratch).
+  int restarted_from = -1;
+  sim::Nanos aborted_at = 0;  ///< when the first abort was observed
+  sim::Nanos resumed_at = 0;  ///< when the recovery attempt started running
+  /// Completed iterations the failure destroyed (kill point back to the
+  /// restored checkpoint).
+  long long lost_iterations = 0;
+  /// Iterations the recovery attempt re-executed (checkpoint to the end).
+  long long replayed_iterations = 0;
+
   [[nodiscard]] sim::Nanos queue_wait() const { return admit - arrival; }
   [[nodiscard]] sim::Nanos makespan() const { return end - admit; }
+  /// Abort-to-restart latency of the recovery (0 without a failover).
+  [[nodiscard]] sim::Nanos recovery_latency() const {
+    return resumed_at > aborted_at ? resumed_at - aborted_at : 0;
+  }
 };
 
 /// One job's full story, including the isolated-run comparison.
@@ -107,11 +133,29 @@ struct FleetMetrics {
   double jain_fairness = 1.0;
   /// Simulated time from first arrival to the last job's completion.
   double fleet_makespan_us = 0.0;
+
+  // --- Failure / recovery (hard-fault runs) --------------------------------
+  int failovers = 0;  ///< aborted jobs successfully re-admitted
+  int jobs_lost = 0;  ///< aborted jobs with no recovery path
+  /// Jobs whose placement raced a device death between window selection and
+  /// launch and were re-queued instead of started.
+  int requeues = 0;
+  /// Mean abort-to-restart latency over the recovered jobs.
+  double mean_recovery_latency_us = 0.0;
+  long long lost_iterations = 0;
+  long long replayed_iterations = 0;
+  /// Useful iterations / executed iterations (useful + replayed + lost);
+  /// 1.0 on a failure-free run.
+  double goodput = 1.0;
 };
 
 struct ServeReport {
   std::vector<JobRecord> jobs;  // submission order
   FleetMetrics fleet;
+  /// The shared machine's attributed hang report when the run ended in a
+  /// deadlock (stuck waits with job labels, plus the engine incident log
+  /// naming dead hardware and evicted tenants). Empty on a clean drain.
+  std::string hang_report;
 };
 
 }  // namespace serve

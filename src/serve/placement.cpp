@@ -18,6 +18,7 @@ AdmissionController::AdmissionController(const vgpu::MachineSpec& spec,
   capacity_ = static_cast<long long>(spec_.device.max_threads_per_sm) *
               spec_.device.sm_count;
   free_.assign(static_cast<std::size_t>(spec_.num_devices), capacity_);
+  dead_.assign(static_cast<std::size_t>(spec_.num_devices), 0);
 }
 
 int AdmissionController::resolve_blocks(const JobSpec& spec) const {
@@ -26,7 +27,7 @@ int AdmissionController::resolve_blocks(const JobSpec& spec) const {
 }
 
 bool AdmissionController::feasible(const JobSpec& spec) const {
-  if (spec.devices < 1 || spec.devices > spec_.num_devices) return false;
+  if (spec.devices < 1 || spec.devices > alive_devices()) return false;
   const int blocks = resolve_blocks(spec);
   if (blocks <= 0) return false;
   const long long need =
@@ -40,13 +41,17 @@ std::optional<Placement> AdmissionController::try_place(const JobSpec& spec) {
       static_cast<long long>(blocks) * spec.threads_per_block;
   const int n = static_cast<int>(free_.size());
   const int width = spec.devices;
-  if (blocks <= 0 || width < 1 || width > n || need > capacity_) {
+  if (blocks <= 0 || width < 1 || width > alive_devices() ||
+      need > capacity_) {
     return std::nullopt;
   }
 
   auto window_fits = [&](int start) {
     for (int d = start; d < start + width; ++d) {
-      if (free_[static_cast<std::size_t>(d)] < need) return false;
+      if (dead_[static_cast<std::size_t>(d)] != 0 ||
+          free_[static_cast<std::size_t>(d)] < need) {
+        return false;
+      }
     }
     return true;
   };
@@ -85,7 +90,10 @@ std::optional<Placement> AdmissionController::try_place(const JobSpec& spec) {
     // No contiguous window: scatter over the lowest-indexed devices that
     // still fit (multi-node routes pay the NIC, but the job keeps flowing).
     for (int d = 0; d < n && static_cast<int>(p.devices.size()) < width; ++d) {
-      if (free_[static_cast<std::size_t>(d)] >= need) p.devices.push_back(d);
+      if (dead_[static_cast<std::size_t>(d)] == 0 &&
+          free_[static_cast<std::size_t>(d)] >= need) {
+        p.devices.push_back(d);
+      }
     }
     if (static_cast<int>(p.devices.size()) < width) return std::nullopt;
   }
@@ -97,6 +105,22 @@ void AdmissionController::release(const Placement& p) {
   for (int d : p.devices) {
     free_[static_cast<std::size_t>(d)] += p.threads_per_device;
   }
+}
+
+void AdmissionController::mark_device_dead(int device) {
+  dead_.at(static_cast<std::size_t>(device)) = 1;
+}
+
+bool AdmissionController::device_dead(int device) const {
+  return dead_.at(static_cast<std::size_t>(device)) != 0;
+}
+
+int AdmissionController::alive_devices() const {
+  int n = 0;
+  for (char d : dead_) {
+    if (d == 0) ++n;
+  }
+  return n;
 }
 
 long long AdmissionController::free_threads(int device) const {

@@ -58,6 +58,15 @@ class AdmissionController {
   /// Returns a finished job's capacity.
   void release(const Placement& p);
 
+  /// Fences a fail-stopped device off from ALL future placements (feasible,
+  /// contiguous windows and the scattered fallback). Idempotent; capacity a
+  /// dying job releases back to a dead device is simply never handed out
+  /// again.
+  void mark_device_dead(int device);
+  [[nodiscard]] bool device_dead(int device) const;
+  /// Devices still accepting placements.
+  [[nodiscard]] int alive_devices() const;
+
   /// Free resident-thread capacity on `device` (tests / introspection).
   [[nodiscard]] long long free_threads(int device) const;
   [[nodiscard]] long long device_capacity() const { return capacity_; }
@@ -67,6 +76,7 @@ class AdmissionController {
   PlacePolicy policy_;
   long long capacity_ = 0;        // resident threads per device
   std::vector<long long> free_;   // per-device free resident threads
+  std::vector<char> dead_;        // fail-stopped devices (never placed again)
 };
 
 }  // namespace serve

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -22,6 +23,8 @@ struct JobState {
   std::string label;
   Placement place;
   std::unique_ptr<Workload> work;
+  /// Restart seed carried between a job's abort and its recovery attempt.
+  ResumeState resume;
 };
 
 std::string job_label(const JobSpec& spec) {
@@ -59,6 +62,9 @@ class Server {
       JobState st;
       st.label = job_label(j);
       st.spec = std::move(j);
+      if (cfg.checkpoint_every > 0 && st.spec.checkpoint_every == 0) {
+        st.spec.checkpoint_every = cfg.checkpoint_every;
+      }
       jobs_.push_back(std::move(st));
     }
     arrivals_ = arrival_times(cfg.arrival, static_cast<int>(jobs_.size()));
@@ -68,10 +74,12 @@ class Server {
     machine_.engine().spawn(dispatcher());
     try {
       machine_.engine().run();
-    } catch (const sim::DeadlockError&) {
+    } catch (const sim::DeadlockError& e) {
       // The engine already published its attributed hang report (stuck
-      // actors carry job labels via the job map). Jobs that never reached
-      // their end keep completed=false below.
+      // actors carry job labels via the job map, and the incident log names
+      // dead hardware and evicted tenants). Jobs that never reached their
+      // end keep completed=false below.
+      hang_report_ = e.what();
     }
     return report();
   }
@@ -106,6 +114,14 @@ class Server {
     while (!queue_.empty()) {
       if (max_running_ > 0 && running_ >= max_running_) break;
       const std::size_t i = queue_.front();
+      if (machine_.faults().hard_enabled() &&
+          !admit_.feasible(jobs_[i].spec)) {
+        // The fleet shrank under the queue: a head that can never place
+        // again must not wedge FIFO admission forever.
+        mark_lost(jobs_[i], "lost: no feasible placement on surviving devices");
+        queue_.pop_front();
+        continue;
+      }
       auto p = admit_.try_place(jobs_[i].spec);
       if (!p) break;
       queue_.pop_front();
@@ -115,14 +131,76 @@ class Server {
     }
   }
 
+  /// Attempt-qualified world/stream label, so checker and hang reports can
+  /// tell a recovery run from the original.
+  std::string attempt_label(const JobState& js) const {
+    std::string l = js.label;
+    if (js.out.attempts > 1) {
+      l += "#a";
+      l += std::to_string(js.out.attempts);
+    }
+    return l;
+  }
+
+  /// Mirrors the fault plane's fail-stop verdicts into the admission
+  /// controller so future placements avoid dead devices.
+  void sync_dead_devices() {
+    if (!machine_.faults().hard_enabled()) return;
+    for (const auto& kv : machine_.faults().dead_devices()) {
+      admit_.mark_device_dead(kv.first);
+    }
+  }
+
+  void mark_lost(JobState& js, std::string why) {
+    js.out.end = eng().now();
+    js.out.lost = true;
+    js.out.completed = false;
+    js.out.detail = std::move(why);
+  }
+
   sim::Task run_job(std::size_t i) {
     JobState& js = jobs_[i];
-    js.out.admitted = true;
-    js.out.admit = eng().now();
+    // A device can die between window selection and stream creation (the
+    // placement raced the failure): re-check before anything is built and
+    // re-queue at the HEAD — the job never started, so it keeps its FIFO
+    // position and is neither wedged nor double-counted as admitted.
+    if (machine_.faults().hard_enabled()) {
+      sync_dead_devices();
+      bool hit = false;
+      for (int d : js.place.devices) {
+        if (machine_.faults().device_dead(d)) hit = true;
+      }
+      if (hit) {
+        admit_.release(js.place);
+        ++requeues_;
+        if (admit_.feasible(js.spec)) {
+          queue_.push_front(i);
+        } else {
+          mark_lost(js,
+                    "lost: placement raced a device death and no feasible "
+                    "placement survives");
+        }
+        --running_;
+        try_admit();
+        co_return;
+      }
+    }
+    if (!js.out.admitted) {
+      js.out.admitted = true;
+      js.out.admit = eng().now();
+    } else if (js.out.attempts > 1 && js.out.resumed_at == 0) {
+      js.out.resumed_at = eng().now();
+    }
     js.out.first_device = js.place.devices.front();
     js.out.blocks_per_device = js.place.blocks_per_device;
-    js.work = make_workload(machine_, js.spec, js.place, js.label, &job_map_);
+    js.work = make_workload(machine_, js.spec, js.place, attempt_label(js),
+                            &job_map_,
+                            js.resume.iteration > 0 ? &js.resume : nullptr);
     co_await js.work->task();
+    if (js.work->aborted()) {
+      handle_abort(i);
+      co_return;
+    }
     js.out.end = eng().now();
     js.out.completed = true;
     js.out.verified = js.work->verify();
@@ -133,6 +211,61 @@ class Server {
     // Workloads are torn down with the server, after the engine drains.
     admit_.release(js.place);
     --running_;
+    try_admit();
+  }
+
+  /// Job-level failover. The aborted task already drained cooperatively
+  /// (dead groups skip-join to the end), so the slice can be released and
+  /// the job re-queued to restart from its newest complete checkpoint on
+  /// whatever devices survive.
+  void handle_abort(std::size_t i) {
+    JobState& js = jobs_[i];
+    if (js.out.aborted_at == 0) js.out.aborted_at = eng().now();
+    sync_dead_devices();
+    admit_.release(js.place);
+    --running_;
+    // Keep the dead attempt's workload (and its World) alive until the
+    // server tears down: in-flight nbi puts' completion callbacks touch it.
+    Workload* w = js.work.get();
+    graveyard_.push_back(std::move(js.work));
+
+    // Progress the failure destroyed: everything past the checkpoint the
+    // recovery will restore (or everything, when nothing can be restored).
+    // The kill iteration K means iterations 1..K-1 committed on the dying
+    // device; link deaths carry no per-device iteration, so count 0.
+    std::int64_t progress = 0;
+    for (int d : js.place.devices) {
+      const std::int64_t k = machine_.faults().device_kill_iteration(d);
+      if (k > 0 && k - 1 > progress) progress = k - 1;
+    }
+    std::string reason = w->abort_reason();
+    if (!w->restartable()) {
+      js.out.lost_iterations += progress;
+      std::string d = "lost: ";
+      d += reason;
+      d += "; no checkpointing configured";
+      mark_lost(js, std::move(d));
+      try_admit();
+      return;
+    }
+    if (!admit_.feasible(js.spec)) {
+      js.out.lost_iterations += progress;
+      std::string d = "lost: ";
+      d += reason;
+      d += "; no feasible placement on surviving devices";
+      mark_lost(js, std::move(d));
+      try_admit();
+      return;
+    }
+    const int from = w->resume_iteration();
+    js.resume.iteration = from;
+    js.resume.state =
+        from > 0 ? w->resume_state() : std::vector<double>{};
+    js.out.restarted_from = from;
+    if (progress > from) js.out.lost_iterations += progress - from;
+    js.out.replayed_iterations += js.spec.iterations - from;
+    ++js.out.attempts;
+    queue_.push_back(i);
     try_admit();
   }
 
@@ -184,10 +317,15 @@ class Server {
     ServeReport rep;
     rep.fleet.jobs = static_cast<int>(jobs_.size());
     rep.fleet.fleet_makespan_us = sim::to_usec(eng().now());
+    rep.fleet.requeues = requeues_;
+    rep.hang_report = hang_report_;
     double wait_sum = 0.0;
     int admitted = 0;
     double sd_sum = 0.0, sd_sq = 0.0;
     int sd_n = 0;
+    long long useful = 0;
+    double rec_sum = 0.0;
+    int rec_n = 0;
     for (JobState& js : jobs_) {
       JobRecord rec;
       rec.spec = js.spec;
@@ -219,6 +357,15 @@ class Server {
           }
         }
       }
+      rep.fleet.failovers += js.out.attempts - 1;
+      if (js.out.lost) ++rep.fleet.jobs_lost;
+      rep.fleet.lost_iterations += js.out.lost_iterations;
+      rep.fleet.replayed_iterations += js.out.replayed_iterations;
+      if (js.out.resumed_at > 0) {
+        rec_sum += sim::to_usec(js.out.recovery_latency());
+        ++rec_n;
+      }
+      if (js.out.completed && js.out.verified) useful += js.spec.iterations;
       rep.jobs.push_back(std::move(rec));
     }
     if (admitted > 0) rep.fleet.mean_queue_wait_us = wait_sum / admitted;
@@ -227,6 +374,14 @@ class Server {
       rep.fleet.jain_fairness =
           sd_sq > 0.0 ? (sd_sum * sd_sum) / (sd_n * sd_sq) : 1.0;
     }
+    if (rec_n > 0) rep.fleet.mean_recovery_latency_us = rec_sum / rec_n;
+    // Exact executed-iteration accounting: a recovered job re-runs exactly
+    // what the failure destroyed on top of its useful length, so executed
+    // work = useful + lost (lost jobs contribute only lost work).
+    const long long executed = useful + rep.fleet.lost_iterations;
+    rep.fleet.goodput = executed > 0 ? static_cast<double>(useful) /
+                                           static_cast<double>(executed)
+                                     : 1.0;
     return rep;
   }
 
@@ -238,6 +393,10 @@ class Server {
   std::vector<sim::Nanos> arrivals_;
   std::deque<std::size_t> queue_;
   std::map<std::string, sim::Nanos> isolated_cache_;
+  /// Aborted attempts' workloads, kept alive until the engine drains.
+  std::deque<std::unique_ptr<Workload>> graveyard_;
+  std::string hang_report_;
+  int requeues_ = 0;
   int running_ = 0;
   int max_running_ = 0;  // 0 = unbounded (open loop)
 };

@@ -40,6 +40,11 @@ struct ServeConfig {
   /// check::Detector is additionally wired to the server's job map so its
   /// findings carry job labels.
   sim::Observer* observer = nullptr;
+  /// Fleet-wide checkpoint interval, applied to every checkpoint-capable
+  /// job that does not set its own JobSpec::checkpoint_every: snapshot
+  /// state every N iterations so a fail-stopped device costs at most N-1
+  /// iterations of progress (0 = no checkpointing; an aborted job is lost).
+  int checkpoint_every = 0;
 };
 
 /// Runs `jobs` (submission order = arrival order) to completion and returns

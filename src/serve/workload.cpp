@@ -1,10 +1,14 @@
 #include "serve/workload.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "dacelite/exec.hpp"
 #include "dacelite/frontend.hpp"
 #include "dacelite/pass.hpp"
+#include "exec/program.hpp"
 #include "exec/slab.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/sparse_cg.hpp"
@@ -19,22 +23,40 @@ namespace serve {
 namespace {
 
 /// CPU-Free Jacobi2D on a device slice: the standard SlabStencil packaged
-/// through the exec layer's spawnable persistent driver.
+/// through the exec layer's spawnable persistent driver. The only
+/// checkpoint-capable kind: under the hard-fault plane it snapshots its
+/// state every spec.checkpoint_every iterations and can restart a later
+/// attempt from the newest complete snapshot, running only the remaining
+/// iterations — bitwise-identical to the unfailed run (Jacobi is a pure
+/// function of the previous state, and load_state() seeds both parities the
+/// way init() does).
 class StencilWorkload final : public Workload {
  public:
   StencilWorkload(vgpu::Machine& machine, const JobSpec& spec,
                   const Placement& place, const std::string& label,
-                  sim::JobMap* job_map)
+                  sim::JobMap* job_map, const ResumeState* resume)
       : world_(machine, place.devices, label),
         prob_(make_prob(spec)),
-        S_(world_, prob_, make_cfg(spec, place)),
-        iters_(spec.iterations) {
+        start_iter_(resume ? resume->iteration : 0),
+        S_(world_, prob_, make_cfg(spec, place, start_iter_)),
+        store_(static_cast<int>(place.devices.size())),
+        iters_(spec.iterations),
+        checkpointing_(spec.checkpoint_every > 0) {
+    devices_ = place.devices;
     world_.set_fault_injection(spec.faulty);
+    if (start_iter_ > 0) {
+      seed_state_ = resume->state;
+      S_.load_state(seed_state_);
+    }
     // Same factory as the bench runner (run_variant); only the multi-tenant
     // attribution is layered on top.
     setup_ = stencil::make_slab_setup(S_, stencil::Variant::kCpuFree);
     setup_.params.job_map = job_map;
     setup_.params.job_label = label;
+    if (checkpointing_) {
+      setup_.params.checkpoint_every = spec.checkpoint_every;
+      setup_.params.checkpoint_store = &store_;
+    }
   }
 
   sim::Task task() override {
@@ -45,7 +67,10 @@ class StencilWorkload final : public Workload {
   }
 
   bool verify() override {
-    return S_.gather(iters_ & 1) == S_.reference(iters_);
+    // A restarted run executed iters_ - start_iter_ iterations, but must
+    // land bitwise on the full-run reference from the TRUE initial state.
+    const int run = iters_ - start_iter_;
+    return S_.gather(run & 1) == S_.reference(iters_);
   }
 
   std::string detail() const override {
@@ -56,7 +81,53 @@ class StencilWorkload final : public Workload {
     d += std::to_string(prob_.ny);
     d += " x";
     d += std::to_string(iters_);
+    if (start_iter_ > 0) {
+      d += " (resumed at ";
+      d += std::to_string(start_iter_);
+      d += ')';
+    }
     return d;
+  }
+
+  bool aborted() const override {
+    if (world_.hard_stopped()) return true;
+    // A slice device declared dead by ANOTHER tenant's kernel can retire
+    // this job's launches without ever tripping its own watchdogs (e.g. a
+    // single-device job whose launch was rejected outright).
+    const fault::Schedule& faults = machine_->faults();
+    if (!faults.hard_enabled()) return false;
+    for (int d : devices_) {
+      if (faults.device_dead(d)) return true;
+    }
+    return false;
+  }
+
+  std::string abort_reason() const override {
+    if (!world_.hard_stop_reason().empty()) return world_.hard_stop_reason();
+    return "device in slice declared dead";
+  }
+
+  bool restartable() const override { return checkpointing_; }
+
+  int resume_iteration() const override {
+    return start_iter_ + store_.last_complete();
+  }
+
+  std::vector<double> resume_state() const override {
+    const int t = store_.last_complete();
+    // No complete snapshot from THIS attempt: fall back to the state this
+    // attempt itself started from (empty when starting from scratch).
+    if (t == 0) return seed_state_;
+    // Per-PE owned interiors concatenated in PE order ARE the global state
+    // (the slab decomposition assigns contiguous global slabs to PEs).
+    std::vector<double> g(prob_.slabs() * prob_.plane());
+    std::ptrdiff_t off = 0;
+    for (int pe = 0; pe < static_cast<int>(devices_.size()); ++pe) {
+      const std::vector<double>& s = store_.slice(t, pe);
+      std::copy(s.begin(), s.end(), g.begin() + off);
+      off += static_cast<std::ptrdiff_t>(s.size());
+    }
+    return g;
   }
 
  private:
@@ -67,9 +138,10 @@ class StencilWorkload final : public Workload {
     return p;
   }
   static stencil::StencilConfig make_cfg(const JobSpec& spec,
-                                         const Placement& place) {
+                                         const Placement& place,
+                                         int start_iter) {
     stencil::StencilConfig cfg;
-    cfg.iterations = spec.iterations;
+    cfg.iterations = spec.iterations - start_iter;
     cfg.functional = true;
     cfg.trace = false;
     cfg.threads_per_block = spec.threads_per_block;
@@ -78,10 +150,16 @@ class StencilWorkload final : public Workload {
   }
 
   vshmem::World world_;
+  vgpu::Machine* machine_ = &world_.machine();
+  std::vector<int> devices_;
   stencil::Jacobi2D prob_;
+  int start_iter_;
   stencil::SlabStencil<stencil::Jacobi2D> S_;
+  exec::CheckpointStore store_;
   stencil::SlabSetup setup_;
+  std::vector<double> seed_state_;
   int iters_;
+  bool checkpointing_;
 };
 
 /// Device-converged CG on a device slice, verified bitwise against the
@@ -335,11 +413,12 @@ std::unique_ptr<Workload> make_workload(vgpu::Machine& machine,
                                         const JobSpec& spec,
                                         const Placement& place,
                                         const std::string& label,
-                                        sim::JobMap* job_map) {
+                                        sim::JobMap* job_map,
+                                        const ResumeState* resume) {
   switch (spec.kind) {
     case JobKind::kStencil:
       return std::make_unique<StencilWorkload>(machine, spec, place, label,
-                                               job_map);
+                                               job_map, resume);
     case JobKind::kCg:
       return std::make_unique<CgWorkload>(machine, spec, place, label,
                                           job_map);

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/job.hpp"
 #include "serve/placement.hpp"
@@ -19,6 +20,13 @@
 #include "vgpu/machine.hpp"
 
 namespace serve {
+
+/// Restart seed for a job recovered from a fail-stop: the newest complete
+/// checkpoint, assembled into the workload's global state layout.
+struct ResumeState {
+  int iteration = 0;          ///< global iteration the state represents
+  std::vector<double> state;  ///< assembled global state at `iteration`
+};
 
 class Workload {
  public:
@@ -34,6 +42,23 @@ class Workload {
 
   /// One-line result summary for the job record.
   [[nodiscard]] virtual std::string detail() const = 0;
+
+  /// Did the run abort under the hard-fault plane (a slice device or link
+  /// declared dead)? Only meaningful after task() completed — an aborted
+  /// persistent run still completes, because dead/aborted groups skip-join
+  /// through the remaining iterations instead of stranding barriers.
+  [[nodiscard]] virtual bool aborted() const { return false; }
+  [[nodiscard]] virtual std::string abort_reason() const { return {}; }
+
+  /// Can an aborted run of this workload be restarted from a checkpoint?
+  [[nodiscard]] virtual bool restartable() const { return false; }
+  /// Newest complete checkpoint iteration (global numbering; 0 = the run
+  /// must restart from scratch).
+  [[nodiscard]] virtual int resume_iteration() const { return 0; }
+  /// Assembled global state at resume_iteration() (empty when 0).
+  [[nodiscard]] virtual std::vector<double> resume_state() const {
+    return {};
+  }
 };
 
 /// Shape errors that would throw mid-run (stencil needs two slabs per
@@ -43,11 +68,13 @@ class Workload {
 
 /// Builds the adapter for `spec` on the carved `place`. The world slice is
 /// labeled `label` and every stream the launch creates is bound to `label`
-/// in `job_map` (when non-null) for checker/hang attribution.
-[[nodiscard]] std::unique_ptr<Workload> make_workload(vgpu::Machine& machine,
-                                                      const JobSpec& spec,
-                                                      const Placement& place,
-                                                      const std::string& label,
-                                                      sim::JobMap* job_map);
+/// in `job_map` (when non-null) for checker/hang attribution. A non-null
+/// `resume` with iteration > 0 restarts a checkpoint-capable workload from
+/// that state, running only the remaining iterations (kinds without restart
+/// support ignore it).
+[[nodiscard]] std::unique_ptr<Workload> make_workload(
+    vgpu::Machine& machine, const JobSpec& spec, const Placement& place,
+    const std::string& label, sim::JobMap* job_map,
+    const ResumeState* resume = nullptr);
 
 }  // namespace serve

@@ -189,7 +189,15 @@ void Engine::reap_finished() {
 
 void Engine::run() {
   if (core_ != nullptr) {
-    core_->run();
+    try {
+      core_->run();
+    } catch (const DeadlockError& e) {
+      // The sharded core composed its report from the per-shard wait
+      // registries; graft the incident log on so dead hardware is named.
+      const std::string inc = describe_incidents();
+      if (inc.empty()) throw;
+      throw DeadlockError(e.stuck_tasks, std::string(e.what()) + inc);
+    }
     return;
   }
   while (queue_.peek_live() != nullptr) {
@@ -224,6 +232,7 @@ void Engine::run() {
     // open-wait registry names stuck actors even without one.
     if (observer_ != nullptr) observer_->on_deadlock(live_roots_);
     std::string report = describe_open_waits();
+    report += describe_incidents();
     if (!report.empty()) {
       report = "simulation deadlock: " + std::to_string(live_roots_) +
                " task(s) blocked with an empty event queue" + report;
@@ -277,6 +286,15 @@ std::string Engine::describe_open_waits() const {
   std::string out;
   for (const auto& [token, site] : open_waits_) {
     out += describe_wait_site(site);
+  }
+  return out;
+}
+
+std::string Engine::describe_incidents() const {
+  std::string out;
+  for (const std::string& line : incidents_) {
+    out += "\n  incident: ";
+    out += line;
   }
   return out;
 }

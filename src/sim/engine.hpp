@@ -389,6 +389,27 @@ class Engine {
   /// sharded core's per-shard registries).
   [[nodiscard]] std::string describe_wait_site(const WaitSite& site) const;
 
+  // --- incident log (fail-stop attribution) --------------------------------
+  //
+  // Permanent events that change what the simulation can ever complete — a
+  // device declared dead, a link severed, a tenant evicted — are recorded
+  // here by the fault/serve layers. The log is appended to hang reports so
+  // a DeadlockError caused by dead hardware names the hardware, not just
+  // the starved waiters. Recording is attribution only: it never affects
+  // scheduling, and an empty log leaves every report byte-identical.
+
+  /// Appends one line to the incident log (chronological order — appends
+  /// happen in deterministic event order, lockstep when sharded).
+  void note_incident(std::string line) {
+    incidents_.push_back(std::move(line));
+  }
+  [[nodiscard]] const std::vector<std::string>& incidents() const noexcept {
+    return incidents_;
+  }
+
+  /// The incident log rendered for a hang report ("" when empty).
+  [[nodiscard]] std::string describe_incidents() const;
+
  private:
   friend struct Task::FinalAwaiter;
   friend class pdes::Core;
@@ -413,6 +434,7 @@ class Engine {
   std::map<WaitToken, WaitSite> open_waits_;
   std::map<const void*, std::string> flag_names_;
   std::uint64_t next_wait_token_ = 0;
+  std::vector<std::string> incidents_;
 
   void reap_finished();
   /// Routes a cancel notification to the queue holding the timer.

@@ -102,6 +102,34 @@ class SlabStencil {
     return [this, pe, iter, r0, r1] { update_range(pe, iter, r0, r1); };
   }
 
+  /// Overwrites BOTH parities (interior and in-range halo slabs) from a
+  /// global slabs-by-plane state vector — the checkpoint-restore entry
+  /// point. A run started from load_state(reference(t0)) reproduces the
+  /// unfailed run bitwise from iteration t0+1 on: Jacobi reads only the
+  /// previous parity, so seeding both parities (like init() does) is safe,
+  /// and halos are pre-filled exactly as the preset ready-flags expect.
+  void load_state(const std::vector<double>& global) {
+    if (!cfg_.functional) {
+      throw std::logic_error("load_state() requires a functional run");
+    }
+    if (global.size() != prob_.slabs() * plane()) {
+      throw std::invalid_argument("load_state: wrong state size");
+    }
+    for (int pe = 0; pe < n_pes(); ++pe) {
+      for (std::size_t r = 0; r <= rows(pe) + 1; ++r) {
+        const std::ptrdiff_t sg = static_cast<std::ptrdiff_t>(offset(pe)) +
+                                  static_cast<std::ptrdiff_t>(r) - 1;
+        if (sg < 0 || sg >= static_cast<std::ptrdiff_t>(prob_.slabs())) continue;
+        const auto src = std::span<const double>(global).subspan(
+            static_cast<std::size_t>(sg) * plane(), plane());
+        for (int parity = 0; parity < 2; ++parity) {
+          auto s = slab(pe, parity, r);
+          std::copy(src.begin(), src.end(), s.begin());
+        }
+      }
+    }
+  }
+
   // --- Halo geometry ---------------------------------------------------------
 
   [[nodiscard]] double halo_bytes() const {

@@ -161,6 +161,16 @@ sim::Task run_group(std::shared_ptr<KernelCtx> ctx,
 sim::Task run_kernel(Machine& machine, Device& device, int lane,
                      LaunchConfig config, std::vector<BlockGroup> groups) {
   const int blocks = total_blocks(groups);
+  if (machine.faults().hard_enabled() &&
+      machine.faults().device_dead(device.id())) {
+    // Fail-stop: a launch onto a declared-dead device retires immediately
+    // (the driver rejects it; the stream stays usable for bookkeeping).
+    // Not an exception — one dead tenant must not unwind the whole fleet.
+    machine.trace().record(sim::Cat::kKernel, device.id(), lane,
+                           machine.engine().now(), machine.engine().now(),
+                           std::string(config.name) + " [rejected: dead]");
+    co_return;
+  }
   if (config.cooperative) {
     const int limit = device.spec().max_cooperative_blocks(config.threads_per_block);
     if (blocks > limit) {

@@ -33,13 +33,16 @@ Machine::Machine(MachineSpec spec) : spec_(spec), faults_(spec_.faults) {
     engine_.enable_sharding(
         sim::pdes::ShardPlan::per_device(spec_.num_devices),
         spec_.pdes_threads, lookahead);
-    if (spec_.faults.enabled()) {
+    if (faults_.signal_coupled() || faults_.hard_enabled()) {
       // Resilience protocols write sender-side signal shadows at issue time
-      // and read them from receiver watchdogs — zero-latency cross-shard
-      // couplings no lookahead bound covers. Keep the sharded round
-      // algorithm (results stay identical for every thread count) but run
-      // single-worker rounds over width-1 windows, which restores global
-      // time order.
+      // and read them from receiver watchdogs, and the hard-fault plane's
+      // dead-component set is read at delivery time on remote shards —
+      // zero-latency cross-shard couplings no lookahead bound covers. Keep
+      // the sharded round algorithm (results stay identical for every
+      // thread count) but run single-worker rounds over width-1 windows,
+      // which restores global time order. Window-only transient masks
+      // (link/flap/stall) are pure functions of simulated time, touch no
+      // shadow, and therefore shard freely at full width.
       engine_.require_lockstep();
     }
   }
@@ -138,7 +141,28 @@ sim::Task Machine::transfer(int src, int dst, double bytes, TransferKind kind,
   // own trace row. Same-shard transfers keep the historical inline call.
   const bool cross = engine_.sharded() && engine_.shard_of_device(src) !=
                                               engine_.shard_of_device(dst);
-  auto finish = [obs_sink, op_id, wire, deliver = std::move(deliver)] {
+  if (faults_.hard_enabled() && faults_.has_hard_links() &&
+      faults_.note_link_crossing(src, dst, t0)) {
+    // Counter-based link fail-stop: this crossing reached the kill point.
+    std::string line = "hard-fault: link ";
+    line += std::to_string(src);
+    line += "->";
+    line += std::to_string(dst);
+    line += " declared dead";
+    engine_.note_incident(std::move(line));
+    if (sim::Observer* o = engine_.observer()) {
+      o->on_fault(wire, "link-dead", name);
+    }
+  }
+  auto finish = [this, src, dst, obs_sink, op_id, wire,
+                 deliver = std::move(deliver)] {
+    // Fail-stop rejection happens at the delivery instant: payloads and
+    // signals to/from a dead device (or across a dead link) are dropped,
+    // but the wire itself still completed, so sender-side quiet() drains
+    // and the source coroutine never wedges on its own transfer.
+    if (faults_.hard_enabled() && faults_.delivery_blackholed(src, dst)) {
+      return;
+    }
     if (obs_sink != nullptr) obs_sink->on_put_deliver(op_id, wire);
     if (deliver) deliver();
   };

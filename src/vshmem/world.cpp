@@ -43,6 +43,17 @@ World::World(vgpu::Machine& machine, std::vector<int> devices,
   }
 }
 
+void World::hard_stop(std::string reason) {
+  if (hard_stopped_) return;
+  hard_stopped_ = true;
+  hard_stop_reason_ = std::move(reason);
+  std::string line = "hard-fault: tenant ";
+  line += label_.empty() ? std::string("(whole machine)") : label_;
+  line += " evicted: ";
+  line += hard_stop_reason_;
+  machine_->engine().note_incident(std::move(line));
+}
+
 World::PutFaults World::roll_put_faults(vgpu::KernelCtx& ctx, int src_pe,
                                         int dst_pe, bool with_signal,
                                         std::string_view label) {
@@ -107,19 +118,21 @@ sim::Task World::run_nbi(sim::Task t, sim::Flag& completed) {
 void World::apply_signal(SignalSet& sig, std::size_t idx, std::int64_t value,
                          SignalOp op, int dst_pe, int src_pe) {
   sim::Flag& f = sig.at(dst_pe, idx);
-  if (op == SignalOp::kSet && machine_->faults().enabled()) {
+  if (op == SignalOp::kSet && machine_->faults().signal_coupled()) {
     // Bare kSet signals (ack / flow-control edges) are their own payload:
     // applying one advances the shadow watermark. Idempotent with the
-    // payload-side note_landed of a put-attached signal.
+    // payload-side note_landed of a put-attached signal. Only the
+    // signal-coupled classes reorder or drop sets, so only they need the
+    // shadow (and its lockstep schedule).
     sig.shadow(dst_pe, idx).note_landed(value);
   }
   if (op == SignalOp::kSet) {
-    // Under fault injection, delayed or retransmitted kSet signals can reach
-    // the destination out of order; the monotonic-counter protocols built on
-    // top (iteration signals) must not have a stale set rewind the flag and
-    // strand a waiter. With the fault plane inert, exact NVSHMEM set
+    // Under signal-coupled fault injection, delayed or retransmitted kSet
+    // signals can reach the destination out of order; the monotonic-counter
+    // protocols built on top (iteration signals) must not have a stale set
+    // rewind the flag and strand a waiter. Otherwise exact NVSHMEM set
     // semantics apply.
-    if (machine_->faults().enabled() && value < f.value()) {
+    if (machine_->faults().signal_coupled() && value < f.value()) {
       // stale retransmission: already superseded, drop it
     } else {
       f.set(value);

@@ -164,6 +164,19 @@ class World {
   void set_fault_injection(bool on) noexcept { inject_faults_ = on; }
   [[nodiscard]] bool fault_injection() const noexcept { return inject_faults_; }
 
+  /// Job-level fail-stop verdict. Set once a watchdog (or the launch path)
+  /// concludes a hard fault took out part of this world's slice; every slab
+  /// group checks it at its iteration top and skip-joins to the end, so the
+  /// surviving kernels drain cooperatively instead of wedging on a dead
+  /// peer. Idempotent — the first caller's reason wins and is published to
+  /// the engine incident log, which names the evicted tenant in hang
+  /// reports.
+  void hard_stop(std::string reason);
+  [[nodiscard]] bool hard_stopped() const noexcept { return hard_stopped_; }
+  [[nodiscard]] const std::string& hard_stop_reason() const noexcept {
+    return hard_stop_reason_;
+  }
+
   /// Timing-only switch: when false, data-movement ops charge full costs and
   /// apply signals, but skip the functional payload copies (so benchmark
   /// sweeps need not allocate or touch full-size domains). Default true.
@@ -346,6 +359,8 @@ class World {
   int n_pes_;
   bool functional_ = true;
   bool inject_faults_ = true;
+  bool hard_stopped_ = false;
+  std::string hard_stop_reason_;
   std::vector<int> devices_;  // PE index -> physical device
   std::vector<int> pe_of_;    // physical device -> PE index (-1 outside)
   std::string label_;
@@ -484,8 +499,10 @@ sim::Task World::putmem_signal_nbi(vgpu::KernelCtx& ctx, Sym<T>& arr,
     }
     // The payload is down even if the signal is about to be lost/postponed:
     // advance the shadow watermark here so a resilient waiter only re-pulls
-    // updates whose DATA is actually missing.
-    if (self->machine_->faults().enabled()) {
+    // updates whose DATA is actually missing. Shadows exist for the
+    // signal-coupled classes only; window/hard masks never consult them, so
+    // skipping the write keeps those runs free of cross-shard state.
+    if (self->machine_->faults().signal_coupled()) {
       sigp->shadow(dst_pe, sig_idx).note_landed(sig_val);
     }
     if (pf.lose_signal) return;

@@ -243,9 +243,12 @@ TEST(Recovery, LostSignalWatchdogRetryRecovers) {
 /// still converges with correct numerics.
 TEST(Recovery, RetriesExhaustedDegradationConverges) {
   MachineSpec spec = test_machines::device_protocol(2);
-  // classes = 0: the plane is armed (rate > 0 enables the resilient waits)
-  // but injects nothing — the only "fault" is the sender's stall.
-  spec.faults = fast_retry(0, 0.5, 0, fault::Resilience::kRetryDegrade);
+  // Resilient waits arm only for signal-coupled masks (window-only and
+  // empty masks cannot lose updates, so their waits stay plain — and
+  // shardable). Arm a signal-coupled class at a negligible rate: the
+  // ladder runs, yet the only "fault" is the sender's stall.
+  spec.faults = fast_retry(0, 1e-9, fault::kClassSignalLost,
+                           fault::Resilience::kRetryDegrade);
   Machine m(spec);
   World w(m);
   Sym<double> box = w.alloc<double>(2, "box");
